@@ -1,0 +1,175 @@
+package asfsim_test
+
+import (
+	"fmt"
+	"testing"
+
+	asfsim "repro"
+)
+
+func TestRunAllWorkloadsBaseline(t *testing.T) {
+	for _, name := range asfsim.Workloads() {
+		t.Run(name, func(t *testing.T) {
+			r, err := asfsim.Run(name, asfsim.ScaleTiny, asfsim.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Workload != name || r.Cycles <= 0 || r.TxCommitted == 0 {
+				t.Fatalf("degenerate result: %+v", r)
+			}
+		})
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	if _, err := asfsim.Run("nonesuch", asfsim.ScaleTiny, asfsim.DefaultConfig()); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestDetectionStrings(t *testing.T) {
+	want := map[asfsim.Detection]string{
+		asfsim.DetectBaseline:   "baseline",
+		asfsim.DetectSubBlock2:  "subblock-2",
+		asfsim.DetectSubBlock4:  "subblock-4",
+		asfsim.DetectSubBlock8:  "subblock-8",
+		asfsim.DetectSubBlock16: "subblock-16",
+		asfsim.DetectPerfect:    "perfect",
+	}
+	for d, s := range want {
+		if d.String() != s {
+			t.Errorf("%v.String() = %q", int(d), d.String())
+		}
+	}
+	if asfsim.DetectSubBlock8.SubBlocks() != 8 || asfsim.DetectBaseline.SubBlocks() != 0 {
+		t.Error("SubBlocks() wrong")
+	}
+}
+
+func TestComparisonMetrics(t *testing.T) {
+	cmp, err := asfsim.RunComparison("vacation", asfsim.ScaleTiny, asfsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Results) != len(asfsim.Detections) {
+		t.Fatalf("comparison has %d systems", len(cmp.Results))
+	}
+	// The perfect system eliminates every false conflict by definition.
+	if fr := cmp.Results[asfsim.DetectPerfect].FalseConflicts; fr != 0 {
+		t.Fatalf("perfect system recorded %d false conflicts", fr)
+	}
+	if red := cmp.FalseConflictReduction(asfsim.DetectPerfect); red != 1 {
+		if cmp.Results[asfsim.DetectBaseline].FalseConflicts > 0 {
+			t.Fatalf("perfect false-conflict reduction %.2f, want 1", red)
+		}
+	}
+	// Metrics on the baseline itself must be identity.
+	if cmp.FalseConflictReduction(asfsim.DetectBaseline) != 0 ||
+		cmp.OverallConflictReduction(asfsim.DetectBaseline) != 0 ||
+		cmp.ExecTimeImprovement(asfsim.DetectBaseline) != 0 {
+		t.Fatal("baseline-vs-baseline metrics non-zero")
+	}
+}
+
+func TestOverheadAccounting(t *testing.T) {
+	o := asfsim.Overhead(4)
+	if o.ExtraBytes != 768 || o.PiggybackBits != 4 {
+		t.Fatalf("paper's 4-sub-block overhead wrong: %+v", o)
+	}
+}
+
+func TestAblationKnobs(t *testing.T) {
+	base := asfsim.DefaultConfig()
+	base.Detection = asfsim.DetectSubBlock4
+	on, err := asfsim.Run("kmeans", asfsim.ScaleTiny, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := base
+	off.DisableDirtyProtocol = true
+	offR, err := asfsim.Run("kmeans", asfsim.ScaleTiny, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.DirtyMarks == 0 {
+		t.Error("dirty protocol never marked a sub-block under kmeans")
+	}
+	if offR.DirtyRereq != 0 || offR.DirtyMarks != 0 {
+		t.Error("DisableDirtyProtocol left dirty machinery active")
+	}
+}
+
+func TestDisableBackoffStillCorrect(t *testing.T) {
+	cfg := asfsim.DefaultConfig()
+	cfg.DisableBackoff = true
+	if _, err := asfsim.Run("kmeans", asfsim.ScaleTiny, cfg); err != nil {
+		t.Fatalf("backoff-less run failed: %v", err)
+	}
+}
+
+// TestCustomWorkloadAPI exercises the RunWorkload/NewMachine surface that
+// examples/quickstart builds on.
+type apiWorkload struct{ addr asfsim.Addr }
+
+func (w *apiWorkload) Name() string        { return "api" }
+func (w *apiWorkload) Description() string { return "public API exercise" }
+func (w *apiWorkload) Setup(m *asfsim.Machine) {
+	w.addr = m.Alloc().AllocLine(8)
+}
+func (w *apiWorkload) Run(t *asfsim.Thread) {
+	for i := 0; i < 5; i++ {
+		t.Atomic(func(tx *asfsim.Tx) {
+			tx.Store(w.addr, 8, tx.Load(w.addr, 8)+1)
+		})
+		t.Work(50)
+	}
+}
+func (w *apiWorkload) Validate(m *asfsim.Machine) error {
+	if got := m.Memory().LoadUint(w.addr, 8); got != uint64(5*m.Threads()) {
+		return fmt.Errorf("counter %d", got)
+	}
+	return nil
+}
+
+func TestCustomWorkloadAPI(t *testing.T) {
+	r, err := asfsim.RunWorkload(&apiWorkload{}, asfsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TxCommitted != 40 {
+		t.Fatalf("committed %d", r.TxCommitted)
+	}
+}
+
+func TestWorkloadsListedWithDescriptions(t *testing.T) {
+	names := asfsim.Workloads()
+	if len(names) != 10 {
+		t.Fatalf("%d workloads", len(names))
+	}
+	for _, n := range names {
+		if asfsim.DescribeWorkload(n) == "" {
+			t.Errorf("%s lacks a description", n)
+		}
+	}
+}
+
+// TestCrossModeInvariants runs a medium-contention workload under all
+// systems and asserts the relations that must hold regardless of dynamics:
+// perfect records zero false conflicts; every mode commits the same number
+// of transactions (the work is fixed); all modes validate.
+func TestCrossModeInvariants(t *testing.T) {
+	cmp, err := asfsim.RunComparison("scalparc", asfsim.ScaleTiny, asfsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cmp.Results[asfsim.DetectBaseline]
+	for _, d := range asfsim.Detections {
+		r := cmp.Results[d]
+		if r.TxCommitted != base.TxCommitted {
+			t.Errorf("%v committed %d, baseline %d — fixed work changed", d, r.TxCommitted, base.TxCommitted)
+		}
+	}
+	if cmp.Results[asfsim.DetectPerfect].FalseConflicts != 0 {
+		t.Error("perfect system saw false conflicts")
+	}
+}

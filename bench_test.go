@@ -1,0 +1,600 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, plus the ablation benches for the design choices
+// DESIGN.md calls out. Each benchmark runs the experiment that regenerates
+// its figure and reports the figure's headline metric(s) through
+// b.ReportMetric, so `go test -bench . -benchmem` reproduces the paper's
+// rows as benchmark output. cmd/paperfigs renders the same data as tables.
+package asfsim_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	asfsim "repro"
+	"repro/internal/harness"
+	"repro/internal/oracle"
+	"repro/internal/workloads"
+)
+
+const benchSeed = 1
+
+func benchRun(b *testing.B, wl string, d asfsim.Detection) *asfsim.Result {
+	b.Helper()
+	cfg := asfsim.DefaultConfig()
+	cfg.Detection = d
+	cfg.Seed = benchSeed
+	r, err := asfsim.Run(wl, asfsim.ScaleTiny, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkWorkload measures the simulator itself: wall-time per full
+// baseline run of each kernel (the substrate cost of every figure).
+func BenchmarkWorkload(b *testing.B) {
+	for _, wl := range asfsim.Workloads() {
+		b.Run(wl, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				r := benchRun(b, wl, asfsim.DetectBaseline)
+				cycles = r.Cycles
+			}
+			b.ReportMetric(float64(cycles), "simcycles")
+		})
+	}
+}
+
+// BenchmarkFig1FalseConflictRate regenerates Figure 1: the baseline ASF
+// false-conflict rate per benchmark.
+func BenchmarkFig1FalseConflictRate(b *testing.B) {
+	for _, wl := range asfsim.Workloads() {
+		b.Run(wl, func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				rate = benchRun(b, wl, asfsim.DetectBaseline).FalseConflictRate()
+			}
+			b.ReportMetric(rate*100, "false%")
+		})
+	}
+}
+
+// BenchmarkFig2ConflictTypeBreakdown regenerates Figure 2: the WAR/RAW/WAW
+// composition of each benchmark's false conflicts.
+func BenchmarkFig2ConflictTypeBreakdown(b *testing.B) {
+	for _, wl := range asfsim.Workloads() {
+		b.Run(wl, func(b *testing.B) {
+			var war, raw, waw float64
+			for i := 0; i < b.N; i++ {
+				r := benchRun(b, wl, asfsim.DetectBaseline)
+				war, raw, waw = r.TypeShare(oracle.WAR), r.TypeShare(oracle.RAW), r.TypeShare(oracle.WAW)
+			}
+			b.ReportMetric(war*100, "WAR%")
+			b.ReportMetric(raw*100, "RAW%")
+			b.ReportMetric(waw*100, "WAW%")
+		})
+	}
+}
+
+// benchTrace runs one fully instrumented baseline run (Figs 3, 4, 5).
+func benchTrace(b *testing.B, wl string) *asfsim.Result {
+	b.Helper()
+	r, err := harness.Trace(wl, workloads.ScaleTiny, benchSeed, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkFig3TimeDistribution regenerates Figure 3: the cumulative
+// false-conflict and started-transaction series for the paper's four
+// representative benchmarks. The reported metric is the fraction of false
+// conflicts that occurred in the first half of the run (0.5 = the linear
+// growth of kmeans/vacation; far from 0.5 = genome-style phase bursts).
+func BenchmarkFig3TimeDistribution(b *testing.B) {
+	for _, wl := range harness.Fig3Workloads {
+		b.Run(wl, func(b *testing.B) {
+			var firstHalf float64
+			for i := 0; i < b.N; i++ {
+				r := benchTrace(b, wl)
+				pts := r.Series.Points()
+				last := pts[len(pts)-1]
+				if last.FalseConflicts == 0 {
+					continue
+				}
+				var atHalf uint64
+				for _, p := range pts {
+					if p.Cycle <= r.Cycles/2 {
+						atHalf = p.FalseConflicts
+					}
+				}
+				firstHalf = float64(atHalf) / float64(last.FalseConflicts)
+			}
+			b.ReportMetric(firstHalf, "firsthalf")
+		})
+	}
+}
+
+// BenchmarkFig4SpaceDistribution regenerates Figure 4: false conflicts by
+// cache-line index. The reported metric is the top-10-line concentration —
+// near 1.0 for kmeans (a few hot accumulator lines), low for
+// vacation/intruder (uniform).
+func BenchmarkFig4SpaceDistribution(b *testing.B) {
+	for _, wl := range harness.Fig3Workloads {
+		b.Run(wl, func(b *testing.B) {
+			var conc float64
+			for i := 0; i < b.N; i++ {
+				conc = benchTrace(b, wl).Lines.Concentration(10)
+			}
+			b.ReportMetric(conc, "top10share")
+		})
+	}
+}
+
+// BenchmarkFig5AccessPattern regenerates Figure 5: speculative accesses by
+// intra-line byte offset. The reported metric is the dominant access
+// granularity — 4 bytes for kmeans, 8 bytes for vacation/genome/intruder,
+// exactly the paper's observation.
+func BenchmarkFig5AccessPattern(b *testing.B) {
+	for _, wl := range harness.Fig3Workloads {
+		b.Run(wl, func(b *testing.B) {
+			var stride float64
+			for i := 0; i < b.N; i++ {
+				stride = float64(benchTrace(b, wl).Offsets.DominantStride(0.95))
+			}
+			b.ReportMetric(stride, "granularity_B")
+		})
+	}
+}
+
+// BenchmarkFig8SubblockSensitivity regenerates Figure 8: the analytical
+// false-conflict reduction rate at 2/4/8/16 sub-blocks per line.
+func BenchmarkFig8SubblockSensitivity(b *testing.B) {
+	for _, wl := range asfsim.Workloads() {
+		b.Run(wl, func(b *testing.B) {
+			var rates [4]float64
+			for i := 0; i < b.N; i++ {
+				r := benchRun(b, wl, asfsim.DetectBaseline)
+				for j := range rates {
+					rates[j] = r.AvoidableRate(j)
+				}
+			}
+			b.ReportMetric(rates[0]*100, "sub2%")
+			b.ReportMetric(rates[1]*100, "sub4%")
+			b.ReportMetric(rates[2]*100, "sub8%")
+			b.ReportMetric(rates[3]*100, "sub16%")
+		})
+	}
+}
+
+// BenchmarkFig9OverallConflictReduction regenerates Figure 9: the measured
+// reduction of ALL conflicts under SubBlock(4) and under the perfect
+// system, versus the baseline.
+func BenchmarkFig9OverallConflictReduction(b *testing.B) {
+	for _, wl := range asfsim.Workloads() {
+		b.Run(wl, func(b *testing.B) {
+			var sb4, perf float64
+			for i := 0; i < b.N; i++ {
+				base := benchRun(b, wl, asfsim.DetectBaseline)
+				s := benchRun(b, wl, asfsim.DetectSubBlock4)
+				p := benchRun(b, wl, asfsim.DetectPerfect)
+				if base.Conflicts > 0 {
+					sb4 = 1 - float64(s.Conflicts)/float64(base.Conflicts)
+					perf = 1 - float64(p.Conflicts)/float64(base.Conflicts)
+				}
+			}
+			b.ReportMetric(sb4*100, "sub4red%")
+			b.ReportMetric(perf*100, "perfred%")
+		})
+	}
+}
+
+// BenchmarkFig10ExecutionTime regenerates Figure 10: the execution-time
+// improvement of SubBlock(4) and the perfect system versus the baseline.
+func BenchmarkFig10ExecutionTime(b *testing.B) {
+	for _, wl := range asfsim.Workloads() {
+		b.Run(wl, func(b *testing.B) {
+			var sb4, perf float64
+			for i := 0; i < b.N; i++ {
+				base := benchRun(b, wl, asfsim.DetectBaseline)
+				s := benchRun(b, wl, asfsim.DetectSubBlock4)
+				p := benchRun(b, wl, asfsim.DetectPerfect)
+				sb4 = 1 - float64(s.Cycles)/float64(base.Cycles)
+				perf = 1 - float64(p.Cycles)/float64(base.Cycles)
+			}
+			b.ReportMetric(sb4*100, "sub4imp%")
+			b.ReportMetric(perf*100, "perfimp%")
+		})
+	}
+}
+
+// BenchmarkOverheadModel regenerates the §IV-E hardware accounting
+// (a closed-form model; the benchmark pins its cost and reports the
+// paper's 4-sub-block numbers).
+func BenchmarkOverheadModel(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		frac = asfsim.Overhead(4).ExtraFraction
+	}
+	b.ReportMetric(frac*100, "l1overhead%")
+}
+
+// BenchmarkTable2Machine pins the cost of assembling the full Table II
+// machine (8 cores, three cache levels, bus, engines).
+func BenchmarkTable2Machine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := asfsim.NewMachine(asfsim.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (design choices called out in DESIGN.md §5) ----------------
+
+// BenchmarkAblationRetainInvalid measures the effect of discarding
+// speculative state from invalidated lines (§IV-D-2 off): conflicts that
+// the retained state would have caught go undetected.
+func BenchmarkAblationRetainInvalid(b *testing.B) {
+	for _, on := range []bool{true, false} {
+		name := "retain-on"
+		if !on {
+			name = "retain-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var caught float64
+			for i := 0; i < b.N; i++ {
+				cfg := asfsim.DefaultConfig()
+				cfg.Detection = asfsim.DetectSubBlock4
+				cfg.DisableRetainInvalid = !on
+				r, err := asfsim.Run("vacation", asfsim.ScaleTiny, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				caught = float64(r.RetainedCaught)
+			}
+			b.ReportMetric(caught, "retained_catches")
+		})
+	}
+}
+
+// BenchmarkAblationDirtyProtocol measures the Fig. 6 machinery: how many
+// dirty marks and re-requests the protocol performs, and the run time with
+// it disabled.
+func BenchmarkAblationDirtyProtocol(b *testing.B) {
+	for _, on := range []bool{true, false} {
+		name := "dirty-on"
+		if !on {
+			name = "dirty-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cycles, rereq float64
+			for i := 0; i < b.N; i++ {
+				cfg := asfsim.DefaultConfig()
+				cfg.Detection = asfsim.DetectSubBlock4
+				cfg.DisableDirtyProtocol = !on
+				r, err := asfsim.Run("kmeans", asfsim.ScaleTiny, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = float64(r.Cycles)
+				rereq = float64(r.DirtyRereq)
+			}
+			b.ReportMetric(cycles, "simcycles")
+			b.ReportMetric(rereq, "rerequests")
+		})
+	}
+}
+
+// BenchmarkAblationBackoff measures the §V-A exponential backoff manager:
+// without it, requester-wins conflict resolution degenerates into retry
+// storms on contended workloads.
+func BenchmarkAblationBackoff(b *testing.B) {
+	for _, on := range []bool{true, false} {
+		name := "backoff-on"
+		if !on {
+			name = "backoff-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var retries, cycles float64
+			for i := 0; i < b.N; i++ {
+				cfg := asfsim.DefaultConfig()
+				cfg.DisableBackoff = !on
+				r, err := asfsim.Run("intruder", asfsim.ScaleTiny, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				retries = float64(r.Retries)
+				cycles = float64(r.Cycles)
+			}
+			b.ReportMetric(retries, "retries")
+			b.ReportMetric(cycles, "simcycles")
+		})
+	}
+}
+
+// BenchmarkPriorWork runs the §II related-work comparators (WAR-only
+// coherence decoupling and LogTM-style signatures) against the baseline,
+// the paper's sub-blocking and the ideal system — the paper's positioning
+// argument as a benchmark.
+func BenchmarkPriorWork(b *testing.B) {
+	systems := []asfsim.Detection{
+		asfsim.DetectBaseline, asfsim.DetectWAROnly, asfsim.DetectSignature,
+		asfsim.DetectSubBlock4, asfsim.DetectPerfect,
+	}
+	for _, wl := range []string{"vacation", "kmeans"} {
+		for _, d := range systems {
+			b.Run(wl+"/"+d.String(), func(b *testing.B) {
+				var conf, falseC, cycles float64
+				for i := 0; i < b.N; i++ {
+					r := benchRun(b, wl, d)
+					conf = float64(r.Conflicts)
+					falseC = float64(r.FalseConflicts)
+					cycles = float64(r.Cycles)
+				}
+				b.ReportMetric(conf, "conflicts")
+				b.ReportMetric(falseC, "falseconf")
+				b.ReportMetric(cycles, "simcycles")
+			})
+		}
+	}
+}
+
+// BenchmarkScalability extends the paper's fixed-8-core evaluation: the
+// false-conflict rate and execution time of the baseline and SubBlock(4)
+// as the core count grows (more sharers per line = more invalidation
+// traffic = more false conflicts).
+func BenchmarkScalability(b *testing.B) {
+	for _, cores := range []int{2, 4, 8, 16} {
+		for _, d := range []asfsim.Detection{asfsim.DetectBaseline, asfsim.DetectSubBlock4} {
+			b.Run(fmt.Sprintf("cores%d/%s", cores, d), func(b *testing.B) {
+				var rate, cycles float64
+				for i := 0; i < b.N; i++ {
+					cfg := asfsim.DefaultConfig()
+					cfg.Detection = d
+					cfg.Cores = cores
+					cfg.Seed = benchSeed
+					r, err := asfsim.Run("vacation", asfsim.ScaleTiny, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rate = r.FalseConflictRate()
+					cycles = float64(r.Cycles)
+				}
+				b.ReportMetric(rate*100, "false%")
+				b.ReportMetric(cycles, "simcycles")
+			})
+		}
+	}
+}
+
+// BenchmarkSignatureSizeSweep: the signature comparator's design knob —
+// smaller signatures alias more (extra false conflicts), bigger ones cost
+// more SRAM. The LogTM-SE-style counterpart of Fig. 8's trade-off.
+func BenchmarkSignatureSizeSweep(b *testing.B) {
+	for _, bits := range []int{64, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("bits%d", bits), func(b *testing.B) {
+			var falseC, alias float64
+			for i := 0; i < b.N; i++ {
+				cfg := asfsim.DefaultConfig()
+				cfg.Detection = asfsim.DetectSignature
+				cfg.SignatureBits = bits
+				cfg.Seed = benchSeed
+				r, err := asfsim.Run("genome", asfsim.ScaleTiny, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				falseC = float64(r.FalseConflicts)
+				alias = float64(r.SigAliasFalse)
+			}
+			b.ReportMetric(falseC, "falseconf")
+			b.ReportMetric(alias, "aliasconf")
+		})
+	}
+}
+
+// BenchmarkAblationSubBlockCount sweeps the measured (protocol, not
+// analytical) effect of every sub-block configuration on one 4-byte-
+// granularity workload — the hardware trade-off of §V-B as a bench.
+func BenchmarkAblationSubBlockCount(b *testing.B) {
+	for _, d := range asfsim.Detections {
+		b.Run(d.String(), func(b *testing.B) {
+			var falseC, cycles float64
+			for i := 0; i < b.N; i++ {
+				r := benchRun(b, "kmeans", d)
+				falseC = float64(r.FalseConflicts)
+				cycles = float64(r.Cycles)
+			}
+			b.ReportMetric(falseC, "falseconf")
+			b.ReportMetric(cycles, "simcycles")
+		})
+	}
+}
+
+// BenchmarkCapacityCliff quantifies the exclusion the paper makes silently
+// (yada/hmm "cannot fit into baseline ASF hardware"): per-L1-set
+// speculative footprint crossing the associativity is a hard cliff — the
+// fallback-lock rate jumps from 0 to 100 %.
+func BenchmarkCapacityCliff(b *testing.B) {
+	// Footprints fold into one L1 set: 1 and 2 lines fit the 2-way L1,
+	// 3 overflow on every attempt.
+	for _, lines := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("linesPerSet%d", lines), func(b *testing.B) {
+			var fallbackRate float64
+			for i := 0; i < b.N; i++ {
+				r := runCapacityProbe(b, lines)
+				if r.TxLaunched > 0 {
+					fallbackRate = float64(r.Fallbacks) / float64(r.TxLaunched)
+				}
+			}
+			b.ReportMetric(fallbackRate*100, "fallback%")
+		})
+	}
+}
+
+// runCapacityProbe runs a minimal workload whose transactions read `lines`
+// lines that all collide into one L1 set.
+func runCapacityProbe(b *testing.B, lines int) *asfsim.Result {
+	b.Helper()
+	w := &capacityProbe{lines: lines}
+	cfg := asfsim.DefaultConfig()
+	cfg.Cores = 2
+	cfg.MaxRetries = 3
+	cfg.Seed = benchSeed
+	r, err := asfsim.RunWorkload(w, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+type capacityProbe struct {
+	lines int
+	base  asfsim.Addr
+	sum   asfsim.Addr
+}
+
+func (w *capacityProbe) Name() string        { return "capacity-probe" }
+func (w *capacityProbe) Description() string { return "same-set speculative footprint probe" }
+func (w *capacityProbe) Setup(m *asfsim.Machine) {
+	w.base = m.Alloc().Alloc(64*512*8, 64)
+	m.Alloc().Pad(64 * 32) // keep the summary lines out of the probed set
+	// One full line per thread so the probe measures capacity, not
+	// false sharing between the summaries.
+	w.sum = m.Alloc().AllocLine(64 * m.Threads())
+}
+func (w *capacityProbe) Run(t *asfsim.Thread) {
+	for i := 0; i < 5; i++ {
+		t.Atomic(func(tx *asfsim.Tx) {
+			var s uint64
+			for k := 0; k < w.lines; k++ {
+				s += tx.Load(w.base+asfsim.Addr(k*512*64), 8)
+			}
+			tx.Store(w.sum+asfsim.Addr(64*t.ID()), 8, s+1)
+		})
+		t.Work(100)
+	}
+}
+func (w *capacityProbe) Validate(m *asfsim.Machine) error { return nil }
+
+// BenchmarkExcludedBenchmarks runs the two kernels the paper dropped —
+// bayes (non-deterministic finishing on real hardware; deterministic
+// here) and yada (transactions too large for baseline ASF) — and reports
+// the numbers that justify each exclusion: bayes runs like any other
+// benchmark, while yada's fallback share shows why measuring it under
+// baseline ASF would have been meaningless.
+func BenchmarkExcludedBenchmarks(b *testing.B) {
+	for _, wl := range asfsim.ExtraWorkloads() {
+		b.Run(wl, func(b *testing.B) {
+			var fallbackShare, footprint float64
+			for i := 0; i < b.N; i++ {
+				cfg := asfsim.DefaultConfig()
+				cfg.Seed = benchSeed
+				r, err := asfsim.Run(wl, asfsim.ScaleTiny, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.TxLaunched > 0 {
+					fallbackShare = float64(r.Fallbacks) / float64(r.TxLaunched)
+				}
+				footprint = float64(r.FootprintLines.Max())
+			}
+			b.ReportMetric(fallbackShare*100, "fallback%")
+			b.ReportMetric(footprint, "maxlines")
+		})
+	}
+}
+
+// BenchmarkReplayControlled is the trace-driven variant of Fig. 9: record
+// one baseline kmeans run, then replay the IDENTICAL address stream under
+// each detection system. Unlike the live-rerun Fig. 9, differences here
+// are purely the protocol's: the workload cannot diverge.
+func BenchmarkReplayControlled(b *testing.B) {
+	var buf bytes.Buffer
+	cfg := asfsim.DefaultConfig()
+	cfg.Seed = benchSeed
+	cfg.RecordTrace = &buf
+	if _, err := asfsim.Run("kmeans", asfsim.ScaleTiny, cfg); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	for _, d := range []asfsim.Detection{
+		asfsim.DetectBaseline, asfsim.DetectSubBlock4, asfsim.DetectSubBlock16, asfsim.DetectPerfect,
+	} {
+		b.Run(d.String(), func(b *testing.B) {
+			var falseC, conf float64
+			for i := 0; i < b.N; i++ {
+				rcfg := asfsim.DefaultConfig()
+				rcfg.Detection = d
+				rcfg.Seed = benchSeed
+				r, err := asfsim.RunReplay(bytes.NewReader(raw), rcfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				falseC = float64(r.FalseConflicts)
+				conf = float64(r.Conflicts)
+			}
+			b.ReportMetric(conf, "conflicts")
+			b.ReportMetric(falseC, "falseconf")
+		})
+	}
+}
+
+// BenchmarkAblationPiggybackCost tests the §IV-E claim that the N-bit
+// piggyback payload on data replies costs "almost negligible" time: sweep
+// a per-masked-reply penalty from 0 (the paper's assumption) to an
+// implausibly bad 64 cycles and watch SubBlock(4) execution time.
+func BenchmarkAblationPiggybackCost(b *testing.B) {
+	for _, pen := range []int64{0, 4, 16, 64} {
+		b.Run(fmt.Sprintf("penalty%d", pen), func(b *testing.B) {
+			var cycles float64
+			for i := 0; i < b.N; i++ {
+				cfg := asfsim.DefaultConfig()
+				cfg.Detection = asfsim.DetectSubBlock4
+				cfg.Seed = benchSeed
+				cfg.PiggybackPenalty = pen
+				r, err := asfsim.Run("vacation", asfsim.ScaleTiny, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = float64(r.Cycles)
+			}
+			b.ReportMetric(cycles, "simcycles")
+		})
+	}
+}
+
+// BenchmarkAblationResolutionPolicy compares ASF's requester-wins against
+// the LogTM-style holder-wins (NACK-and-stall) resolution — the policy
+// knob §IV-A leaves open. Under pure false sharing stalling is pure waste
+// (the conflicts aren't real); under true contention it trades aborted
+// work for stall time.
+func BenchmarkAblationResolutionPolicy(b *testing.B) {
+	for _, hw := range []bool{false, true} {
+		name := "requester-wins"
+		if hw {
+			name = "holder-wins"
+		}
+		for _, wl := range []string{"kmeans", "intruder"} {
+			b.Run(wl+"/"+name, func(b *testing.B) {
+				var cycles, aborts, nacks float64
+				for i := 0; i < b.N; i++ {
+					cfg := asfsim.DefaultConfig()
+					cfg.Seed = benchSeed
+					cfg.HolderWins = hw
+					r, err := asfsim.Run(wl, asfsim.ScaleTiny, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = float64(r.Cycles)
+					aborts = float64(r.TxAborted)
+					nacks = float64(r.Nacks)
+				}
+				b.ReportMetric(cycles, "simcycles")
+				b.ReportMetric(aborts, "aborts")
+				b.ReportMetric(nacks, "nacks")
+			})
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Command asfsim runs one workload on one detection system and prints its
+// full statistics — the interactive front door to the simulator.
+//
+// Usage:
+//
+//	asfsim -workload vacation
+//	asfsim -workload kmeans -detect subblock-4 -scale medium -seed 7
+//	asfsim -workload genome -detect waronly        # §II comparator
+//	asfsim -workload vacation -json                # machine-readable output
+//	asfsim -workload kmeans -record /tmp/k.trace   # record the op stream
+//	asfsim -replay /tmp/k.trace -detect subblock-4 # re-simulate it
+//	asfsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	asfsim "repro"
+	"repro/internal/oracle"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "vacation", "workload to run (see -list)")
+		detect  = flag.String("detect", "baseline", "detection system: baseline, subblock-2/4/8/16, perfect, waronly, signature")
+		scale   = flag.String("scale", "small", "workload scale: tiny, small, medium")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		cores   = flag.Int("cores", 8, "simulated cores")
+		list    = flag.Bool("list", false, "list workloads and exit")
+		asJSON  = flag.Bool("json", false, "emit the full result record as JSON")
+		record  = flag.String("record", "", "record the workload's op stream to this trace file")
+		replay  = flag.String("replay", "", "replay a recorded trace file instead of running a workload")
+		sigBits = flag.Int("sigbits", 0, "signature size in bits for -detect signature (0 = 1024)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range asfsim.Workloads() {
+			fmt.Printf("%-14s %s\n", n, asfsim.DescribeWorkload(n))
+		}
+		for _, n := range asfsim.ExtraWorkloads() {
+			fmt.Printf("%-14s %s\n", n, asfsim.DescribeWorkload(n))
+		}
+		return
+	}
+
+	cfg := asfsim.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Cores = *cores
+	cfg.SignatureBits = *sigBits
+	found := false
+	for _, d := range asfsim.AllDetections {
+		if d.String() == *detect {
+			cfg.Detection = d
+			found = true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "asfsim: unknown detection %q\n", *detect)
+		os.Exit(2)
+	}
+	var sc workloads.Scale
+	switch *scale {
+	case "tiny":
+		sc = workloads.ScaleTiny
+	case "small":
+		sc = workloads.ScaleSmall
+	case "medium":
+		sc = workloads.ScaleMedium
+	default:
+		fmt.Fprintf(os.Stderr, "asfsim: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	var r *asfsim.Result
+	var err error
+	switch {
+	case *replay != "":
+		f, ferr := os.Open(*replay)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "asfsim: %v\n", ferr)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r, err = asfsim.RunReplay(f, cfg)
+	case *record != "":
+		f, ferr := os.Create(*record)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "asfsim: %v\n", ferr)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.RecordTrace = f
+		r, err = asfsim.Run(*wl, sc, cfg)
+	default:
+		r, err = asfsim.Run(*wl, sc, cfg)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asfsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fmt.Fprintf(os.Stderr, "asfsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	desc := asfsim.DescribeWorkload(r.Workload)
+	if desc == "" {
+		desc = "trace replay"
+	}
+	fmt.Printf("workload        %s (%s)\n", r.Workload, desc)
+	fmt.Printf("system          %s   threads %d   seed %d\n", r.Mode, r.Threads, r.Seed)
+	fmt.Printf("execution time  %d cycles\n", r.Cycles)
+	fmt.Println()
+	fmt.Printf("transactions    launched %-8d attempts %-8d committed %-8d fallbacks %d\n",
+		r.TxLaunched, r.TxStarted, r.TxCommitted, r.Fallbacks)
+	fmt.Printf("aborts          total %-8d conflict %-8d capacity %-6d user %-6d lock %-4d validation %d\n",
+		r.TxAborted, r.AbortsBy[1], r.AbortsBy[2], r.AbortsBy[3], r.AbortsBy[4], r.AbortsBy[5])
+	fmt.Printf("retries         total %-8d max chain %-4d mean attempts/block %.2f\n",
+		r.Retries, r.MaxRetrySeen, r.RetryChains.Mean())
+	fmt.Printf("time breakdown  tx %.1f%%   backoff %.1f%%   non-tx %.1f%%\n",
+		r.TxFraction()*100, r.BackoffFraction()*100,
+		100-(r.TxFraction()+r.BackoffFraction())*100)
+	fmt.Printf("tx footprint    mean %.1f lines   p95 %d   max %d (of %d L1 lines)\n",
+		r.FootprintLines.Mean(), r.FootprintLines.Percentile(0.95), r.FootprintLines.Max(),
+		asfsim.MachineDescription().L1.SizeBytes/asfsim.MachineDescription().L1.LineSize)
+	fmt.Println()
+	fmt.Printf("conflicts       total %-8d false %-8d rate %.1f%%\n",
+		r.Conflicts, r.FalseConflicts, r.FalseConflictRate()*100)
+	fmt.Printf("conflict types  WAR %-8d RAW %-8d WAW %d\n",
+		r.ByType[oracle.WAR], r.ByType[oracle.RAW], r.ByType[oracle.WAW])
+	fmt.Printf("false by type   WAR %-8d RAW %-8d WAW %d\n",
+		r.FalseByType[oracle.WAR], r.FalseByType[oracle.RAW], r.FalseByType[oracle.WAW])
+	fmt.Println()
+	fmt.Printf("speculative ops loads %-8d stores %d\n", r.SpecLoads, r.SpecStores)
+	fmt.Printf("sub-blocking    dirty marks %-6d dirty re-requests %-6d retained-line hits %d\n",
+		r.DirtyMarks, r.DirtyRereq, r.RetainedCaught)
+	fmt.Printf("coherence       GetS %-8d GetX %-8d c2c %-8d mem %-8d piggyback %d\n",
+		r.ProbesShared, r.ProbesInvalidate, r.DataFromRemote, r.DataFromMemory, r.PiggybackMasks)
+	if r.SpeculatedWARs > 0 || r.ValidationChecks > 0 || r.SigAliasFalse > 0 {
+		fmt.Printf("comparators     speculated WARs %-6d validations %-6d signature aliases %d\n",
+			r.SpeculatedWARs, r.ValidationChecks, r.SigAliasFalse)
+	}
+}

@@ -1,0 +1,71 @@
+// Command asftrace regenerates the paper's characterization traces:
+// Fig. 3 (cumulative false conflicts and started transactions over time),
+// Fig. 4 (false conflicts by cache-line index) and Fig. 5 (speculative
+// accesses by byte offset within a line), for the paper's four
+// representative benchmarks or any chosen subset.
+//
+// Usage:
+//
+//	asftrace                       # figs 3+4+5 for vacation, genome, kmeans, intruder
+//	asftrace -fig 5 -workloads kmeans
+//	asftrace -scale medium -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		fig   = flag.Int("fig", 0, "trace figure to print (3, 4 or 5); 0 = all")
+		scale = flag.String("scale", "small", "workload scale: tiny, small, medium")
+		seed  = flag.Uint64("seed", 1, "simulation seed")
+		cores = flag.Int("cores", 8, "simulated cores")
+		wls   = flag.String("workloads", "", "comma-separated workloads (default: the paper's four)")
+		top   = flag.Int("top", 20, "lines shown in the Fig 4 histogram")
+	)
+	flag.Parse()
+
+	var sc workloads.Scale
+	switch *scale {
+	case "tiny":
+		sc = workloads.ScaleTiny
+	case "small":
+		sc = workloads.ScaleSmall
+	case "medium":
+		sc = workloads.ScaleMedium
+	default:
+		fmt.Fprintf(os.Stderr, "asftrace: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	names := harness.Fig3Workloads
+	if *wls != "" {
+		names = strings.Split(*wls, ",")
+	}
+
+	for _, wl := range names {
+		r, err := harness.Trace(wl, sc, *seed, *cores)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asftrace: %s: %v\n", wl, err)
+			os.Exit(1)
+		}
+		if *fig == 0 || *fig == 3 {
+			fmt.Println(harness.Fig3(r, 20))
+			fmt.Println()
+		}
+		if *fig == 0 || *fig == 4 {
+			fmt.Println(harness.Fig4(r, *top))
+			fmt.Println()
+		}
+		if *fig == 0 || *fig == 5 {
+			fmt.Println(harness.Fig5(r))
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package asfsim_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	asfsim "repro"
+)
+
+// Run one paper workload under the baseline ASF and inspect the headline
+// Fig. 1 metric.
+func ExampleRun() {
+	cfg := asfsim.DefaultConfig() // 8 cores, Table II machine, seed 1
+	res, err := asfsim.Run("vacation", asfsim.ScaleTiny, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Workload, "committed:", res.TxCommitted)
+	// Output:
+	// vacation committed: 96
+}
+
+// Compare the paper's systems on one workload. The perfect system
+// eliminates every false conflict by definition.
+func ExampleRunComparison() {
+	cmp, err := asfsim.RunComparison("scalparc", asfsim.ScaleTiny, asfsim.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("perfect false conflicts:", cmp.Results[asfsim.DetectPerfect].FalseConflicts)
+	// Output:
+	// perfect false conflicts: 0
+}
+
+// exampleCounter is a minimal custom workload: one shared counter.
+type exampleCounter struct{ addr asfsim.Addr }
+
+func (c *exampleCounter) Name() string            { return "example-counter" }
+func (c *exampleCounter) Description() string     { return "doc example" }
+func (c *exampleCounter) Setup(m *asfsim.Machine) { c.addr = m.Alloc().AllocLine(8) }
+func (c *exampleCounter) Run(t *asfsim.Thread) {
+	for i := 0; i < 3; i++ {
+		t.Atomic(func(tx *asfsim.Tx) {
+			tx.Store(c.addr, 8, tx.Load(c.addr, 8)+1)
+		})
+	}
+}
+func (c *exampleCounter) Validate(m *asfsim.Machine) error {
+	if got := m.Memory().LoadUint(c.addr, 8); got != uint64(3*m.Threads()) {
+		return fmt.Errorf("counter %d", got)
+	}
+	return nil
+}
+
+// Author a custom transactional workload against the public API and run it
+// on the simulated machine.
+func ExampleRunWorkload() {
+	res, err := asfsim.RunWorkload(&exampleCounter{}, asfsim.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("committed:", res.TxCommitted)
+	// Output:
+	// committed: 24
+}
+
+// Capture and decode the structured event log; deterministic per seed.
+func ExampleDecodeEvents() {
+	var buf bytes.Buffer
+	cfg := asfsim.DefaultConfig()
+	cfg.EventLog = &buf
+	if _, err := asfsim.RunWorkload(&exampleCounter{}, cfg); err != nil {
+		log.Fatal(err)
+	}
+	events, err := asfsim.DecodeEvents(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := asfsim.SummarizeEvents(events)
+	fmt.Println("commits:", s.Commits)
+	// Output:
+	// commits: 24
+}
+
+// The §IV-E hardware-cost model, straight from the paper.
+func ExampleOverhead() {
+	o := asfsim.Overhead(4)
+	fmt.Printf("%d extra bits/line, %.2f%% of the L1\n", o.ExtraBitsPerLine, o.ExtraFraction*100)
+	// Output:
+	// 6 extra bits/line, 1.17% of the L1
+}
+
+// Record a workload's logical op stream and replay the identical stream
+// under a different detection system (trace-driven simulation).
+func ExampleRunReplay() {
+	var buf bytes.Buffer
+	cfg := asfsim.DefaultConfig()
+	cfg.RecordTrace = &buf
+	if _, err := asfsim.RunWorkload(&exampleCounter{}, cfg); err != nil {
+		log.Fatal(err)
+	}
+	rcfg := asfsim.DefaultConfig()
+	rcfg.Detection = asfsim.DetectPerfect
+	res, err := asfsim.RunReplay(&buf, rcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("replay commits:", res.TxCommitted, "false conflicts:", res.FalseConflicts)
+	// Output:
+	// replay commits: 24 false conflicts: 0
+}

@@ -1,0 +1,117 @@
+// Layout: the software alternative the paper argues against (§II) —
+// padding data structures to avoid false sharing — measured head-to-head
+// against the hardware sub-blocking fix.
+//
+// The same transfer workload runs with accounts packed 8, 4, 2 and 1 per
+// cache line. Padding eliminates false conflicts exactly like the paper's
+// software-restructuring discussion predicts, but costs memory (8× for
+// full isolation) and must be hand-tuned per cache geometry — whereas
+// sub-blocking fixes the packed layout in hardware with no code change.
+//
+// Run with:
+//
+//	go run ./examples/layout
+package main
+
+import (
+	"fmt"
+	"log"
+
+	asfsim "repro"
+)
+
+const (
+	accounts  = 64
+	transfers = 300
+	balance0  = 1000
+)
+
+// PaddedBank is a bank whose account stride is configurable: stride 8 is
+// the natural packed layout, stride 64 gives every account its own line.
+type PaddedBank struct {
+	stride   int
+	balances asfsim.Addr
+}
+
+// Name implements asfsim.Workload.
+func (b *PaddedBank) Name() string { return fmt.Sprintf("bank-stride%d", b.stride) }
+
+// Description implements asfsim.Workload.
+func (b *PaddedBank) Description() string { return "transfer workload with configurable padding" }
+
+func (b *PaddedBank) account(i int) asfsim.Addr {
+	return b.balances + asfsim.Addr(b.stride*i)
+}
+
+// Setup implements asfsim.Workload.
+func (b *PaddedBank) Setup(m *asfsim.Machine) {
+	b.balances = m.Alloc().Alloc(b.stride*accounts, 64)
+	for i := 0; i < accounts; i++ {
+		m.Memory().StoreUint(b.account(i), 8, balance0)
+	}
+}
+
+// Run implements asfsim.Workload.
+func (b *PaddedBank) Run(t *asfsim.Thread) {
+	for i := 0; i < transfers; i++ {
+		from := t.Rand().Intn(accounts)
+		to := t.Rand().Intn(accounts)
+		if from == to {
+			to = (to + 1) % accounts
+		}
+		amount := uint64(1 + t.Rand().Intn(10))
+		t.Atomic(func(tx *asfsim.Tx) {
+			src := tx.Load(b.account(from), 8)
+			if src < amount {
+				return
+			}
+			tx.Store(b.account(from), 8, src-amount)
+			tx.Store(b.account(to), 8, tx.Load(b.account(to), 8)+amount)
+		})
+		t.Work(200)
+	}
+}
+
+// Validate implements asfsim.Workload.
+func (b *PaddedBank) Validate(m *asfsim.Machine) error {
+	var total uint64
+	for i := 0; i < accounts; i++ {
+		total += m.Memory().LoadUint(b.account(i), 8)
+	}
+	if want := uint64(accounts * balance0); total != want {
+		return fmt.Errorf("%s: total %d, want %d", b.Name(), total, want)
+	}
+	return nil
+}
+
+func run(stride int, d asfsim.Detection) *asfsim.Result {
+	cfg := asfsim.DefaultConfig()
+	cfg.Detection = d
+	res, err := asfsim.RunWorkload(&PaddedBank{stride: stride}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("software padding vs hardware sub-blocking (64 accounts, 8 threads)")
+	fmt.Println()
+	fmt.Printf("%-28s %10s %10s %12s %10s\n", "configuration", "conflicts", "false", "cycles", "memory")
+	for _, stride := range []int{8, 16, 32, 64} {
+		r := run(stride, asfsim.DetectBaseline)
+		fmt.Printf("baseline, stride %-2d bytes    %10d %10d %12d %8dB\n",
+			stride, r.Conflicts, r.FalseConflicts, r.Cycles, stride*accounts)
+	}
+	fmt.Println()
+	r := run(8, asfsim.DetectSubBlock4)
+	fmt.Printf("%-28s %10d %10d %12d %8dB\n",
+		"sub-block(4), stride 8", r.Conflicts, r.FalseConflicts, r.Cycles, 8*accounts)
+	r = run(8, asfsim.DetectSubBlock8)
+	fmt.Printf("%-28s %10d %10d %12d %8dB\n",
+		"sub-block(8), stride 8", r.Conflicts, r.FalseConflicts, r.Cycles, 8*accounts)
+	fmt.Println()
+	fmt.Println("Full padding (stride 64) removes false conflicts at 8x the memory;")
+	fmt.Println("sub-blocking keeps the dense layout and fixes it in hardware —")
+	fmt.Println("the paper's §II argument for a hardware mechanism, quantified.")
+}

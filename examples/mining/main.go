@@ -1,0 +1,62 @@
+// Mining: the paper's motivating domain — machine-learning and data-mining
+// kernels on HTM (§I). Runs the three mining/learning workloads whose
+// false-conflict behaviour spans the whole design space:
+//
+//   - apriori:     >90% false conflicts, fixed almost entirely by 4 sub-blocks
+//   - kmeans:      4-byte data, needs 16 sub-blocks for full elimination
+//   - utilitymine: sub-4-byte hot spots inside one 16-byte sub-block,
+//     the configuration the paper's §V-B singles out as pathological
+//
+// and prints each one's detection-system sweep side by side.
+//
+// Run with:
+//
+//	go run ./examples/mining
+package main
+
+import (
+	"fmt"
+	"log"
+
+	asfsim "repro"
+)
+
+func main() {
+	workloads := []string{"apriori", "kmeans", "utilitymine"}
+
+	fmt.Println("mining/learning kernels across conflict-detection systems")
+	fmt.Println("(false-conflict reduction vs baseline ASF, and execution-time gain)")
+	fmt.Println()
+
+	header := fmt.Sprintf("%-12s", "system")
+	for _, w := range workloads {
+		header += fmt.Sprintf(" %22s", w)
+	}
+	fmt.Println(header)
+
+	cmps := make(map[string]*asfsim.Comparison)
+	for _, w := range workloads {
+		cmp, err := asfsim.RunComparison(w, asfsim.ScaleSmall, asfsim.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmps[w] = cmp
+	}
+
+	for _, d := range asfsim.Detections[1:] {
+		row := fmt.Sprintf("%-12s", d)
+		for _, w := range workloads {
+			cmp := cmps[w]
+			row += fmt.Sprintf("    %6.1f%% / %+6.1f%%",
+				cmp.FalseConflictReduction(d)*100,
+				cmp.ExecTimeImprovement(d)*100)
+		}
+		fmt.Println(row)
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the columns: apriori's 8-byte counters are fixed by coarse")
+	fmt.Println("sub-blocks; kmeans' packed 4-byte counters keep false-sharing until")
+	fmt.Println("16 sub-blocks; utilitymine's hot items live inside ONE 16-byte")
+	fmt.Println("sub-block, so the paper's chosen 4-sub-block design barely moves it.")
+}

@@ -1,0 +1,72 @@
+// Priorwork: the paper's §II related-work argument, measured. The paper
+// rejects two existing approaches before proposing sub-blocking:
+//
+//  1. WAR-only coherence decoupling (SpMT, DPTM): speculate through
+//     invalidations of speculatively READ lines and validate by value at
+//     commit. The paper's critique: Fig. 2 shows read-after-write (RAW)
+//     false conflicts are a large fraction, and WAR-only schemes cannot
+//     touch them.
+//  2. Signature-based detection (LogTM-style): summarizing read/write sets
+//     in Bloom signatures decouples detection state from the cache, but
+//     detection stays line-grained and aliasing adds new false conflicts.
+//
+// This example runs both comparators (implemented as detection modes in
+// this library) against the baseline, the paper's sub-blocking, and the
+// ideal system, side by side.
+//
+// Run with:
+//
+//	go run ./examples/priorwork               # vacation (WAR-dominant)
+//	go run ./examples/priorwork kmeans        # RAW-heavy: watch WAR-only stall
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	asfsim "repro"
+)
+
+func main() {
+	workload := "vacation"
+	if len(os.Args) > 1 {
+		workload = os.Args[1]
+	}
+
+	fmt.Printf("prior-work comparison on %s (%s)\n\n",
+		workload, asfsim.DescribeWorkload(workload))
+
+	systems := []asfsim.Detection{
+		asfsim.DetectBaseline,
+		asfsim.DetectWAROnly,
+		asfsim.DetectSignature,
+		asfsim.DetectSubBlock4,
+		asfsim.DetectPerfect,
+	}
+
+	var baseCycles int64
+	fmt.Printf("%-12s %9s %9s %9s %10s %10s %9s\n",
+		"system", "conflicts", "false", "aborts", "specWARs", "valAborts", "time")
+	for _, d := range systems {
+		cfg := asfsim.DefaultConfig()
+		cfg.Detection = d
+		r, err := asfsim.Run(workload, asfsim.ScaleSmall, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if d == asfsim.DetectBaseline {
+			baseCycles = r.Cycles
+		}
+		fmt.Printf("%-12s %9d %9d %9d %10d %10d %+8.1f%%\n",
+			d, r.Conflicts, r.FalseConflicts, r.TxAborted,
+			r.SpeculatedWARs, r.AbortsBy[5],
+			(1-float64(r.Cycles)/float64(baseCycles))*100)
+	}
+
+	fmt.Println()
+	fmt.Println("WAR-only speculation removes the WAR share of false conflicts but")
+	fmt.Println("leaves every RAW conflict in place (the paper's §II critique);")
+	fmt.Println("signatures keep line granularity and add aliasing; sub-blocking")
+	fmt.Println("attacks both WAR and RAW false sharing directly.")
+}

@@ -1,0 +1,60 @@
+// Replay: the trace-driven methodology end to end. Records one baseline
+// run of a workload, then replays the IDENTICAL logical op stream under
+// every detection system. Because the addresses cannot diverge, the
+// remaining differences are purely the conflict-detection scheme — the
+// controlled version of the paper's Fig. 9 comparison (and of its §III-B
+// replay analysis).
+//
+// Run with:
+//
+//	go run ./examples/replay              # kmeans
+//	go run ./examples/replay vacation
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+
+	asfsim "repro"
+)
+
+func main() {
+	workload := "kmeans"
+	if len(os.Args) > 1 {
+		workload = os.Args[1]
+	}
+
+	// Record one live baseline run.
+	var buf bytes.Buffer
+	cfg := asfsim.DefaultConfig()
+	cfg.RecordTrace = &buf
+	live, err := asfsim.Run(workload, asfsim.ScaleTiny, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw := buf.Bytes()
+	fmt.Printf("recorded %s: %d committed blocks, %d KB of trace\n\n",
+		workload, live.TxCommitted, len(raw)/1024)
+
+	fmt.Printf("%-12s %10s %10s %10s %12s\n", "system", "conflicts", "false", "aborts", "cycles")
+	for _, d := range []asfsim.Detection{
+		asfsim.DetectBaseline, asfsim.DetectSubBlock2, asfsim.DetectSubBlock4,
+		asfsim.DetectSubBlock8, asfsim.DetectSubBlock16, asfsim.DetectPerfect,
+	} {
+		rcfg := asfsim.DefaultConfig()
+		rcfg.Detection = d
+		r, err := asfsim.RunReplay(bytes.NewReader(raw), rcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %10d %10d %10d %12d\n", d, r.Conflicts, r.FalseConflicts, r.TxAborted, r.Cycles)
+	}
+
+	fmt.Println()
+	fmt.Println("Identical address streams: the false-conflict column is the")
+	fmt.Println("detection scheme's doing alone. Residual false conflicts at 16")
+	fmt.Println("sub-blocks are the §IV-D-2 WAW-rule aborts between concurrent")
+	fmt.Println("same-line writers — the one class sub-blocking cannot remove.")
+}

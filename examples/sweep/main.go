@@ -1,0 +1,62 @@
+// Sweep: the sub-block sensitivity study (the paper's Fig. 8 and §V-B
+// trade-off discussion) as an interactive tool: run one workload under
+// every detection system and print the false-conflict / overall-conflict /
+// execution-time curves next to the hardware cost of each configuration,
+// so the 4-versus-8 sub-block design decision can be re-derived for any
+// workload.
+//
+// Run with:
+//
+//	go run ./examples/sweep                  # kmeans
+//	go run ./examples/sweep vacation
+//	go run ./examples/sweep utilitymine
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	asfsim "repro"
+)
+
+func main() {
+	workload := "kmeans"
+	if len(os.Args) > 1 {
+		workload = os.Args[1]
+	}
+
+	fmt.Printf("sub-block sensitivity sweep: %s (%s), 8 threads\n\n",
+		workload, asfsim.DescribeWorkload(workload))
+
+	cmp, err := asfsim.RunComparison(workload, asfsim.ScaleSmall, asfsim.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := cmp.Results[asfsim.DetectBaseline]
+	fmt.Printf("baseline: %d conflicts, %d false (%.1f%%), %d cycles\n\n",
+		base.Conflicts, base.FalseConflicts, base.FalseConflictRate()*100, base.Cycles)
+
+	fmt.Printf("%-12s %12s %12s %12s %14s\n",
+		"system", "false red.", "overall red.", "time impr.", "extra HW cost")
+	for _, d := range asfsim.Detections[1:] {
+		var cost string
+		if n := d.SubBlocks(); n > 0 {
+			o := asfsim.Overhead(n)
+			cost = fmt.Sprintf("%.2f%% of L1", o.ExtraFraction*100)
+		} else {
+			cost = "(unbuildable)"
+		}
+		fmt.Printf("%-12s %11.1f%% %11.1f%% %11.1f%% %14s\n",
+			d,
+			cmp.FalseConflictReduction(d)*100,
+			cmp.OverallConflictReduction(d)*100,
+			cmp.ExecTimeImprovement(d)*100,
+			cost)
+	}
+
+	fmt.Println()
+	fmt.Println("The paper picks 4 sub-blocks: close to the achievable conflict")
+	fmt.Println("reduction at 1.17% of the L1, where 16 sub-blocks cost 5.86%.")
+}

@@ -1,0 +1,74 @@
+// Package backoff implements the simple exponential backoff manager the
+// paper adds to its software transaction library to avoid livelock under
+// the requester-wins conflict policy (§V-A): the backoff delay grows
+// exponentially with the transaction's retry count, with a bounded random
+// jitter so competing threads desynchronize.
+package backoff
+
+import "repro/internal/rng"
+
+// Config parameterizes the manager.
+type Config struct {
+	BaseCycles int64   // delay after the first abort
+	MaxCycles  int64   // delay ceiling
+	Jitter     float64 // fraction of the delay drawn uniformly at random, in [0,1]
+}
+
+// DefaultConfig mirrors typical HTM retry libraries: a short initial pause
+// that doubles per retry up to a cap a couple of orders of magnitude above
+// the memory latency.
+func DefaultConfig() Config {
+	return Config{BaseCycles: 64, MaxCycles: 64 << 10, Jitter: 0.5}
+}
+
+// Manager computes per-retry delays. One Manager per simulated thread.
+type Manager struct {
+	cfg Config
+	r   *rng.Rand
+}
+
+// New returns a manager using r as its jitter source.
+func New(cfg Config, r *rng.Rand) *Manager {
+	if cfg.BaseCycles <= 0 {
+		cfg.BaseCycles = 1
+	}
+	if cfg.MaxCycles < cfg.BaseCycles {
+		cfg.MaxCycles = cfg.BaseCycles
+	}
+	if cfg.Jitter < 0 {
+		cfg.Jitter = 0
+	}
+	if cfg.Jitter > 1 {
+		cfg.Jitter = 1
+	}
+	return &Manager{cfg: cfg, r: r}
+}
+
+// Delay returns the backoff, in cycles, to apply before retry number
+// `retries` (1 = first retry). The deterministic component doubles per
+// retry: base << (retries-1), clamped to MaxCycles; the jitter component
+// subtracts up to Jitter*delay at random.
+func (m *Manager) Delay(retries int) int64 {
+	if retries <= 0 {
+		return 0
+	}
+	d := m.cfg.BaseCycles
+	for i := 1; i < retries; i++ {
+		d <<= 1
+		if d >= m.cfg.MaxCycles || d <= 0 {
+			d = m.cfg.MaxCycles
+			break
+		}
+	}
+	if d > m.cfg.MaxCycles {
+		d = m.cfg.MaxCycles
+	}
+	if m.cfg.Jitter > 0 && m.r != nil {
+		j := int64(float64(d) * m.cfg.Jitter * m.r.Float64())
+		d -= j
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}

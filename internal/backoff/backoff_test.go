@@ -1,0 +1,97 @@
+package backoff
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func noJitter() *Manager {
+	return New(Config{BaseCycles: 64, MaxCycles: 1024, Jitter: 0}, nil)
+}
+
+func TestExponentialGrowth(t *testing.T) {
+	m := noJitter()
+	want := []int64{64, 128, 256, 512, 1024, 1024, 1024}
+	for i, w := range want {
+		if got := m.Delay(i + 1); got != w {
+			t.Errorf("Delay(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestZeroRetriesNoDelay(t *testing.T) {
+	if d := noJitter().Delay(0); d != 0 {
+		t.Fatalf("Delay(0) = %d", d)
+	}
+	if d := noJitter().Delay(-3); d != 0 {
+		t.Fatalf("Delay(-3) = %d", d)
+	}
+}
+
+func TestCapNeverExceeded(t *testing.T) {
+	m := New(Config{BaseCycles: 8, MaxCycles: 100, Jitter: 0.9}, rng.New(1))
+	for r := 1; r < 80; r++ { // deep retry counts must not overflow the shift
+		if d := m.Delay(r); d < 1 || d > 100 {
+			t.Fatalf("Delay(%d) = %d out of (0,100]", r, d)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	m := New(Config{BaseCycles: 1000, MaxCycles: 1000, Jitter: 0.5}, rng.New(2))
+	for i := 0; i < 1000; i++ {
+		d := m.Delay(1)
+		if d < 500 || d > 1000 {
+			t.Fatalf("jittered delay %d outside [500,1000]", d)
+		}
+	}
+}
+
+func TestJitterDeterminism(t *testing.T) {
+	a := New(DefaultConfig(), rng.New(7))
+	b := New(DefaultConfig(), rng.New(7))
+	for r := 1; r < 20; r++ {
+		if a.Delay(r) != b.Delay(r) {
+			t.Fatal("same-seed managers diverged")
+		}
+	}
+}
+
+func TestConfigSanitization(t *testing.T) {
+	m := New(Config{BaseCycles: -5, MaxCycles: -10, Jitter: 4}, rng.New(3))
+	for r := 1; r < 10; r++ {
+		if d := m.Delay(r); d < 1 {
+			t.Fatalf("sanitized config produced delay %d", d)
+		}
+	}
+}
+
+func TestJitterClampAndNilRand(t *testing.T) {
+	// Jitter > 1 clamps to 1; jitter with a nil Rand is ignored.
+	m := New(Config{BaseCycles: 100, MaxCycles: 100, Jitter: 5}, nil)
+	if d := m.Delay(1); d != 100 {
+		t.Fatalf("nil-rand jitter altered delay: %d", d)
+	}
+	m2 := New(Config{BaseCycles: 100, MaxCycles: 100, Jitter: -2}, rng.New(1))
+	if d := m2.Delay(1); d != 100 {
+		t.Fatalf("negative jitter altered delay: %d", d)
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	c := DefaultConfig()
+	if c.BaseCycles <= 0 || c.MaxCycles < c.BaseCycles || c.Jitter < 0 || c.Jitter > 1 {
+		t.Fatalf("default config out of range: %+v", c)
+	}
+}
+
+func TestShiftOverflowGuard(t *testing.T) {
+	// Retry counts past 63 would overflow the shift without the guard.
+	m := New(Config{BaseCycles: 1 << 40, MaxCycles: 1 << 50, Jitter: 0}, nil)
+	for r := 60; r < 70; r++ {
+		if d := m.Delay(r); d != 1<<50 {
+			t.Fatalf("Delay(%d) = %d, want the cap", r, d)
+		}
+	}
+}

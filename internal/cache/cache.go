@@ -1,0 +1,212 @@
+// Package cache implements the set-associative tag arrays and the private
+// three-level hierarchy of the paper's Table II machine. The hierarchy
+// decides *where* a line hits (and therefore the latency of an access);
+// coherence legality is tracked separately (package coherence), mirroring
+// the paper's split between the unmodified MOESI protocol and the L1-side
+// speculative state.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Config describes one cache level.
+type Config struct {
+	Name       string // for diagnostics, e.g. "L1D"
+	SizeBytes  int    // total capacity
+	LineSize   int    // bytes per line (must match mem.Geometry)
+	Assoc      int    // ways per set
+	LatencyCyc int64  // load-to-use latency when this level hits
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeBytes / (c.LineSize * c.Assoc) }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineSize <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache %s: non-positive size/line/assoc", c.Name)
+	}
+	if c.SizeBytes%(c.LineSize*c.Assoc) != 0 {
+		return fmt.Errorf("cache %s: size %d not divisible by line*assoc", c.Name, c.SizeBytes)
+	}
+	s := c.Sets()
+	if s&(s-1) != 0 {
+		return fmt.Errorf("cache %s: %d sets is not a power of two", c.Name, s)
+	}
+	return nil
+}
+
+// way is one tag-array entry.
+type way struct {
+	valid bool
+	tag   mem.LineAddr
+	lru   uint64 // last-touch stamp; larger = more recent
+}
+
+// Cache is a set-associative tag array with true-LRU replacement. It tracks
+// presence only; data lives in the simulated Memory and coherence state in
+// the coherence package.
+type Cache struct {
+	cfg   Config
+	sets  [][]way
+	clock uint64 // LRU stamp source
+
+	// Statistics.
+	Hits, Misses, Evictions uint64
+}
+
+// New builds an empty cache.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{cfg: cfg, sets: make([][]way, cfg.Sets())}
+	for i := range c.sets {
+		c.sets[i] = make([]way, cfg.Assoc)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) setIndex(l mem.LineAddr) int {
+	return int(uint64(l) / uint64(c.cfg.LineSize) % uint64(len(c.sets)))
+}
+
+// Lookup reports whether line l is present, updating LRU on hit.
+func (c *Cache) Lookup(l mem.LineAddr) bool {
+	set := c.sets[c.setIndex(l)]
+	for i := range set {
+		if set[i].valid && set[i].tag == l {
+			c.clock++
+			set[i].lru = c.clock
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Contains reports presence without touching LRU or statistics.
+func (c *Cache) Contains(l mem.LineAddr) bool {
+	set := c.sets[c.setIndex(l)]
+	for i := range set {
+		if set[i].valid && set[i].tag == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert brings line l into the cache, evicting the LRU way if the set is
+// full. It returns the evicted line and true if an eviction happened.
+// Inserting a line that is already present just refreshes its LRU stamp.
+func (c *Cache) Insert(l mem.LineAddr) (victim mem.LineAddr, evicted bool) {
+	set := c.sets[c.setIndex(l)]
+	c.clock++
+	// Already present?
+	for i := range set {
+		if set[i].valid && set[i].tag == l {
+			set[i].lru = c.clock
+			return 0, false
+		}
+	}
+	// Free way?
+	for i := range set {
+		if !set[i].valid {
+			set[i] = way{valid: true, tag: l, lru: c.clock}
+			return 0, false
+		}
+	}
+	// Evict LRU.
+	vi := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	victim = set[vi].tag
+	set[vi] = way{valid: true, tag: l, lru: c.clock}
+	c.Evictions++
+	return victim, true
+}
+
+// VictimIfInsert returns which line would be evicted if l were inserted
+// now, without performing the insertion. ok is false when no eviction
+// would occur (line already present or a free way exists).
+func (c *Cache) VictimIfInsert(l mem.LineAddr) (victim mem.LineAddr, ok bool) {
+	set := c.sets[c.setIndex(l)]
+	for i := range set {
+		if set[i].valid && set[i].tag == l {
+			return 0, false
+		}
+	}
+	for i := range set {
+		if !set[i].valid {
+			return 0, false
+		}
+	}
+	vi := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	return set[vi].tag, true
+}
+
+// Remove drops line l if present (e.g. on invalidation or recall).
+// It reports whether the line was present.
+func (c *Cache) Remove(l mem.LineAddr) bool {
+	set := c.sets[c.setIndex(l)]
+	for i := range set {
+		if set[i].valid && set[i].tag == l {
+			set[i].valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// Touch refreshes l's LRU stamp if present.
+func (c *Cache) Touch(l mem.LineAddr) {
+	set := c.sets[c.setIndex(l)]
+	for i := range set {
+		if set[i].valid && set[i].tag == l {
+			c.clock++
+			set[i].lru = c.clock
+			return
+		}
+	}
+}
+
+// Pin returns the lines currently resident in the same set as l. Used by
+// tests to verify replacement behaviour.
+func (c *Cache) SetContents(l mem.LineAddr) []mem.LineAddr {
+	set := c.sets[c.setIndex(l)]
+	var out []mem.LineAddr
+	for i := range set {
+		if set[i].valid {
+			out = append(out, set[i].tag)
+		}
+	}
+	return out
+}
+
+// Count returns the number of valid lines in the whole cache.
+func (c *Cache) Count() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

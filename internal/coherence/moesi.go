@@ -1,0 +1,464 @@
+// Package coherence implements the MOESI snooping protocol that the ASF
+// system leaves intact and infers conflicts from. It tracks one coherence
+// state per (core, line), broadcasts probes on reads and writes, and
+// carries the paper's piggy-back "speculatively written sub-block" masks
+// on data replies.
+//
+// The protocol layer knows nothing about transactions: conflict detection
+// is performed by Snooper callbacks registered per core (implemented by the
+// ASF engine in internal/core), exactly mirroring the paper's design point
+// that the coherence protocol itself is unmodified while the speculative
+// state rides along beside it.
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// State is a MOESI coherence state.
+type State uint8
+
+const (
+	Invalid   State = iota // I: no valid copy
+	Shared                 // S: clean(ish) shared copy, memory or owner holds truth
+	Exclusive              // E: sole clean copy
+	Owned                  // O: dirty copy responsible for forwarding, sharers may exist
+	Modified               // M: sole dirty copy
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Owned:
+		return "O"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Valid reports whether the state denotes a readable copy.
+func (s State) Valid() bool { return s != Invalid }
+
+// CanWriteSilently reports whether a non-transactional store may proceed
+// without bus traffic (M) or with only a silent upgrade (E).
+func (s State) CanWriteSilently() bool { return s == Modified || s == Exclusive }
+
+// Probe is a coherence message as seen by a snooping core.
+type Probe struct {
+	From          int          // requesting core id
+	Line          mem.LineAddr // probed line
+	Off, Size     int          // byte footprint of the triggering access within the line
+	Invalidating  bool         // true for GetX/upgrade, false for GetS
+	Transactional bool         // the triggering access is speculative
+}
+
+// Reply is a snooping core's response to a probe. WrittenMask is the
+// paper's piggy-back payload: a bitmask of this core's speculatively
+// written sub-blocks in the probed line (only meaningful on
+// non-invalidating probes, and only when the responder supplied data).
+type Reply struct {
+	WrittenMask uint64
+}
+
+// Snooper receives every probe broadcast on the bus that originates from
+// another core. Implementations perform transactional conflict checks and
+// may abort transactions (which in turn may call back into the bus via
+// Drop); the bus is written to tolerate such reentrant state changes.
+type Snooper interface {
+	Snoop(p Probe) Reply
+}
+
+// ConflictChecker is optionally implemented by snoopers that can answer,
+// WITHOUT side effects, whether a probe would conflict with their live
+// transaction. It enables NACK-based (holder-wins) resolution: the bus
+// pre-checks before committing any state transition.
+type ConflictChecker interface {
+	WouldConflict(p Probe) bool
+}
+
+// WouldConflict runs the side-effect-free pre-check against every remote
+// snooper implementing ConflictChecker.
+func (b *Bus) WouldConflict(core int, line mem.LineAddr, off, size int, invalidating bool) bool {
+	for c := 0; c < b.ncores; c++ {
+		if c == core || b.snoopers[c] == nil {
+			continue
+		}
+		if cc, ok := b.snoopers[c].(ConflictChecker); ok {
+			if cc.WouldConflict(Probe{
+				From: core, Line: line, Off: off, Size: size,
+				Invalidating: invalidating, Transactional: true,
+			}) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Source says where the data for an access came from, which determines
+// the latency the machine charges.
+type Source int
+
+const (
+	SourceLocal  Source = iota // no data movement (upgrade hit / silent store)
+	SourceRemote               // cache-to-cache transfer from another core
+	SourceMemory               // fetched from main memory
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourceLocal:
+		return "local"
+	case SourceRemote:
+		return "remote"
+	case SourceMemory:
+		return "memory"
+	}
+	return fmt.Sprintf("Source(%d)", int(s))
+}
+
+// Stats counts protocol events for the overhead accounting of §IV-E.
+type Stats struct {
+	ProbesShared      uint64 // GetS broadcasts
+	ProbesInvalidate  uint64 // GetX/upgrade broadcasts
+	DataFromRemote    uint64 // cache-to-cache transfers
+	DataFromMemory    uint64 // memory fetches
+	Upgrades          uint64 // write hits that only needed invalidations
+	SilentStores      uint64 // stores satisfied with no bus traffic (M/E)
+	Invalidations     uint64 // remote copies invalidated
+	Writebacks        uint64 // dirty lines written back on eviction
+	PiggybackedMasks  uint64 // replies that carried a non-zero written mask
+	PiggybackBitsSent uint64 // total mask bits transferred (N per masked reply)
+}
+
+// Bus is the broadcast snooping interconnect plus the per-core MOESI state
+// table. It is deliberately simple: every request is globally ordered
+// (the simulator is single-threaded at any instant), so the protocol needs
+// no transient states.
+type Bus struct {
+	ncores   int
+	snoopers []Snooper
+	states   map[mem.LineAddr][]State
+	nsubs    int // sub-blocks per line, for piggyback accounting
+	Stats    Stats
+}
+
+// NewBus creates a bus for ncores cores. Snoopers are registered afterwards
+// (the ASF engines need the bus to exist first).
+func NewBus(ncores int) *Bus {
+	if ncores <= 0 {
+		panic("coherence: NewBus with ncores <= 0")
+	}
+	return &Bus{
+		ncores:   ncores,
+		snoopers: make([]Snooper, ncores),
+		states:   make(map[mem.LineAddr][]State),
+		nsubs:    1,
+	}
+}
+
+// Register installs the snooper for core id.
+func (b *Bus) Register(id int, s Snooper) { b.snoopers[id] = s }
+
+// SetSubBlocks tells the bus how many sub-blocks a piggyback mask covers,
+// purely for the §IV-E traffic accounting.
+func (b *Bus) SetSubBlocks(n int) { b.nsubs = n }
+
+// NumCores returns the number of cores on the bus.
+func (b *Bus) NumCores() int { return b.ncores }
+
+// State returns core's coherence state for line.
+func (b *Bus) State(core int, line mem.LineAddr) State {
+	if st, ok := b.states[line]; ok {
+		return st[core]
+	}
+	return Invalid
+}
+
+func (b *Bus) entry(line mem.LineAddr) []State {
+	st, ok := b.states[line]
+	if !ok {
+		st = make([]State, b.ncores)
+		b.states[line] = st
+	}
+	return st
+}
+
+// maybeRelease removes the table entry when every core is Invalid, keeping
+// the state map proportional to the resident working set.
+func (b *Bus) maybeRelease(line mem.LineAddr) {
+	st, ok := b.states[line]
+	if !ok {
+		return
+	}
+	for _, s := range st {
+		if s != Invalid {
+			return
+		}
+	}
+	delete(b.states, line)
+}
+
+// ReadResult describes the outcome of a Read transaction on the bus.
+type ReadResult struct {
+	Source      Source
+	WrittenMask uint64 // piggy-back mask from the data supplier (paper §IV-D-1)
+}
+
+// Read performs a load's coherence transaction for the requesting core:
+// broadcast a non-invalidating probe (GetS), locate the supplier, apply
+// MOESI transitions, and return where the data came from along with any
+// piggy-backed written-sub-block mask.
+//
+// force makes the request go to the bus even if the requester already has
+// a valid copy — this is the paper's dirty-sub-block re-request, which is
+// "treated as a local L1 cache miss" and sends a probe that aborts a
+// still-running writer (§IV-C).
+func (b *Bus) Read(core int, line mem.LineAddr, off, size int, tx, force bool) ReadResult {
+	st := b.entry(line)
+	if st[core].Valid() && !force {
+		// Pure local hit: no bus transaction. The caller should normally
+		// not call Read in this case; tolerate it for robustness.
+		return ReadResult{Source: SourceLocal}
+	}
+	b.Stats.ProbesShared++
+	// Broadcast the probe to every other core. Snoopers run conflict
+	// checks; an abort inside a snooper may Drop lines (including this
+	// one), so supplier selection happens after all snoops complete.
+	var mask uint64
+	for c := 0; c < b.ncores; c++ {
+		if c == core || b.snoopers[c] == nil {
+			continue
+		}
+		r := b.snoopers[c].Snoop(Probe{
+			From: core, Line: line, Off: off, Size: size,
+			Invalidating: false, Transactional: tx,
+		})
+		mask |= r.WrittenMask
+	}
+	if mask != 0 {
+		b.Stats.PiggybackedMasks++
+		b.Stats.PiggybackBitsSent += uint64(b.nsubs)
+	}
+	// Re-fetch the state entry: a snooper that aborted a transaction may
+	// have Dropped lines reentrantly, and if every copy went Invalid the
+	// table entry was released — the slice captured above would then be
+	// an orphan and updates to it would be lost.
+	st = b.entry(line)
+	// Locate supplier among surviving states.
+	supplier := -1
+	anyValid := false
+	for c := 0; c < b.ncores; c++ {
+		if c == core {
+			continue
+		}
+		switch st[c] {
+		case Modified, Owned, Exclusive:
+			supplier = c
+		case Shared:
+			anyValid = true
+		}
+	}
+	res := ReadResult{WrittenMask: mask}
+	switch {
+	case supplier >= 0:
+		// Cache-to-cache transfer; owner keeps responsibility for the
+		// dirty data (M->O) or degrades to sharer (E->S).
+		switch st[supplier] {
+		case Modified:
+			st[supplier] = Owned
+		case Exclusive:
+			st[supplier] = Shared
+		}
+		st[core] = Shared
+		res.Source = SourceRemote
+		b.Stats.DataFromRemote++
+	case anyValid:
+		// Only S copies exist: MOESI serves the data from memory
+		// (S copies do not forward).
+		st[core] = Shared
+		res.Source = SourceMemory
+		b.Stats.DataFromMemory++
+	default:
+		// No remote copy at all: exclusive fill from memory. When the
+		// requester already held the line (force re-request after the
+		// writer aborted/committed), keep its old state if stronger.
+		if !st[core].Valid() {
+			st[core] = Exclusive
+		}
+		res.Source = SourceMemory
+		b.Stats.DataFromMemory++
+	}
+	return res
+}
+
+// WriteResult describes the outcome of a Write transaction on the bus.
+type WriteResult struct {
+	Source         Source
+	HadRemoteCopy  bool // at least one remote valid copy was invalidated
+	RemoteSnooped  bool // a probe was actually broadcast
+	SilentUpgrade  bool // satisfied without any bus traffic
+	InvalidatedOwn bool // (unused; reserved for holder-wins policies)
+}
+
+// Write performs a store's coherence transaction: broadcast an invalidating
+// probe (GetX / upgrade), invalidate remote copies, and leave the requester
+// in M.
+//
+// Transactional stores ALWAYS broadcast (§IV-D-2: "it sends out an
+// invalidation message as done by a cache coherence protocol"), even from
+// M/E — this is also what keeps conflict checks against speculative state
+// retained in remotely *invalidated* lines sound. Non-transactional stores
+// use the standard silent-upgrade fast path.
+func (b *Bus) Write(core int, line mem.LineAddr, off, size int, tx bool) WriteResult {
+	st := b.entry(line)
+	if !tx && st[core].CanWriteSilently() {
+		st[core] = Modified
+		b.Stats.SilentStores++
+		return WriteResult{Source: SourceLocal, SilentUpgrade: true}
+	}
+	b.Stats.ProbesInvalidate++
+	for c := 0; c < b.ncores; c++ {
+		if c == core || b.snoopers[c] == nil {
+			continue
+		}
+		b.snoopers[c].Snoop(Probe{
+			From: core, Line: line, Off: off, Size: size,
+			Invalidating: true, Transactional: tx,
+		})
+	}
+	res := WriteResult{RemoteSnooped: true}
+	// Re-fetch after snoops for the same reentrant-Drop reason as in Read.
+	st = b.entry(line)
+	supplier := -1
+	for c := 0; c < b.ncores; c++ {
+		if c == core {
+			continue
+		}
+		if st[c].Valid() {
+			res.HadRemoteCopy = true
+			if st[c] == Modified || st[c] == Owned || st[c] == Exclusive {
+				supplier = c
+			}
+			st[c] = Invalid
+			b.Stats.Invalidations++
+		}
+	}
+	hadLocal := st[core].Valid()
+	st[core] = Modified
+	switch {
+	case hadLocal:
+		res.Source = SourceLocal
+		if res.HadRemoteCopy {
+			b.Stats.Upgrades++
+		}
+	case supplier >= 0:
+		res.Source = SourceRemote
+		b.Stats.DataFromRemote++
+	default:
+		res.Source = SourceMemory
+		b.Stats.DataFromMemory++
+	}
+	return res
+}
+
+// Drop removes core's copy of line from the protocol (capacity eviction or
+// transactional abort discarding a speculatively written line). M or O
+// copies count as a writeback for the statistics — except when discard is
+// true (aborted speculative data is destroyed, not written back).
+func (b *Bus) Drop(core int, line mem.LineAddr, discard bool) {
+	st, ok := b.states[line]
+	if !ok {
+		return
+	}
+	switch st[core] {
+	case Modified, Owned:
+		if !discard {
+			b.Stats.Writebacks++
+		}
+		// If an O copy is dropped while S copies remain, memory becomes
+		// the owner; S copies stay valid. Nothing further to track.
+	case Invalid:
+		return
+	}
+	st[core] = Invalid
+	b.maybeRelease(line)
+}
+
+// CheckInvariants verifies the global MOESI safety properties:
+// at most one core in M or E; if a core is in M or E no other core holds a
+// valid copy; at most one core in O. It is an alias of CheckAllInvariants,
+// kept for API symmetry with CheckLineInvariants.
+func (b *Bus) CheckInvariants() error { return b.CheckAllInvariants() }
+
+// CheckLineInvariants verifies the MOESI safety properties for one line.
+func (b *Bus) CheckLineInvariants(line mem.LineAddr) error {
+	st, ok := b.states[line]
+	if !ok {
+		return nil
+	}
+	return checkLine(line, st)
+}
+
+// CheckAllInvariants verifies every resident line.
+func (b *Bus) CheckAllInvariants() error {
+	for line, st := range b.states {
+		if err := checkLine(line, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkLine(line mem.LineAddr, st []State) error {
+	var nM, nE, nO, nValid int
+	for _, s := range st {
+		switch s {
+		case Modified:
+			nM++
+			nValid++
+		case Exclusive:
+			nE++
+			nValid++
+		case Owned:
+			nO++
+			nValid++
+		case Shared:
+			nValid++
+		}
+	}
+	if nM+nE > 1 {
+		return fmt.Errorf("coherence: line %#x has %d M + %d E copies", uint64(line), nM, nE)
+	}
+	if (nM == 1 || nE == 1) && nValid > 1 {
+		return fmt.Errorf("coherence: line %#x exclusive copy coexists with %d valid copies", uint64(line), nValid)
+	}
+	if nO > 1 {
+		return fmt.Errorf("coherence: line %#x has %d owners", uint64(line), nO)
+	}
+	return nil
+}
+
+// ValidCopies returns the ids of cores holding a valid copy of line,
+// in core order. Used by tests.
+func (b *Bus) ValidCopies(line mem.LineAddr) []int {
+	st, ok := b.states[line]
+	if !ok {
+		return nil
+	}
+	var out []int
+	for c, s := range st {
+		if s.Valid() {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Resolution selects who loses a detected conflict. The paper's ASF
+// aborts "the earlier conflicting transaction ... based on the conflict
+// resolution policy of the ASF-enabled system" (§IV-A) — i.e. requester
+// wins; HolderWins is the LogTM-style alternative where the requester is
+// NACKed and stalls instead, implemented as an extension so the policy
+// axis is measurable.
+type Resolution int
+
+const (
+	// RequesterWins aborts the transaction holding the speculative state
+	// (ASF's behaviour; the default).
+	RequesterWins Resolution = iota
+	// HolderWins NACKs the conflicting request; the requester retries
+	// after a delay and aborts itself after too many NACKs (the
+	// simplified LogTM-style stall with livelock escape).
+	HolderWins
+)
+
+func (r Resolution) String() string {
+	switch r {
+	case RequesterWins:
+		return "requester-wins"
+	case HolderWins:
+		return "holder-wins"
+	}
+	return fmt.Sprintf("Resolution(%d)", int(r))
+}
+
+// Mode selects the conflict-detection scheme, matching the paper's three
+// evaluated systems (§V-A).
+type Mode int
+
+const (
+	// ModeBaseline is the original ASF: SR/SW bits per whole cache line
+	// (equivalent to one sub-block covering the line).
+	ModeBaseline Mode = iota
+	// ModeSubBlock is the proposed speculative sub-blocking state with
+	// Config.SubBlocks sub-blocks per line.
+	ModeSubBlock
+	// ModePerfect is the ideal system with zero false conflicts: byte-
+	// exact detection, used as the performance upper bound.
+	ModePerfect
+	// ModeWAROnly models the prior work the paper critiques (§II: SpMT /
+	// DPTM coherence decoupling): an invalidating probe against a line the
+	// transaction has only READ is speculated through — the line is marked
+	// unsafe and the transaction validates the values it read at commit
+	// time. RAW conflicts (a remote read of a speculatively written line)
+	// cannot be speculated away and abort eagerly, which is exactly the
+	// limitation Fig. 2 quantifies.
+	ModeWAROnly
+	// ModeSignature replaces the per-line speculative bits with LogTM-SE
+	// style read/write Bloom signatures over line addresses: detection
+	// granularity stays a full line AND aliasing adds a new class of false
+	// conflicts, in exchange for state that survives evictions and
+	// invalidations with no retention machinery.
+	ModeSignature
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeBaseline:
+		return "baseline"
+	case ModeSubBlock:
+		return "subblock"
+	case ModePerfect:
+		return "perfect"
+	case ModeWAROnly:
+		return "waronly"
+	case ModeSignature:
+		return "signature"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Config parameterizes one Engine (all cores of a machine share one).
+type Config struct {
+	Mode      Mode
+	SubBlocks int          // sub-blocks per line for ModeSubBlock (2..LineSize)
+	Geom      mem.Geometry // line geometry
+
+	// RetainInvalidState keeps speculative sub-block state inside lines
+	// invalidated by false WAR conflicts and keeps checking probes
+	// against them ("conflict check will be done for both valid and
+	// invalidated cache lines", §IV-D-2). Turning it off is the ablation
+	// that shows missed-WAR conflicts. Default true for ModeSubBlock.
+	RetainInvalidState bool
+
+	// DirtyProtocol enables the Dirty sub-block state and its re-request-
+	// on-hit behaviour (§IV-C). Turning it off is the ablation that shows
+	// how many RAW conflicts the dirty mechanism catches. Default true
+	// for ModeSubBlock.
+	DirtyProtocol bool
+
+	// SignatureBits sizes each of the two Bloom signatures for
+	// ModeSignature (power of two; default 1024). Smaller signatures
+	// alias more and create more false conflicts.
+	SignatureBits int
+
+	// Resolution selects the conflict-resolution policy (default
+	// RequesterWins, as in ASF). HolderWins is supported for the
+	// baseline and sub-block modes.
+	Resolution Resolution
+
+	// PiggybackPenalty charges extra cycles on a data reply that carries
+	// a non-zero written-sub-block mask. The paper argues the cost is
+	// "almost negligible" (§IV-E: N extra bits on a 64-byte transfer);
+	// the default of 0 encodes that claim and the knob lets the
+	// AblationPiggybackCost bench check how much it could matter.
+	PiggybackPenalty int64
+}
+
+// Normalize fills defaults and validates. It returns the effective number
+// of conflict-detection granules per line (1 for baseline, SubBlocks for
+// sub-blocking, LineSize for perfect's accounting).
+func (c *Config) Normalize() error {
+	if c.Geom.LineSize == 0 {
+		c.Geom = mem.DefaultGeometry
+	}
+	if err := c.Geom.Validate(); err != nil {
+		return err
+	}
+	if c.Resolution == HolderWins {
+		switch c.Mode {
+		case ModeBaseline, ModeSubBlock:
+		default:
+			return fmt.Errorf("core: holder-wins resolution is not supported with mode %v", c.Mode)
+		}
+	}
+	switch c.Mode {
+	case ModeBaseline, ModePerfect, ModeWAROnly:
+		c.SubBlocks = 1
+		c.RetainInvalidState = false
+		c.DirtyProtocol = false
+	case ModeSignature:
+		c.SubBlocks = 1
+		c.RetainInvalidState = false
+		c.DirtyProtocol = false
+		if c.SignatureBits == 0 {
+			c.SignatureBits = 1024
+		}
+		if c.SignatureBits < 64 || c.SignatureBits&(c.SignatureBits-1) != 0 {
+			return fmt.Errorf("core: SignatureBits %d must be a power of two >= 64", c.SignatureBits)
+		}
+	case ModeSubBlock:
+		if c.SubBlocks == 0 {
+			c.SubBlocks = 4 // the paper's chosen configuration
+		}
+		if c.SubBlocks < 2 || c.SubBlocks > c.Geom.LineSize ||
+			c.SubBlocks&(c.SubBlocks-1) != 0 ||
+			c.Geom.LineSize%c.SubBlocks != 0 {
+			return fmt.Errorf("core: invalid sub-block count %d for %d-byte lines",
+				c.SubBlocks, c.Geom.LineSize)
+		}
+	default:
+		return fmt.Errorf("core: unknown mode %v", c.Mode)
+	}
+	return nil
+}
+
+// Granules returns the number of independent conflict-check units per line
+// under this configuration (1 for baseline/perfect bookkeeping, SubBlocks
+// for sub-blocking).
+func (c Config) Granules() int {
+	if c.Mode == ModeSubBlock {
+		return c.SubBlocks
+	}
+	return 1
+}
+
+// Overhead is the §IV-E hardware cost accounting for a sub-blocked L1.
+type Overhead struct {
+	SubBlocks        int
+	BitsPerLine      int     // total speculative-state bits per line (2N)
+	ExtraBitsPerLine int     // versus baseline ASF's 2 bits: 2(N-1)
+	Lines            int     // lines in the L1
+	ExtraBytes       int     // total extra storage
+	ExtraFraction    float64 // extra storage / L1 data capacity
+	PiggybackBits    int     // per masked data reply: N bits
+}
+
+// ComputeOverhead reproduces the paper's arithmetic: for a 64 KB L1 with
+// 64 B lines and 4 sub-blocks the extra cost is 0.75 KB = 1.17 % of the L1.
+func ComputeOverhead(l1Bytes, lineSize, subBlocks int) Overhead {
+	lines := l1Bytes / lineSize
+	extraBits := 2 * (subBlocks - 1) * lines
+	return Overhead{
+		SubBlocks:        subBlocks,
+		BitsPerLine:      2 * subBlocks,
+		ExtraBitsPerLine: 2 * (subBlocks - 1),
+		Lines:            lines,
+		ExtraBytes:       extraBits / 8,
+		ExtraFraction:    float64(extraBits) / 8 / float64(l1Bytes),
+		PiggybackBits:    subBlocks,
+	}
+}

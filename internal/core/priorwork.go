@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// This file implements the two prior-work conflict-detection comparators
+// the paper positions itself against (§II):
+//
+//   - ModeWAROnly — SpMT / DPTM-style coherence decoupling: WAR conflicts
+//     are speculated through and validated by value at commit; RAW and WAW
+//     conflicts still abort eagerly. Running it side by side with
+//     sub-blocking turns Fig. 2's argument (RAW false conflicts are a
+//     large fraction, so WAR-only schemes forfeit them) into a measurement.
+//
+//   - ModeSignature — LogTM-SE-style read/write Bloom signatures over line
+//     addresses. Detection state survives invalidations and evictions for
+//     free (no §IV-D-2 retention machinery, no capacity aborts from bit
+//     storage), but granularity stays a whole line and signature aliasing
+//     introduces a new source of false conflicts.
+
+// sigIndexes returns the two Bloom bit positions for a line address.
+func (e *Engine) sigIndexes(l mem.LineAddr) (int, int) {
+	shift := uint(64 - bits.TrailingZeros(uint(e.cfg.SignatureBits)))
+	v := uint64(l) >> 6 // drop offset bits; lines differing only there alias fully anyway
+	h1 := int(v * 0x9e3779b97f4a7c15 >> shift)
+	h2 := int(v * 0xc2b2ae3d27d4eb4f >> shift)
+	return h1, h2
+}
+
+func sigSet(sig []uint64, i int)      { sig[i/64] |= 1 << uint(i%64) }
+func sigGet(sig []uint64, i int) bool { return sig[i/64]&(1<<uint(i%64)) != 0 }
+
+// sigMark adds line l to the read or write signature.
+func (e *Engine) sigMark(l mem.LineAddr, write bool) {
+	h1, h2 := e.sigIndexes(l)
+	if write {
+		sigSet(e.writeSig, h1)
+		sigSet(e.writeSig, h2)
+	} else {
+		sigSet(e.readSig, h1)
+		sigSet(e.readSig, h2)
+	}
+}
+
+// sigTest reports whether a probe of line l hits the signatures: an
+// invalidating probe tests read ∪ write, a non-invalidating probe tests
+// only the write signature — the same conflict matrix as the SR/SW bits.
+func (e *Engine) sigTest(l mem.LineAddr, invalidating bool) bool {
+	h1, h2 := e.sigIndexes(l)
+	w := sigGet(e.writeSig, h1) && sigGet(e.writeSig, h2)
+	if w {
+		return true
+	}
+	if !invalidating {
+		return false
+	}
+	return sigGet(e.readSig, h1) && sigGet(e.readSig, h2)
+}
+
+// sigClear zeroes both signatures (commit/abort gang clear).
+func (e *Engine) sigClear() {
+	for i := range e.readSig {
+		e.readSig[i] = 0
+	}
+	for i := range e.writeSig {
+		e.writeSig[i] = 0
+	}
+}
+
+// UnsafeLines returns, sorted, the lines the WAR-only comparator speculated
+// through (invalidated while speculatively read). The transaction runtime
+// must value-validate the bytes it read from these lines before commit.
+func (e *Engine) UnsafeLines() []mem.LineAddr {
+	if len(e.unsafe) == 0 {
+		return nil
+	}
+	out := make([]mem.LineAddr, 0, len(e.unsafe))
+	for l := range e.unsafe {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasUnsafe reports whether any speculated-WAR line needs validation.
+func (e *Engine) HasUnsafe() bool { return len(e.unsafe) > 0 }

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func warCfg() Config { return Config{Mode: ModeWAROnly} }
+func sigCfg(bits int) Config {
+	return Config{Mode: ModeSignature, SignatureBits: bits}
+}
+
+// --- ModeWAROnly --------------------------------------------------------------
+
+func TestWAROnlySpeculatesFalseWAR(t *testing.T) {
+	r := newRig(t, 2, warCfg())
+	h, q := r.engines[0], r.engines[1]
+	h.BeginTx()
+	h.Load(lineA, 8, true)
+	q.Store(lineA+32, 8, false) // disjoint bytes: the WAR the prior work decouples
+	if ab, _ := aborted(h); ab {
+		t.Fatal("WAR-only mode aborted on a WAR it should speculate through")
+	}
+	if len(r.conflicts) != 0 {
+		t.Fatal("speculated WAR recorded as a conflict")
+	}
+	if h.Stats.SpeculatedWARs != 1 {
+		t.Fatalf("SpeculatedWARs = %d", h.Stats.SpeculatedWARs)
+	}
+	line := mem.DefaultGeometry.Line(lineA)
+	if !h.HasUnsafe() || h.UnsafeLines()[0] != line {
+		t.Fatal("speculated line not marked unsafe")
+	}
+}
+
+func TestWAROnlyCannotDecoupleRAW(t *testing.T) {
+	// The paper's §II critique: read-after-write false conflicts cannot be
+	// speculated away by WAR-only schemes, so they still abort — even when
+	// the bytes are disjoint.
+	r := newRig(t, 2, warCfg())
+	h, q := r.engines[0], r.engines[1]
+	h.BeginTx()
+	h.Store(lineA, 8, true)
+	q.Load(lineA+32, 8, false) // disjoint read of the written line
+	if ab, _ := aborted(h); !ab {
+		t.Fatal("WAR-only mode failed to abort on a RAW probe")
+	}
+	if len(r.conflicts) != 1 || r.conflicts[0].Verdict.True {
+		t.Fatalf("expected one false conflict event, got %+v", r.conflicts)
+	}
+}
+
+func TestWAROnlyWAWStillAborts(t *testing.T) {
+	r := newRig(t, 2, warCfg())
+	h, q := r.engines[0], r.engines[1]
+	h.BeginTx()
+	h.Store(lineA, 8, true)
+	q.Store(lineA+32, 8, false) // invalidation of a written line: data would be lost
+	if ab, _ := aborted(h); !ab {
+		t.Fatal("WAW invalidation did not abort")
+	}
+}
+
+func TestWAROnlyUnsafeClearedOnLifecycle(t *testing.T) {
+	r := newRig(t, 2, warCfg())
+	h, q := r.engines[0], r.engines[1]
+	h.BeginTx()
+	h.Load(lineA, 8, true)
+	q.Store(lineA+32, 8, false)
+	if !h.HasUnsafe() {
+		t.Fatal("setup failed")
+	}
+	if ok, _ := h.CommitTx(); !ok {
+		t.Fatal("commit failed")
+	}
+	if h.HasUnsafe() {
+		t.Fatal("unsafe set survived commit")
+	}
+	h.BeginTx()
+	h.Load(lineA, 8, true)
+	q.Store(lineA+32, 8, false)
+	h.Abort(ReasonUser)
+	if h.HasUnsafe() {
+		t.Fatal("unsafe set survived abort")
+	}
+}
+
+// --- ModeSignature ------------------------------------------------------------
+
+func TestSignatureBasicConflictMatrix(t *testing.T) {
+	// At line granularity the signature behaves like the baseline bits:
+	// inv probe vs read -> conflict, read probe vs write -> conflict,
+	// read probe vs read -> none.
+	r := newRig(t, 2, sigCfg(1024))
+	h, q := r.engines[0], r.engines[1]
+	h.BeginTx()
+	h.Load(lineA, 8, true)
+	q.Load(lineA, 8, false) // read-read: no conflict
+	if ab, _ := aborted(h); ab {
+		t.Fatal("read-read conflicted")
+	}
+	q.Store(lineA+32, 8, false) // inv probe: signature hit
+	if ab, _ := aborted(h); !ab {
+		t.Fatal("signature missed an invalidating probe on a read line")
+	}
+}
+
+func TestSignatureReadProbeVsWrittenLine(t *testing.T) {
+	r := newRig(t, 2, sigCfg(1024))
+	h, q := r.engines[0], r.engines[1]
+	h.BeginTx()
+	h.Store(lineA, 8, true)
+	q.Load(lineA+32, 8, false)
+	if ab, _ := aborted(h); !ab {
+		t.Fatal("signature missed a read probe on a written line")
+	}
+}
+
+func TestSignatureClearedOnCommitAndAbort(t *testing.T) {
+	r := newRig(t, 2, sigCfg(1024))
+	h, q := r.engines[0], r.engines[1]
+	h.BeginTx()
+	h.Load(lineA, 8, true)
+	if ok, _ := h.CommitTx(); !ok {
+		t.Fatal("commit failed")
+	}
+	q.Store(lineA+32, 8, false) // h is no longer in a tx: nothing may conflict
+	if h.Stats.Conflicts != 0 {
+		t.Fatal("signature survived commit")
+	}
+	h.BeginTx()
+	h.Load(lineA, 8, true)
+	h.Abort(ReasonUser)
+	h.CommitTx() // close out the aborted attempt
+	h.BeginTx()
+	q.Store(lineA+32, 8, false)
+	if ab, _ := aborted(h); ab {
+		t.Fatal("signature survived abort into the next transaction")
+	}
+	h.CommitTx()
+}
+
+func TestSignatureAliasingProducesFalseConflicts(t *testing.T) {
+	// With a deliberately tiny 64-bit signature and many distinct lines
+	// in the read set, a probe to an untouched line aliases with high
+	// probability — the signature's own class of false conflicts.
+	r := newRig(t, 2, sigCfg(64))
+	h, q := r.engines[0], r.engines[1]
+	h.BeginTx()
+	for i := 0; i < 48; i++ {
+		// Spread across L1 sets to avoid capacity aborts.
+		h.Load(lineA+mem.Addr(i*64*97), 8, true)
+		if ab, _ := aborted(h); ab {
+			t.Fatal("unexpected capacity abort during setup")
+		}
+	}
+	// Probe lines far away from anything h touched.
+	for i := 0; i < 64; i++ {
+		q.Store(mem.Addr(0x4000000+i*64*131), 8, false)
+		if ab, _ := aborted(h); ab {
+			break
+		}
+	}
+	if h.Stats.SigAliasFalse == 0 {
+		t.Fatal("64-bit signature with 48 read lines never aliased in 64 probes")
+	}
+	if len(r.conflicts) == 0 || r.conflicts[0].Verdict.True {
+		t.Fatal("aliasing conflict not recorded as a false conflict")
+	}
+}
+
+func TestSignatureSurvivesLineEviction(t *testing.T) {
+	// The signature's selling point: detection state is not tied to cache
+	// residency. Evict a speculatively read line's data from the L1 (via
+	// an invalidating probe that in BASELINE mode would have been the
+	// conflict itself)... in signature mode the probe IS still checked —
+	// so instead show the subtler property: after h's read line is
+	// invalidated by a conflicting store ABORTING h, restart h, read two
+	// lines mapping to the same L1 set plus a third; in signature mode the
+	// capacity abort still fires (data must stay in L1 for versioning) but
+	// the signature itself never overflows: reading 100 distinct lines
+	// sets at most 200 bits.
+	r := newRig(t, 1, sigCfg(1024))
+	h := r.engines[0]
+	h.BeginTx()
+	for i := 0; i < 100; i++ {
+		h.Load(mem.Addr(0x100000+i*64*513), 8, true)
+		if ab, _ := aborted(h); ab {
+			// Capacity abort from L1 versioning is allowed; the signature
+			// must still be bounded.
+			break
+		}
+	}
+	bits := 0
+	for _, w := range h.readSig {
+		for ; w != 0; w &= w - 1 {
+			bits++
+		}
+	}
+	if bits == 0 || bits > 200 {
+		t.Fatalf("signature population %d bits, want (0,200]", bits)
+	}
+}
+
+func TestSignatureConfigValidation(t *testing.T) {
+	bad := sigCfg(100) // not a power of two
+	if bad.Normalize() == nil {
+		t.Fatal("SignatureBits=100 accepted")
+	}
+	bad = sigCfg(32) // too small
+	if bad.Normalize() == nil {
+		t.Fatal("SignatureBits=32 accepted")
+	}
+	good := sigCfg(0) // default
+	if err := good.Normalize(); err != nil || good.SignatureBits != 1024 {
+		t.Fatalf("default signature bits: %+v err=%v", good, err)
+	}
+}
+
+func TestPriorWorkModeStrings(t *testing.T) {
+	if ModeWAROnly.String() != "waronly" || ModeSignature.String() != "signature" {
+		t.Fatal("mode strings wrong")
+	}
+	if ReasonValidation.String() != "validation" {
+		t.Fatal("ReasonValidation string wrong")
+	}
+}

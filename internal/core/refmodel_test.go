@@ -1,0 +1,224 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/rng"
+)
+
+// refModel is an independent, deliberately naive implementation of the
+// baseline ASF conflict rules, written directly from the paper's §IV-A
+// prose: per (core,line) read/write marks, conflict iff an invalidating
+// probe hits a marked line or a non-invalidating probe hits a written
+// line. It knows nothing about caches, signatures or retention — exactly
+// the specification level the engine must agree with in baseline mode.
+type refModel struct {
+	read, written map[int]map[mem.LineAddr]bool
+	inTx          map[int]bool
+}
+
+func newRefModel(n int) *refModel {
+	m := &refModel{
+		read:    make(map[int]map[mem.LineAddr]bool),
+		written: make(map[int]map[mem.LineAddr]bool),
+		inTx:    make(map[int]bool),
+	}
+	for i := 0; i < n; i++ {
+		m.read[i] = make(map[mem.LineAddr]bool)
+		m.written[i] = make(map[mem.LineAddr]bool)
+	}
+	return m
+}
+
+func (m *refModel) begin(c int) { m.inTx[c] = true }
+
+func (m *refModel) end(c int) {
+	m.inTx[c] = false
+	m.read[c] = make(map[mem.LineAddr]bool)
+	m.written[c] = make(map[mem.LineAddr]bool)
+}
+
+// access applies core c's access and returns the set of holders that must
+// abort (requester wins).
+func (m *refModel) access(c int, line mem.LineAddr, tx, write bool) []int {
+	var victims []int
+	for h := range m.inTx {
+		if h == c || !m.inTx[h] {
+			continue
+		}
+		hit := false
+		if write {
+			hit = m.read[h][line] || m.written[h][line]
+		} else {
+			hit = m.written[h][line]
+		}
+		if hit {
+			victims = append(victims, h)
+			m.end(h) // aborted: state discarded
+		}
+	}
+	if tx && m.inTx[c] {
+		if write {
+			m.written[c][line] = true
+		} else {
+			m.read[c][line] = true
+		}
+	}
+	return victims
+}
+
+// TestBaselineAgainstReferenceModel drives thousands of random accesses
+// through the real engine stack (bus + hierarchies + engines) and through
+// the naive reference model, asserting after every step that exactly the
+// same set of transactions is alive. Divergence means the engine's
+// conflict detection — with all its cache/coherence plumbing — no longer
+// implements the paper's baseline specification.
+func TestBaselineAgainstReferenceModel(t *testing.T) {
+	const cores = 4
+	r := newRig(t, cores, Config{Mode: ModeBaseline})
+	ref := newRefModel(cores)
+	rnd := rng.New(2024)
+
+	// A compact working set: a few lines, spread across L1 sets so that
+	// the cache never capacity-aborts (capacity is below the reference
+	// model's abstraction level, so keep it out of play).
+	lines := make([]mem.Addr, 6)
+	for i := range lines {
+		lines[i] = mem.Addr(0x10000 + i*64*1021)
+	}
+
+	alive := func(e *Engine) bool {
+		if !e.InTx() {
+			return false
+		}
+		ab, _ := e.AbortPending()
+		return !ab
+	}
+
+	for step := 0; step < 20000; step++ {
+		c := rnd.Intn(cores)
+		e := r.engines[c]
+		switch op := rnd.Intn(10); {
+		case op == 0: // begin
+			if !e.InTx() {
+				e.BeginTx()
+				ref.begin(c)
+			}
+		case op == 1: // commit / close out
+			if e.InTx() {
+				e.CommitTx()
+				ref.end(c)
+			}
+		case op == 2: // user abort
+			if alive(e) {
+				e.Abort(ReasonUser)
+				e.CommitTx()
+				ref.end(c)
+			}
+		default: // access
+			line := lines[rnd.Intn(len(lines))]
+			off := rnd.Intn(8) * 8
+			write := rnd.Bool(0.4)
+			tx := alive(e) && rnd.Bool(0.7)
+			ref.access(c, mem.DefaultGeometry.Line(line), tx, write)
+			if write {
+				e.Store(line+mem.Addr(off), 8, tx)
+			} else {
+				e.Load(line+mem.Addr(off), 8, tx)
+			}
+			// A dead attempt must be closed out in both worlds before the
+			// next op from this core (the runtime would do the same).
+			if e.InTx() {
+				if ab, reason := e.AbortPending(); ab {
+					if reason == ReasonCapacity {
+						t.Fatalf("step %d: unexpected capacity abort (working set was sized to avoid it)", step)
+					}
+					e.CommitTx()
+					ref.end(c)
+				}
+			}
+		}
+
+		// Invariant: engine liveness == reference liveness, per core.
+		for i := 0; i < cores; i++ {
+			got := alive(r.engines[i])
+			want := ref.inTx[i]
+			if got != want {
+				t.Fatalf("step %d: core %d alive=%v, reference says %v", step, i, got, want)
+			}
+		}
+		if err := r.bus.CheckAllInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+// TestSubBlockNeverDetectsLessThanPerfectTruth drives random accesses in
+// sub-block mode and asserts a safety property: whenever the byte-exact
+// oracle says an access truly conflicts with a live transaction, the
+// sub-block engine must have aborted that transaction by the time the
+// access completes (no true conflict may slip through detection).
+func TestSubBlockNeverDetectsLessThanPerfectTruth(t *testing.T) {
+	const cores = 3
+	r := newRig(t, cores, subCfg(4))
+	rnd := rng.New(7)
+
+	lines := make([]mem.Addr, 4)
+	for i := range lines {
+		lines[i] = mem.Addr(0x20000 + i*64*521)
+	}
+
+	for step := 0; step < 15000; step++ {
+		c := rnd.Intn(cores)
+		e := r.engines[c]
+		// Close out an attempt another core's access killed since our
+		// last turn (the runtime's checkAbort would have unwound it).
+		if e.InTx() {
+			if ab, _ := e.AbortPending(); ab {
+				e.CommitTx()
+			}
+		}
+		if !e.InTx() {
+			e.BeginTx()
+		}
+		if rnd.Bool(0.1) {
+			e.CommitTx()
+			continue
+		}
+		line := lines[rnd.Intn(len(lines))]
+		off := rnd.Intn(16) * 4
+		write := rnd.Bool(0.4)
+
+		// Before the access: which live transactions truly conflict?
+		var mustDie []int
+		for i := 0; i < cores; i++ {
+			if i == c || !r.engines[i].InTx() {
+				continue
+			}
+			if ab, _ := r.engines[i].AbortPending(); ab {
+				continue
+			}
+			fp := r.engines[i].Footprint()
+			if fp.PerfectConflict(mem.DefaultGeometry.Line(line), off, 4, write) {
+				mustDie = append(mustDie, i)
+			}
+		}
+		if write {
+			e.Store(line+mem.Addr(off), 4, true)
+		} else {
+			e.Load(line+mem.Addr(off), 4, true)
+		}
+		for _, i := range mustDie {
+			if ab, _ := r.engines[i].AbortPending(); !ab {
+				t.Fatalf("step %d: true conflict against core %d went undetected", step, i)
+			}
+		}
+		// Close out our own attempt if something (e.g. the WAW rule from
+		// a concurrent... impossible here since we run serially; capacity)
+		// killed it.
+		if ab, _ := e.AbortPending(); ab {
+			e.CommitTx()
+		}
+	}
+}

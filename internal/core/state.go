@@ -1,0 +1,107 @@
+// Package core implements the paper's contribution: the ASF hardware
+// transactional memory model with speculative sub-blocking state.
+//
+// The baseline ASF attaches two bits (SR/SW) to every L1 line and infers
+// transactional conflicts from unmodified MOESI probes: an invalidating
+// probe conflicts with SR|SW, a non-invalidating probe conflicts with SW
+// (§IV-A). The proposed extension divides each line into N sub-blocks and
+// gives each sub-block the 2-bit state of Table I — Non-speculative, Dirty,
+// Speculatively-Read, Speculatively-Written — so that conflicts are checked
+// at sub-block granularity while the coherence protocol stays intact. The
+// Dirty state plus piggy-backed written-sub-block masks repair the
+// atomicity holes of Fig. 6; speculative state is retained inside lines
+// invalidated by false WAR conflicts so later conflicts are still caught.
+//
+// One Engine instance models one core's speculative machinery; the Machine
+// in internal/sim wires Engines to the shared coherence.Bus.
+package core
+
+import "fmt"
+
+// SubState is the per-sub-block state of Table I, encoded exactly as the
+// paper's (SPEC, WR) bit pair.
+type SubState uint8
+
+const (
+	// NonSpec (SPEC=0, WR=0): the sub-block has never been speculatively
+	// accessed.
+	NonSpec SubState = 0
+	// Dirty (SPEC=0, WR=1): the sub-block has been speculatively written
+	// by ANOTHER core without causing a true conflict; the local copy is
+	// unreliable and a hit must be treated as a miss (§IV-C).
+	Dirty SubState = 1
+	// SpecRead (SPEC=1, WR=0): speculatively read by the local
+	// transaction.
+	SpecRead SubState = 2
+	// SpecWrite (SPEC=1, WR=1): speculatively written by the local
+	// transaction.
+	SpecWrite SubState = 3
+)
+
+// Spec reports the SPEC bit: the sub-block belongs to the local
+// transaction's speculative footprint.
+func (s SubState) Spec() bool { return s&2 != 0 }
+
+// WR reports the WR bit.
+func (s SubState) WR() bool { return s&1 != 0 }
+
+func (s SubState) String() string {
+	switch s {
+	case NonSpec:
+		return "Non-speculate"
+	case Dirty:
+		return "Dirty"
+	case SpecRead:
+		return "S-RD"
+	case SpecWrite:
+		return "S-WR"
+	}
+	return fmt.Sprintf("SubState(%d)", uint8(s))
+}
+
+// ConflictsWith implements the per-sub-block conflict matrix: an
+// invalidating probe conflicts with any speculative state (S-RD or S-WR);
+// a non-invalidating probe conflicts only with S-WR. Dirty is NOT
+// speculative (SPEC=0) and never conflicts.
+func (s SubState) ConflictsWith(invalidating bool) bool {
+	if !s.Spec() {
+		return false
+	}
+	if invalidating {
+		return true
+	}
+	return s == SpecWrite
+}
+
+// AbortReason says why a transaction attempt failed.
+type AbortReason int
+
+const (
+	ReasonNone     AbortReason = iota
+	ReasonConflict             // lost a conflict to another core's access
+	ReasonCapacity             // a speculative line would have been evicted from L1
+	ReasonUser                 // explicit program abort (e.g. labyrinth's validation failure)
+	ReasonLock                 // quashed by a thread acquiring the serial fallback lock
+	// ReasonValidation is used by the WAR-only speculation comparator
+	// (ModeWAROnly): value validation at commit found a truly stale read.
+	ReasonValidation
+	NumAbortReasons
+)
+
+func (r AbortReason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonConflict:
+		return "conflict"
+	case ReasonCapacity:
+		return "capacity"
+	case ReasonUser:
+		return "user"
+	case ReasonLock:
+		return "lock"
+	case ReasonValidation:
+		return "validation"
+	}
+	return fmt.Sprintf("AbortReason(%d)", int(r))
+}

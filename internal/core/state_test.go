@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestTableI checks the exact (SPEC, WR) encoding of Table I and each
+// state's conflict behaviour.
+func TestTableI(t *testing.T) {
+	cases := []struct {
+		s          SubState
+		spec, wr   bool
+		name       string
+		confInv    bool // conflicts with an invalidating probe
+		confNonInv bool // conflicts with a non-invalidating probe
+	}{
+		{NonSpec, false, false, "Non-speculate", false, false},
+		{Dirty, false, true, "Dirty", false, false},
+		{SpecRead, true, false, "S-RD", true, false},
+		{SpecWrite, true, true, "S-WR", true, true},
+	}
+	for _, c := range cases {
+		if c.s.Spec() != c.spec {
+			t.Errorf("%v.Spec() = %v, want %v", c.s, c.s.Spec(), c.spec)
+		}
+		if c.s.WR() != c.wr {
+			t.Errorf("%v.WR() = %v, want %v", c.s, c.s.WR(), c.wr)
+		}
+		if c.s.String() != c.name {
+			t.Errorf("SubState(%d).String() = %q, want %q", uint8(c.s), c.s.String(), c.name)
+		}
+		if c.s.ConflictsWith(true) != c.confInv {
+			t.Errorf("%v vs invalidating probe = %v, want %v", c.s, c.s.ConflictsWith(true), c.confInv)
+		}
+		if c.s.ConflictsWith(false) != c.confNonInv {
+			t.Errorf("%v vs non-invalidating probe = %v, want %v", c.s, c.s.ConflictsWith(false), c.confNonInv)
+		}
+	}
+}
+
+// TestTableIBitEncoding pins the numeric encoding: SPEC is bit 1, WR bit 0,
+// exactly the paper's bit pair.
+func TestTableIBitEncoding(t *testing.T) {
+	if NonSpec != 0 || Dirty != 1 || SpecRead != 2 || SpecWrite != 3 {
+		t.Fatalf("Table I encoding changed: %d %d %d %d", NonSpec, Dirty, SpecRead, SpecWrite)
+	}
+}
+
+func TestAbortReasonString(t *testing.T) {
+	want := map[AbortReason]string{
+		ReasonNone: "none", ReasonConflict: "conflict", ReasonCapacity: "capacity",
+		ReasonUser: "user", ReasonLock: "lock",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("AbortReason(%d).String() = %q, want %q", int(r), r.String(), s)
+		}
+	}
+}
+
+func TestConfigNormalize(t *testing.T) {
+	// Baseline and perfect force one granule.
+	for _, m := range []Mode{ModeBaseline, ModePerfect} {
+		c := Config{Mode: m, SubBlocks: 8, RetainInvalidState: true, DirtyProtocol: true}
+		if err := c.Normalize(); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if c.SubBlocks != 1 || c.RetainInvalidState || c.DirtyProtocol {
+			t.Errorf("%v did not strip sub-block options: %+v", m, c)
+		}
+	}
+	// SubBlock defaults to the paper's 4.
+	c := Config{Mode: ModeSubBlock}
+	if err := c.Normalize(); err != nil || c.SubBlocks != 4 {
+		t.Fatalf("default sub-blocks: %+v err=%v", c, err)
+	}
+	// Invalid sub-block counts rejected.
+	for _, n := range []int{1, 3, 5, 128, -4} {
+		c := Config{Mode: ModeSubBlock, SubBlocks: n}
+		if err := c.Normalize(); err == nil {
+			t.Errorf("SubBlocks=%d accepted", n)
+		}
+	}
+	bad := Config{Mode: Mode(99)}
+	if bad.Normalize() == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestGranules(t *testing.T) {
+	c := Config{Mode: ModeSubBlock, SubBlocks: 8}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Granules() != 8 {
+		t.Fatalf("Granules = %d", c.Granules())
+	}
+	b := Config{Mode: ModeBaseline}
+	_ = b.Normalize()
+	if b.Granules() != 1 {
+		t.Fatalf("baseline Granules = %d", b.Granules())
+	}
+}
+
+// TestOverheadPaperNumbers pins the §IV-E arithmetic the paper quotes:
+// 64KB L1, 64B lines, 4 sub-blocks -> 0.75KB extra = 1.17% of the L1.
+func TestOverheadPaperNumbers(t *testing.T) {
+	o := ComputeOverhead(64<<10, 64, 4)
+	if o.Lines != 1024 {
+		t.Fatalf("lines = %d", o.Lines)
+	}
+	if o.ExtraBitsPerLine != 6 {
+		t.Fatalf("extra bits/line = %d, want 2(N-1)=6", o.ExtraBitsPerLine)
+	}
+	if o.ExtraBytes != 768 { // 0.75 KB
+		t.Fatalf("extra bytes = %d, want 768", o.ExtraBytes)
+	}
+	if o.ExtraFraction < 0.0117 || o.ExtraFraction > 0.0118 {
+		t.Fatalf("extra fraction = %.4f, want ~0.0117", o.ExtraFraction)
+	}
+	if o.PiggybackBits != 4 {
+		t.Fatalf("piggyback bits = %d", o.PiggybackBits)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeBaseline.String() != "baseline" || ModeSubBlock.String() != "subblock" || ModePerfect.String() != "perfect" {
+		t.Fatal("Mode.String broken")
+	}
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// This file checks the sub-block state machine systematically rather than
+// by scenario: every (initial state, stimulus) pair is enumerated and the
+// resulting state is compared against the transition function derived from
+// §IV-B..D of the paper.
+
+// mkHolderState drives engine h (core 0 of a fresh rig) into the given
+// sub-block-1 state on lineA's line, using a second engine for the Dirty
+// case. It returns the rig.
+func mkHolderState(t *testing.T, s SubState) (*testRig, *Engine) {
+	t.Helper()
+	r := newRig(t, 3, subCfg(4))
+	h := r.engines[0]
+	switch s {
+	case NonSpec:
+		h.BeginTx()
+		// Bring the line in without touching sub-block 1.
+		h.Load(lineA+48, 8, true)
+	case SpecRead:
+		h.BeginTx()
+		h.Load(lineA+16, 8, true) // sub-block 1
+	case SpecWrite:
+		h.BeginTx()
+		h.Store(lineA+16, 8, true)
+	case Dirty:
+		// Core 2 speculatively writes sub-block 1; h reads sub-block 3 and
+		// receives the piggyback mark.
+		w := r.engines[2]
+		w.BeginTx()
+		w.Store(lineA+16, 8, true)
+		h.BeginTx()
+		h.Load(lineA+48, 8, true)
+		// The writer's transaction stays live so the Dirty mark is real.
+	}
+	line := mem.DefaultGeometry.Line(lineA)
+	if got := h.SubStates(line)[1]; got != s {
+		t.Fatalf("setup: holder sub-block 1 = %v, want %v", got, s)
+	}
+	return r, h
+}
+
+// TestSubBlockProbeTransitionMatrix: for every holder state of sub-block 1
+// and both probe kinds AT sub-block 1, check conflict and post-state.
+func TestSubBlockProbeTransitionMatrix(t *testing.T) {
+	line := mem.DefaultGeometry.Line(lineA)
+	cases := []struct {
+		state        SubState
+		invalidating bool
+		wantConflict bool
+		// Post-state of sub-block 1 at the holder when no conflict killed
+		// the transaction; ignored (state discarded) on conflict.
+		wantPost SubState
+	}{
+		// Non-speculative sub-block: probes never conflict. An
+		// invalidating probe drops the whole (unmarked) line.
+		{NonSpec, false, false, NonSpec},
+		{NonSpec, true, false, NonSpec},
+		// S-RD: a read probe coexists; a write probe would be a conflict
+		// IF it overlaps — it does here (same sub-block).
+		{SpecRead, false, false, SpecRead},
+		{SpecRead, true, true, NonSpec},
+		// S-WR: both probe kinds at the written sub-block conflict.
+		{SpecWrite, false, true, NonSpec},
+		{SpecWrite, true, true, NonSpec},
+		// Dirty: never conflicts (SPEC=0). A read probe leaves it; an
+		// invalidating probe destroys the copy and the mark with it.
+		{Dirty, false, false, Dirty},
+		{Dirty, true, false, NonSpec},
+	}
+	for _, c := range cases {
+		name := fmt.Sprintf("%v/inv=%v", c.state, c.invalidating)
+		t.Run(name, func(t *testing.T) {
+			r, h := mkHolderState(t, c.state)
+			q := r.engines[1]
+			before := len(r.conflicts)
+			if c.invalidating {
+				q.Store(lineA+16, 8, false)
+			} else {
+				q.Load(lineA+16, 8, false)
+			}
+			// For the Dirty setup the probe may conflict with core 2 (the
+			// live writer) instead — count only holder-side conflicts.
+			holderConflicts := 0
+			for _, ev := range r.conflicts[before:] {
+				if ev.Holder == h.ID() {
+					holderConflicts++
+				}
+			}
+			if (holderConflicts > 0) != c.wantConflict {
+				t.Fatalf("conflict = %v, want %v", holderConflicts > 0, c.wantConflict)
+			}
+			if !c.wantConflict {
+				if got := h.SubStates(line)[1]; got != c.wantPost {
+					t.Fatalf("post-state %v, want %v", got, c.wantPost)
+				}
+			}
+		})
+	}
+}
+
+// TestSubBlockLocalAccessTransitions: the holder's own accesses move the
+// sub-block through Table I exactly: read marks S-RD (never downgrading
+// S-WR), write marks S-WR, and a transactional read of a Dirty sub-block
+// re-requests and lands on S-RD.
+func TestSubBlockLocalAccessTransitions(t *testing.T) {
+	line := mem.DefaultGeometry.Line(lineA)
+	cases := []struct {
+		state    SubState
+		write    bool
+		wantPost SubState
+	}{
+		{NonSpec, false, SpecRead},
+		{NonSpec, true, SpecWrite},
+		{SpecRead, false, SpecRead},
+		{SpecRead, true, SpecWrite},
+		{SpecWrite, false, SpecWrite}, // read never downgrades S-WR
+		{SpecWrite, true, SpecWrite},
+		{Dirty, false, SpecRead}, // §IV-D-1: re-request then SPEC=1,WR=0
+		{Dirty, true, SpecWrite}, // store overwrites; probe covers the writer
+	}
+	for _, c := range cases {
+		name := fmt.Sprintf("%v/write=%v", c.state, c.write)
+		t.Run(name, func(t *testing.T) {
+			_, h := mkHolderState(t, c.state)
+			if c.write {
+				h.Store(lineA+16, 8, true)
+			} else {
+				h.Load(lineA+16, 8, true)
+			}
+			if ab, _ := h.AbortPending(); ab {
+				t.Fatal("holder's own access aborted it")
+			}
+			if got := h.SubStates(line)[1]; got != c.wantPost {
+				t.Fatalf("post-state %v, want %v", got, c.wantPost)
+			}
+		})
+	}
+}
+
+// TestSubBlockDirtyStoreAbortsLiveWriter: the one transition above with a
+// side effect — storing over a Dirty sub-block broadcasts and must abort
+// the transaction that made it dirty.
+func TestSubBlockDirtyStoreAbortsLiveWriter(t *testing.T) {
+	r, h := mkHolderState(t, Dirty)
+	writer := r.engines[2]
+	h.Store(lineA+16, 8, true)
+	if ab, _ := writer.AbortPending(); !ab {
+		t.Fatal("live writer survived an overlapping store")
+	}
+}
+
+// TestSubBlockDirtyLoadAbortsLiveWriter: same via the §IV-C re-request.
+func TestSubBlockDirtyLoadAbortsLiveWriter(t *testing.T) {
+	r, h := mkHolderState(t, Dirty)
+	writer := r.engines[2]
+	h.Load(lineA+16, 8, true)
+	if ab, _ := writer.AbortPending(); !ab {
+		t.Fatal("live writer survived a dirty-hit re-request")
+	}
+	if h.Stats.DirtyRereq != 1 {
+		t.Fatalf("DirtyRereq = %d", h.Stats.DirtyRereq)
+	}
+}
+
+// TestProbeSpanningMultipleSubBlocks: an access crossing a sub-block
+// boundary must be checked against (and must mark) both granules.
+func TestProbeSpanningMultipleSubBlocks(t *testing.T) {
+	r := newRig(t, 2, subCfg(4))
+	h, q := r.engines[0], r.engines[1]
+	line := mem.DefaultGeometry.Line(lineA)
+	h.BeginTx()
+	h.Load(lineA+12, 8, true) // bytes 12..20: sub-blocks 0 AND 1
+	s := h.SubStates(line)
+	if s[0] != SpecRead || s[1] != SpecRead {
+		t.Fatalf("spanning load marked %v", s)
+	}
+	// A store into sub-block 1 alone must conflict.
+	q.Store(lineA+24, 8, false)
+	if ab, _ := h.AbortPending(); !ab {
+		t.Fatal("probe into the second spanned sub-block missed")
+	}
+}

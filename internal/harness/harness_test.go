@@ -1,0 +1,229 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	asfsim "repro"
+	"repro/internal/workloads"
+)
+
+// tinyMatrix collects a 2-workload matrix once per test binary.
+func tinyMatrix(t *testing.T) *Matrix {
+	t.Helper()
+	opts := Options{
+		Scale:     workloads.ScaleTiny,
+		Seeds:     []uint64{1},
+		Cores:     4,
+		Workloads: []string{"kmeans", "vacation"},
+	}
+	m, err := Collect(opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCollectShape(t *testing.T) {
+	m := tinyMatrix(t)
+	if len(m.Cells) != 2 {
+		t.Fatalf("matrix has %d rows", len(m.Cells))
+	}
+	for _, wl := range []string{"kmeans", "vacation"} {
+		for _, d := range asfsim.Detections {
+			c := m.Cell(wl, d)
+			if c == nil || len(c.Runs) != 1 {
+				t.Fatalf("cell (%s,%v) missing or wrong size", wl, d)
+			}
+			if c.Cycles() <= 0 {
+				t.Fatalf("cell (%s,%v) has no cycles", wl, d)
+			}
+		}
+	}
+	if m.Cell("nonesuch", asfsim.DetectBaseline) != nil {
+		t.Fatal("Cell for unknown workload not nil")
+	}
+}
+
+func TestCollectUnknownWorkloadFails(t *testing.T) {
+	_, err := Collect(Options{Workloads: []string{"nonesuch"}, Seeds: []uint64{1}}, nil)
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestFigureRenderers(t *testing.T) {
+	m := tinyMatrix(t)
+	for name, out := range map[string]string{
+		"fig1":    m.Fig1(),
+		"fig2":    m.Fig2(),
+		"fig8":    m.Fig8(),
+		"fig9":    m.Fig9(),
+		"fig10":   m.Fig10(),
+		"summary": m.Summary(),
+	} {
+		if !strings.Contains(out, "kmeans") && name != "summary" {
+			t.Errorf("%s output lacks workload name:\n%s", name, out)
+		}
+		if len(out) < 40 {
+			t.Errorf("%s output suspiciously short: %q", name, out)
+		}
+	}
+	// Figure 1 must carry an average row.
+	if !strings.Contains(m.Fig1(), "AVERAGE") {
+		t.Error("Fig1 lacks the average row")
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	t2 := Table2()
+	if !strings.Contains(t2, "64KB") || !strings.Contains(t2, "210 cycles") {
+		t.Errorf("Table II content wrong:\n%s", t2)
+	}
+	t3 := Table3()
+	for _, wl := range workloads.Names() {
+		if !strings.Contains(t3, wl) {
+			t.Errorf("Table III missing %s", wl)
+		}
+	}
+	oh := OverheadTable()
+	if !strings.Contains(oh, "0.75KB") || !strings.Contains(oh, "1.17%") {
+		t.Errorf("overhead table lost the paper's numbers:\n%s", oh)
+	}
+}
+
+func TestTraceRenderers(t *testing.T) {
+	r, err := Trace("kmeans", workloads.ScaleTiny, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3 := Fig3(r, 10)
+	if !strings.Contains(f3, "kmeans") || !strings.Contains(f3, "100%") {
+		t.Errorf("Fig3 output:\n%s", f3)
+	}
+	f4 := Fig4(r, 5)
+	if !strings.Contains(f4, "false conflicts by cache line") {
+		t.Errorf("Fig4 output:\n%s", f4)
+	}
+	f5 := Fig5(r)
+	if !strings.Contains(f5, "byte offset") || !strings.Contains(f5, "granularity: 4 bytes") {
+		// kmeans is the paper's 4-byte-granularity benchmark (Fig. 5).
+		t.Errorf("Fig5 output (want 4-byte dominant stride):\n%s", f5)
+	}
+}
+
+func TestTraceWithoutInstrumentsDegradesGracefully(t *testing.T) {
+	cfg := asfsim.DefaultConfig()
+	r, err := asfsim.Run("kmeans", asfsim.ScaleTiny, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Fig3(r, 5), "no series") ||
+		!strings.Contains(Fig4(r, 5), "no line histogram") ||
+		!strings.Contains(Fig5(r), "no offset histogram") {
+		t.Fatal("renderers did not degrade gracefully without traces")
+	}
+}
+
+func TestKMeansConcentration(t *testing.T) {
+	// Fig 4's qualitative claim: kmeans' false conflicts concentrate on a
+	// few lines (the shared accumulators).
+	r, err := Trace("kmeans", workloads.ScaleTiny, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Lines.Total() == 0 {
+		t.Skip("no false conflicts this run")
+	}
+	if c := r.Lines.Concentration(12); c < 0.9 {
+		t.Errorf("kmeans top-12-line concentration %.2f, expected >= 0.9", c)
+	}
+}
+
+func TestPriorWorkAndTimeBreakdownRenderers(t *testing.T) {
+	opts := Options{
+		Scale:     workloads.ScaleTiny,
+		Seeds:     []uint64{1, 2},
+		Cores:     4,
+		Workloads: []string{"vacation"},
+	}
+	m, err := Collect(opts, []asfsim.Detection{
+		asfsim.DetectBaseline, asfsim.DetectWAROnly, asfsim.DetectSignature,
+		asfsim.DetectSubBlock4, asfsim.DetectPerfect,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := m.PriorWork()
+	for _, want := range []string{"vacation", "waronly", "signature", "subblock-4"} {
+		if !strings.Contains(pw, want) {
+			t.Errorf("PriorWork output lacks %q:\n%s", want, pw)
+		}
+	}
+	tb := m.TimeBreakdown()
+	for _, want := range []string{"in-tx", "backoff", "non-tx", "vacation"} {
+		if !strings.Contains(tb, want) {
+			t.Errorf("TimeBreakdown output lacks %q:\n%s", want, tb)
+		}
+	}
+	// With two seeds the std machinery runs; CV must be finite and
+	// non-negative (rendered as a percentage).
+	c := m.Cell("vacation", asfsim.DetectBaseline)
+	if c.CyclesStd() < 0 {
+		t.Fatal("negative standard deviation")
+	}
+	if c.TxFraction() <= 0 || c.TxFraction() >= 1 {
+		t.Fatalf("TxFraction %v out of (0,1)", c.TxFraction())
+	}
+}
+
+func TestCellStdZeroForSingleSeed(t *testing.T) {
+	opts := Options{Scale: workloads.ScaleTiny, Seeds: []uint64{1}, Cores: 2, Workloads: []string{"kmeans"}}
+	m, err := Collect(opts, []asfsim.Detection{asfsim.DetectBaseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Cell("kmeans", asfsim.DetectBaseline).CyclesStd(); got != 0 {
+		t.Fatalf("single-seed std = %v", got)
+	}
+}
+
+func TestMatrixJSON(t *testing.T) {
+	m := tinyMatrix(t)
+	fd := m.JSON()
+	if fd.Scale != "tiny" || fd.Cores != 4 || len(fd.Rows) != 2 {
+		t.Fatalf("figure data header wrong: %+v", fd)
+	}
+	for _, row := range fd.Rows {
+		if row.FalseRate < 0 || row.FalseRate > 1 {
+			t.Errorf("%s: falseRate %v", row.Benchmark, row.FalseRate)
+		}
+		// The tiny matrix includes every detection, so the Fig 9/10
+		// fields must be populated (non-zero for contended workloads).
+		if row.OverallReductionPerfect == 0 && row.Benchmark == "kmeans" {
+			t.Errorf("kmeans perfect reduction missing from JSON")
+		}
+		// Avoidability is monotone in granularity.
+		for i := 1; i < len(row.Avoidable); i++ {
+			if row.Avoidable[i] < row.Avoidable[i-1]-1e-9 {
+				t.Errorf("%s: avoidability not monotone: %v", row.Benchmark, row.Avoidable)
+			}
+		}
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := DefaultOptions()
+	if o.Cores != 8 || len(o.Seeds) != 3 || o.Scale != workloads.ScaleSmall {
+		t.Fatalf("DefaultOptions = %+v", o)
+	}
+}
+
+func TestReductionHelper(t *testing.T) {
+	if reduction(0, 5) != 0 {
+		t.Fatal("zero-base reduction not guarded")
+	}
+	if got := reduction(10, 4); got != 0.6 {
+		t.Fatalf("reduction(10,4) = %v", got)
+	}
+}

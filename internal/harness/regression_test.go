@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"testing"
+
+	asfsim "repro"
+	"repro/internal/oracle"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// TestPaperShapesRegression is the consolidated regression net: every
+// qualitative claim the reproduction makes about the paper's figures,
+// asserted in one place over a fixed tiny-scale matrix. If a change to
+// the protocol, the runtime or a workload silently bends one of the
+// paper's shapes, this test names the figure it bent.
+//
+// Tiny scale keeps it CI-fast; the small-scale canonical numbers live in
+// EXPERIMENTS.md and cmd/paperfigs.
+func TestPaperShapesRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run skipped in -short mode")
+	}
+	opts := Options{
+		Scale: workloads.ScaleTiny,
+		Seeds: []uint64{1, 2, 3},
+		Cores: 8,
+	}
+	m, err := Collect(opts, []asfsim.Detection{
+		asfsim.DetectBaseline, asfsim.DetectSubBlock4, asfsim.DetectPerfect,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wls := m.Opts.Workloads // normalized by Collect (opts above had nil)
+	base := func(wl string) *Cell { return m.Cell(wl, asfsim.DetectBaseline) }
+
+	// --- Figure 1: false conflict rates ---------------------------------
+	t.Run("fig1", func(t *testing.T) {
+		var rates []float64
+		var sum float64
+		for _, wl := range wls {
+			r := base(wl).FalseRate()
+			rates = append(rates, r)
+			sum += r
+		}
+		if avg := sum / float64(len(rates)); avg < 0.35 || avg > 0.85 {
+			t.Errorf("average false rate %.2f left the paper's regime (~0.46)", avg)
+		}
+		// intruder lowest; ssca2/apriori/kmeans in the top tier.
+		intr := base("intruder").FalseRate()
+		for _, wl := range []string{"ssca2", "apriori", "kmeans", "utilitymine"} {
+			if base(wl).FalseRate() <= intr {
+				t.Errorf("fig1 ordering: %s (%.2f) <= intruder (%.2f)", wl, base(wl).FalseRate(), intr)
+			}
+		}
+		if base("ssca2").FalseRate() < 0.6 {
+			t.Errorf("ssca2 false rate %.2f, want the paper's very high profile", base("ssca2").FalseRate())
+		}
+	})
+
+	// --- Figure 2: conflict typing ---------------------------------------
+	t.Run("fig2", func(t *testing.T) {
+		for _, wl := range wls {
+			c := base(wl)
+			if waw := c.TypeShare(oracle.WAW); waw > 0.05 {
+				t.Errorf("%s: WAW share %.2f, paper says ~0", wl, waw)
+			}
+			// Both WAR and RAW matter somewhere: globally, neither type
+			// may vanish.
+		}
+		var war, raw float64
+		for _, wl := range wls {
+			war += base(wl).TypeShare(oracle.WAR)
+			raw += base(wl).TypeShare(oracle.RAW)
+		}
+		if war == 0 || raw == 0 {
+			t.Errorf("a conflict type vanished: WAR sum %.2f RAW sum %.2f", war, raw)
+		}
+		// WAR-dominant per the paper: vacation, apriori.
+		for _, wl := range []string{"vacation", "apriori"} {
+			if base(wl).TypeShare(oracle.WAR) <= base(wl).TypeShare(oracle.RAW) {
+				t.Errorf("%s not WAR-dominant", wl)
+			}
+		}
+	})
+
+	// --- Figure 8: analytical sub-block sensitivity ----------------------
+	t.Run("fig8", func(t *testing.T) {
+		for _, wl := range wls {
+			c := base(wl)
+			if c.FalseConflicts() == 0 {
+				continue
+			}
+			// Monotone in granularity; 16 granules eliminate everything.
+			prev := -1.0
+			for i := range stats.AvoidableNs {
+				r := c.AvoidableRate(i)
+				if r < prev-1e-9 {
+					t.Errorf("%s: avoidability not monotone at %d granules", wl, stats.AvoidableNs[i])
+				}
+				prev = r
+			}
+			if r := c.AvoidableRate(3); r < 0.999 {
+				t.Errorf("%s: 16 sub-blocks avoid only %.3f of false conflicts", wl, r)
+			}
+		}
+		// kmeans: 8 sub-blocks must NOT reach 100 % (4-byte counters).
+		if r := base("kmeans").AvoidableRate(2); r >= 0.999 {
+			t.Errorf("kmeans fully avoided at 8 sub-blocks (%.3f): the 4-byte-counter shape is gone", r)
+		}
+		// utilitymine: 4 sub-blocks stay low (the §V-B pathology).
+		if r := base("utilitymine").AvoidableRate(1); r > 0.6 {
+			t.Errorf("utilitymine avoidability at 4 sub-blocks %.2f, want the paper's low profile", r)
+		}
+	})
+
+	// --- Figures 9/10: the proposed system vs the bounds ------------------
+	t.Run("fig9_10", func(t *testing.T) {
+		var red4, redP, imp4 float64
+		n := 0
+		for _, wl := range wls {
+			b := base(wl)
+			s4 := m.Cell(wl, asfsim.DetectSubBlock4)
+			p := m.Cell(wl, asfsim.DetectPerfect)
+			if p.FalseConflicts() != 0 {
+				t.Errorf("%s: perfect system saw false conflicts", wl)
+			}
+			red4 += reduction(b.Conflicts(), s4.Conflicts())
+			redP += reduction(b.Conflicts(), p.Conflicts())
+			imp4 += reduction(b.Cycles(), s4.Cycles())
+			n++
+		}
+		red4 /= float64(n)
+		redP /= float64(n)
+		imp4 /= float64(n)
+		if red4 <= 0 {
+			t.Errorf("average overall conflict reduction %.2f: sub-blocking helps nobody", red4)
+		}
+		if redP <= red4 {
+			t.Errorf("perfect (%.2f) did not bound sub-blocking (%.2f) on conflict reduction", redP, red4)
+		}
+		if imp4 <= 0 {
+			t.Errorf("average execution-time improvement %.2f <= 0", imp4)
+		}
+	})
+
+	// --- Time attribution backs the Fig 10 narrative ----------------------
+	t.Run("time_attribution", func(t *testing.T) {
+		// The long-non-transactional benchmarks must show it.
+		for _, wl := range []string{"fluidanimate", "labyrinth"} {
+			if f := base(wl).TxFraction(); f > 0.5 {
+				t.Errorf("%s: tx fraction %.2f, expected non-tx dominated", wl, f)
+			}
+		}
+	})
+}

@@ -1,0 +1,111 @@
+// Package mem provides the simulated physical address space: address and
+// cache-line geometry, byte-interval footprint sets (the conflict oracle's
+// representation of what a transaction touched inside a line), a sparse
+// paged memory holding actual data values, and a bump allocator with
+// explicit alignment/padding control so workloads can reproduce the data
+// layouts that cause (or avoid) false sharing.
+package mem
+
+import "fmt"
+
+// Addr is a simulated physical byte address.
+type Addr uint64
+
+// Geometry describes cache-line and sub-block geometry. All sizes are powers
+// of two. The paper's configuration is 64-byte lines (Table II) divided into
+// 1 (baseline), 2, 4, 8 or 16 sub-blocks (Fig. 8).
+type Geometry struct {
+	LineSize int // bytes per cache line, power of two
+}
+
+// DefaultGeometry is the paper's 64-byte line.
+var DefaultGeometry = Geometry{LineSize: 64}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.LineSize <= 0 || g.LineSize&(g.LineSize-1) != 0 {
+		return fmt.Errorf("mem: line size %d is not a positive power of two", g.LineSize)
+	}
+	return nil
+}
+
+// LineAddr is the address of a cache line (the address with the offset bits
+// cleared). Using a distinct type prevents accidentally mixing byte and line
+// addresses.
+type LineAddr uint64
+
+// Line returns the line address containing a.
+func (g Geometry) Line(a Addr) LineAddr {
+	return LineAddr(uint64(a) &^ uint64(g.LineSize-1))
+}
+
+// Offset returns a's byte offset within its line.
+func (g Geometry) Offset(a Addr) int {
+	return int(uint64(a) & uint64(g.LineSize-1))
+}
+
+// LineIndex returns a dense per-run index for a line address (line number).
+func (g Geometry) LineIndex(l LineAddr) uint64 {
+	return uint64(l) / uint64(g.LineSize)
+}
+
+// SubBlock returns the sub-block index of byte offset off when a line is
+// divided into n sub-blocks. n must be a power of two dividing LineSize.
+func (g Geometry) SubBlock(off, n int) int {
+	return off / (g.LineSize / n)
+}
+
+// SubBlockSpan returns the inclusive range [first, last] of sub-block
+// indices covered by the access [off, off+size) with n sub-blocks per line.
+// The access must not cross a line boundary.
+func (g Geometry) SubBlockSpan(off, size, n int) (first, last int) {
+	if size <= 0 {
+		size = 1
+	}
+	sub := g.LineSize / n
+	return off / sub, (off + size - 1) / sub
+}
+
+// SubBlockMask returns a bitmask with one bit per sub-block, with bits set
+// for every sub-block covered by the access [off, off+size).
+// n must be <= 64.
+func (g Geometry) SubBlockMask(off, size, n int) uint64 {
+	first, last := g.SubBlockSpan(off, size, n)
+	var m uint64
+	for i := first; i <= last; i++ {
+		m |= 1 << uint(i)
+	}
+	return m
+}
+
+// SplitByLine decomposes the access [a, a+size) into per-line pieces.
+// Unaligned accesses that straddle a line boundary become two (or more)
+// pieces, exactly as a real L1 would service them.
+func (g Geometry) SplitByLine(a Addr, size int) []Access {
+	if size <= 0 {
+		size = 1
+	}
+	var out []Access
+	for size > 0 {
+		off := g.Offset(a)
+		n := g.LineSize - off
+		if n > size {
+			n = size
+		}
+		out = append(out, Access{Line: g.Line(a), Off: off, Size: n})
+		a += Addr(n)
+		size -= n
+	}
+	return out
+}
+
+// Access is one line-confined piece of a memory access.
+type Access struct {
+	Line LineAddr
+	Off  int // byte offset within Line
+	Size int // bytes, Off+Size <= LineSize
+}
+
+func (a Access) String() string {
+	return fmt.Sprintf("line %#x [%d,%d)", uint64(a.Line), a.Off, a.Off+a.Size)
+}

@@ -1,0 +1,172 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryValidate(t *testing.T) {
+	for _, c := range []struct {
+		size int
+		ok   bool
+	}{
+		{64, true}, {32, true}, {128, true}, {1, true},
+		{0, false}, {-64, false}, {63, false}, {48, false},
+	} {
+		err := Geometry{LineSize: c.size}.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(LineSize=%d): err=%v, want ok=%v", c.size, err, c.ok)
+		}
+	}
+}
+
+func TestLineAndOffset(t *testing.T) {
+	g := Geometry{LineSize: 64}
+	cases := []struct {
+		a    Addr
+		line LineAddr
+		off  int
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{63, 0, 63},
+		{64, 64, 0},
+		{127, 64, 63},
+		{0x1234, 0x1200, 0x34},
+	}
+	for _, c := range cases {
+		if got := g.Line(c.a); got != c.line {
+			t.Errorf("Line(%#x) = %#x, want %#x", c.a, got, c.line)
+		}
+		if got := g.Offset(c.a); got != c.off {
+			t.Errorf("Offset(%#x) = %d, want %d", c.a, got, c.off)
+		}
+	}
+}
+
+func TestLineDecomposition(t *testing.T) {
+	g := Geometry{LineSize: 64}
+	f := func(a Addr) bool {
+		return Addr(g.Line(a))+Addr(g.Offset(a)) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubBlock(t *testing.T) {
+	g := Geometry{LineSize: 64}
+	cases := []struct {
+		off, n, want int
+	}{
+		{0, 4, 0}, {15, 4, 0}, {16, 4, 1}, {31, 4, 1}, {32, 4, 2}, {63, 4, 3},
+		{0, 16, 0}, {4, 16, 1}, {63, 16, 15},
+		{0, 1, 0}, {63, 1, 0},
+	}
+	for _, c := range cases {
+		if got := g.SubBlock(c.off, c.n); got != c.want {
+			t.Errorf("SubBlock(%d, %d) = %d, want %d", c.off, c.n, got, c.want)
+		}
+	}
+}
+
+func TestSubBlockSpan(t *testing.T) {
+	g := Geometry{LineSize: 64}
+	cases := []struct {
+		off, size, n, first, last int
+	}{
+		{0, 1, 4, 0, 0},
+		{0, 16, 4, 0, 0},
+		{0, 17, 4, 0, 1},
+		{15, 2, 4, 0, 1}, // straddles sub-block boundary
+		{60, 4, 4, 3, 3},
+		{8, 8, 8, 1, 1},
+		{7, 2, 8, 0, 1},
+		{0, 64, 4, 0, 3},
+		{5, 0, 4, 0, 0}, // zero size treated as 1 byte
+	}
+	for _, c := range cases {
+		first, last := g.SubBlockSpan(c.off, c.size, c.n)
+		if first != c.first || last != c.last {
+			t.Errorf("SubBlockSpan(%d,%d,%d) = (%d,%d), want (%d,%d)",
+				c.off, c.size, c.n, first, last, c.first, c.last)
+		}
+	}
+}
+
+func TestSubBlockMask(t *testing.T) {
+	g := Geometry{LineSize: 64}
+	cases := []struct {
+		off, size, n int
+		want         uint64
+	}{
+		{0, 4, 4, 0b0001},
+		{16, 4, 4, 0b0010},
+		{15, 2, 4, 0b0011},
+		{0, 64, 4, 0b1111},
+		{60, 4, 16, 1 << 15},
+		{0, 1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := g.SubBlockMask(c.off, c.size, c.n); got != c.want {
+			t.Errorf("SubBlockMask(%d,%d,%d) = %b, want %b", c.off, c.size, c.n, got, c.want)
+		}
+	}
+}
+
+func TestSplitByLineSingle(t *testing.T) {
+	g := Geometry{LineSize: 64}
+	ps := g.SplitByLine(10, 8)
+	if len(ps) != 1 || ps[0].Line != 0 || ps[0].Off != 10 || ps[0].Size != 8 {
+		t.Fatalf("SplitByLine(10,8) = %v", ps)
+	}
+}
+
+func TestSplitByLineStraddle(t *testing.T) {
+	g := Geometry{LineSize: 64}
+	ps := g.SplitByLine(60, 8)
+	if len(ps) != 2 {
+		t.Fatalf("SplitByLine(60,8) = %v, want two pieces", ps)
+	}
+	if ps[0].Line != 0 || ps[0].Off != 60 || ps[0].Size != 4 {
+		t.Errorf("first piece %v", ps[0])
+	}
+	if ps[1].Line != 64 || ps[1].Off != 0 || ps[1].Size != 4 {
+		t.Errorf("second piece %v", ps[1])
+	}
+}
+
+func TestSplitByLineProperty(t *testing.T) {
+	g := Geometry{LineSize: 64}
+	f := func(a Addr, sz uint8) bool {
+		size := int(sz)%200 + 1
+		ps := g.SplitByLine(a, size)
+		// Pieces must be contiguous, line-confined, and cover [a, a+size).
+		cur := a
+		total := 0
+		for _, p := range ps {
+			if g.Line(cur) != p.Line || g.Offset(cur) != p.Off {
+				return false
+			}
+			if p.Off+p.Size > g.LineSize || p.Size <= 0 {
+				return false
+			}
+			cur += Addr(p.Size)
+			total += p.Size
+		}
+		return total == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineIndex(t *testing.T) {
+	g := Geometry{LineSize: 64}
+	if got := g.LineIndex(g.Line(0)); got != 0 {
+		t.Errorf("LineIndex(line 0) = %d", got)
+	}
+	if got := g.LineIndex(g.Line(64 * 17)); got != 17 {
+		t.Errorf("LineIndex(line at %#x) = %d, want 17", 64*17, got)
+	}
+}

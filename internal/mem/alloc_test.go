@@ -1,0 +1,71 @@
+package mem
+
+import "testing"
+
+func TestAllocatorBasics(t *testing.T) {
+	a := NewAllocator(DefaultGeometry, 0)
+	// base 0 is reserved; allocator starts at one line in.
+	p1 := a.Alloc(10, 0)
+	if p1 == 0 {
+		t.Fatal("allocator handed out address 0")
+	}
+	p2 := a.Alloc(10, 0)
+	if p2 != p1+10 {
+		t.Fatalf("unaligned allocs not contiguous: %#x then %#x", p1, p2)
+	}
+}
+
+func TestAllocatorAlignment(t *testing.T) {
+	a := NewAllocator(DefaultGeometry, 64)
+	a.Alloc(3, 0) // misalign the cursor
+	for _, align := range []int{2, 4, 8, 16, 64} {
+		p := a.Alloc(1, align)
+		if int(p)%align != 0 {
+			t.Errorf("Alloc(align=%d) returned %#x", align, p)
+		}
+	}
+}
+
+func TestAllocatorBadAlignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Alloc(align=3) did not panic")
+		}
+	}()
+	NewAllocator(DefaultGeometry, 64).Alloc(8, 3)
+}
+
+func TestAllocLineIsolation(t *testing.T) {
+	g := DefaultGeometry
+	a := NewAllocator(g, 64)
+	a.Alloc(5, 0) // dirty the cursor
+	p := a.AllocLine(10)
+	if g.Offset(p) != 0 {
+		t.Fatalf("AllocLine returned unaligned %#x", p)
+	}
+	q := a.Alloc(1, 0)
+	if g.Line(q) == g.Line(p+9) {
+		t.Fatalf("AllocLine region shares its last line with next alloc: %#x vs %#x", p, q)
+	}
+}
+
+func TestAllocatorPadAndNext(t *testing.T) {
+	a := NewAllocator(DefaultGeometry, 128)
+	start := a.Next()
+	a.Pad(100)
+	if a.Next() != start+100 {
+		t.Fatalf("Pad(100) moved cursor to %#x from %#x", a.Next(), start)
+	}
+	if a.Used(start) != 100 {
+		t.Fatalf("Used = %d", a.Used(start))
+	}
+}
+
+func TestAllocatorNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Alloc(-1) did not panic")
+		}
+	}()
+	NewAllocator(DefaultGeometry, 64).Alloc(-1, 0)
+}

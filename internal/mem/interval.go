@@ -1,0 +1,169 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// IntervalSet is a set of byte offsets within a single cache line,
+// represented as a sorted list of disjoint half-open intervals [lo, hi).
+// It is the oracle's exact record of which bytes of a line a transaction
+// has speculatively read or written, and is what makes the false/true
+// conflict classification byte-precise.
+//
+// Offsets are small (0..LineSize), so a compact sorted-slice representation
+// beats anything fancier. The zero value is an empty set, ready to use.
+type IntervalSet struct {
+	iv []Interval
+}
+
+// Interval is a half-open byte range [Lo, Hi).
+type Interval struct {
+	Lo, Hi int
+}
+
+// Empty reports whether the set contains no bytes.
+func (s *IntervalSet) Empty() bool { return len(s.iv) == 0 }
+
+// Len returns the total number of bytes in the set.
+func (s *IntervalSet) Len() int {
+	n := 0
+	for _, iv := range s.iv {
+		n += iv.Hi - iv.Lo
+	}
+	return n
+}
+
+// Intervals returns a copy of the underlying disjoint sorted intervals.
+func (s *IntervalSet) Intervals() []Interval {
+	out := make([]Interval, len(s.iv))
+	copy(out, s.iv)
+	return out
+}
+
+// Add inserts the byte range [lo, hi) into the set, merging with any
+// overlapping or adjacent intervals. Empty and inverted ranges are no-ops.
+func (s *IntervalSet) Add(lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	// Find insertion window: all intervals with iv.Hi >= lo can merge.
+	i := sort.Search(len(s.iv), func(i int) bool { return s.iv[i].Hi >= lo })
+	j := i
+	for j < len(s.iv) && s.iv[j].Lo <= hi {
+		if s.iv[j].Lo < lo {
+			lo = s.iv[j].Lo
+		}
+		if s.iv[j].Hi > hi {
+			hi = s.iv[j].Hi
+		}
+		j++
+	}
+	merged := Interval{lo, hi}
+	s.iv = append(s.iv[:i], append([]Interval{merged}, s.iv[j:]...)...)
+}
+
+// Overlaps reports whether any byte of [lo, hi) is in the set.
+func (s *IntervalSet) Overlaps(lo, hi int) bool {
+	if hi <= lo {
+		return false
+	}
+	i := sort.Search(len(s.iv), func(i int) bool { return s.iv[i].Hi > lo })
+	return i < len(s.iv) && s.iv[i].Lo < hi
+}
+
+// Contains reports whether every byte of [lo, hi) is in the set.
+func (s *IntervalSet) Contains(lo, hi int) bool {
+	if hi <= lo {
+		return true
+	}
+	i := sort.Search(len(s.iv), func(i int) bool { return s.iv[i].Hi > lo })
+	return i < len(s.iv) && s.iv[i].Lo <= lo && s.iv[i].Hi >= hi
+}
+
+// Clear empties the set, retaining capacity.
+func (s *IntervalSet) Clear() { s.iv = s.iv[:0] }
+
+// Clone returns an independent copy of the set.
+func (s *IntervalSet) Clone() *IntervalSet {
+	c := &IntervalSet{iv: make([]Interval, len(s.iv))}
+	copy(c.iv, s.iv)
+	return c
+}
+
+// Union adds every interval of t into s.
+func (s *IntervalSet) Union(t *IntervalSet) {
+	for _, iv := range t.iv {
+		s.Add(iv.Lo, iv.Hi)
+	}
+}
+
+// OverlapsSet reports whether the two sets share any byte.
+func (s *IntervalSet) OverlapsSet(t *IntervalSet) bool {
+	i, j := 0, 0
+	for i < len(s.iv) && j < len(t.iv) {
+		a, b := s.iv[i], t.iv[j]
+		if a.Lo < b.Hi && b.Lo < a.Hi {
+			return true
+		}
+		if a.Hi <= b.Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return false
+}
+
+// SubBlockMask returns a bitmask of the n sub-blocks of a lineSize-byte line
+// that contain at least one byte of the set.
+func (s *IntervalSet) SubBlockMask(lineSize, n int) uint64 {
+	sub := lineSize / n
+	var m uint64
+	for _, iv := range s.iv {
+		first := iv.Lo / sub
+		last := (iv.Hi - 1) / sub
+		for b := first; b <= last; b++ {
+			m |= 1 << uint(b)
+		}
+	}
+	return m
+}
+
+// String renders the set like "[0,4)+[8,16)".
+func (s *IntervalSet) String() string {
+	if len(s.iv) == 0 {
+		return "∅"
+	}
+	var b strings.Builder
+	for i, iv := range s.iv {
+		if i > 0 {
+			b.WriteByte('+')
+		}
+		fmt.Fprintf(&b, "[%d,%d)", iv.Lo, iv.Hi)
+	}
+	return b.String()
+}
+
+// invariantOK reports whether the internal representation is sorted,
+// disjoint and non-adjacent. Exposed for property tests via Check.
+func (s *IntervalSet) invariantOK() bool {
+	for i, iv := range s.iv {
+		if iv.Hi <= iv.Lo {
+			return false
+		}
+		if i > 0 && s.iv[i-1].Hi >= iv.Lo {
+			return false
+		}
+	}
+	return true
+}
+
+// Check panics if the set's internal invariants are violated. It is cheap
+// and used by tests; production paths never violate it.
+func (s *IntervalSet) Check() {
+	if !s.invariantOK() {
+		panic(fmt.Sprintf("mem: IntervalSet invariant violated: %v", s.iv))
+	}
+}

@@ -1,0 +1,161 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalSetBasics(t *testing.T) {
+	var s IntervalSet
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	s.Add(4, 8)
+	if s.Empty() || s.Len() != 4 {
+		t.Fatalf("after Add(4,8): empty=%v len=%d", s.Empty(), s.Len())
+	}
+	if !s.Overlaps(0, 5) || !s.Overlaps(7, 10) || s.Overlaps(0, 4) || s.Overlaps(8, 12) {
+		t.Fatal("Overlaps is wrong at the boundaries (half-open semantics)")
+	}
+	if !s.Contains(4, 8) || !s.Contains(5, 6) || s.Contains(4, 9) || s.Contains(3, 5) {
+		t.Fatal("Contains boundary behaviour wrong")
+	}
+}
+
+func TestIntervalSetMerging(t *testing.T) {
+	cases := []struct {
+		adds [][2]int
+		want string
+	}{
+		{[][2]int{{0, 4}, {8, 12}}, "[0,4)+[8,12)"},
+		{[][2]int{{0, 4}, {4, 8}}, "[0,8)"},           // adjacent merge
+		{[][2]int{{0, 4}, {2, 8}}, "[0,8)"},           // overlapping merge
+		{[][2]int{{8, 12}, {0, 4}, {4, 8}}, "[0,12)"}, // bridge
+		{[][2]int{{0, 2}, {4, 6}, {1, 5}}, "[0,6)"},   // swallow both
+		{[][2]int{{5, 5}}, "∅"},                       // empty range
+		{[][2]int{{7, 3}}, "∅"},                       // inverted range
+		{[][2]int{{0, 64}, {10, 20}}, "[0,64)"},       // subsumed
+		{[][2]int{{10, 20}, {0, 64}}, "[0,64)"},       // superseding
+		{[][2]int{{0, 1}, {2, 3}, {4, 5}}, "[0,1)+[2,3)+[4,5)"},
+	}
+	for _, c := range cases {
+		var s IntervalSet
+		for _, a := range c.adds {
+			s.Add(a[0], a[1])
+			s.Check()
+		}
+		if got := s.String(); got != c.want {
+			t.Errorf("adds %v: got %s, want %s", c.adds, got, c.want)
+		}
+	}
+}
+
+// bitmapModel is the trivially-correct reference implementation.
+type bitmapModel [64]bool
+
+func (m *bitmapModel) add(lo, hi int) {
+	for i := lo; i < hi && i < 64; i++ {
+		if i >= 0 {
+			m[i] = true
+		}
+	}
+}
+
+func (m *bitmapModel) overlaps(lo, hi int) bool {
+	for i := lo; i < hi && i < 64; i++ {
+		if i >= 0 && m[i] {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *bitmapModel) count() int {
+	n := 0
+	for _, b := range m {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+func TestIntervalSetVsBitmapModel(t *testing.T) {
+	f := func(ops []uint16, qlo, qhi uint8) bool {
+		var s IntervalSet
+		var m bitmapModel
+		for _, op := range ops {
+			lo := int(op>>8) % 64
+			hi := int(op&0xff) % 65
+			s.Add(lo, hi)
+			m.add(lo, hi)
+			s.Check()
+		}
+		if s.Len() != m.count() {
+			return false
+		}
+		lo, hi := int(qlo)%64, int(qhi)%65
+		return s.Overlaps(lo, hi) == m.overlaps(lo, hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalSetOverlapsSet(t *testing.T) {
+	var a, b IntervalSet
+	a.Add(0, 8)
+	a.Add(16, 24)
+	b.Add(8, 16)
+	if a.OverlapsSet(&b) {
+		t.Fatal("disjoint sets reported overlapping")
+	}
+	b.Add(23, 25)
+	if !a.OverlapsSet(&b) {
+		t.Fatal("overlapping sets reported disjoint")
+	}
+	var empty IntervalSet
+	if a.OverlapsSet(&empty) || empty.OverlapsSet(&a) {
+		t.Fatal("empty set overlaps something")
+	}
+}
+
+func TestIntervalSetUnionClone(t *testing.T) {
+	var a, b IntervalSet
+	a.Add(0, 4)
+	b.Add(4, 8)
+	c := a.Clone()
+	c.Union(&b)
+	if c.String() != "[0,8)" {
+		t.Fatalf("union = %s", c.String())
+	}
+	if a.String() != "[0,4)" {
+		t.Fatalf("clone mutated original: %s", a.String())
+	}
+}
+
+func TestIntervalSetSubBlockMask(t *testing.T) {
+	var s IntervalSet
+	s.Add(0, 4)   // sub-block 0 (of 4, 16B each)
+	s.Add(20, 24) // sub-block 1
+	s.Add(48, 64) // sub-block 3
+	if got := s.SubBlockMask(64, 4); got != 0b1011 {
+		t.Fatalf("SubBlockMask(64,4) = %b, want 1011", got)
+	}
+	if got := s.SubBlockMask(64, 16); got != (1<<0)|(1<<5)|(0xf<<12) {
+		t.Fatalf("SubBlockMask(64,16) = %b", got)
+	}
+}
+
+func TestIntervalSetClear(t *testing.T) {
+	var s IntervalSet
+	s.Add(0, 10)
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("Clear left data")
+	}
+	s.Add(5, 6) // reusable after clear
+	if s.Len() != 1 {
+		t.Fatal("set unusable after Clear")
+	}
+}

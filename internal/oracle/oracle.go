@@ -1,0 +1,195 @@
+// Package oracle tracks the byte-exact speculative footprint of every
+// running transaction. It is the measurement instrument behind the paper's
+// characterization: each conflict the ASF engine detects is classified as
+// true or false by comparing the probing access's byte range against the
+// holder's exact read/write byte sets, and typed as WAR, RAW or WAW
+// (Figs. 1 and 2). It also implements the paper's "perfect system with no
+// false transactional conflict", which detects conflicts at byte
+// granularity (§V-A).
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// ConflictType is the paper's Fig. 2 taxonomy, named after the order
+// (second access)-after-(holder's access): an incoming write probing a
+// speculatively read line is WAR, an incoming read probing a speculatively
+// written line is RAW, and write-over-write is WAW.
+type ConflictType int
+
+const (
+	WAR ConflictType = iota
+	RAW
+	WAW
+	NumConflictTypes
+)
+
+func (t ConflictType) String() string {
+	switch t {
+	case WAR:
+		return "WAR"
+	case RAW:
+		return "RAW"
+	case WAW:
+		return "WAW"
+	}
+	return fmt.Sprintf("ConflictType(%d)", int(t))
+}
+
+// Footprint is the exact byte-level speculative read and write sets of one
+// transaction attempt. The zero value is empty and ready to use after
+// Reset; construct with NewFootprint.
+type Footprint struct {
+	geom   mem.Geometry
+	reads  map[mem.LineAddr]*mem.IntervalSet
+	writes map[mem.LineAddr]*mem.IntervalSet
+}
+
+// NewFootprint returns an empty footprint for the given geometry.
+func NewFootprint(g mem.Geometry) *Footprint {
+	return &Footprint{
+		geom:   g,
+		reads:  make(map[mem.LineAddr]*mem.IntervalSet),
+		writes: make(map[mem.LineAddr]*mem.IntervalSet),
+	}
+}
+
+// Reset empties both sets (transaction begin / after commit / abort).
+func (f *Footprint) Reset() {
+	for k := range f.reads {
+		delete(f.reads, k)
+	}
+	for k := range f.writes {
+		delete(f.writes, k)
+	}
+}
+
+// RecordRead adds the line-confined byte range [off, off+size) to the read set.
+func (f *Footprint) RecordRead(line mem.LineAddr, off, size int) {
+	s := f.reads[line]
+	if s == nil {
+		s = &mem.IntervalSet{}
+		f.reads[line] = s
+	}
+	s.Add(off, off+size)
+}
+
+// RecordWrite adds the range to the write set.
+func (f *Footprint) RecordWrite(line mem.LineAddr, off, size int) {
+	s := f.writes[line]
+	if s == nil {
+		s = &mem.IntervalSet{}
+		f.writes[line] = s
+	}
+	s.Add(off, off+size)
+}
+
+// ReadBytes returns the read-set intervals for line (nil if none).
+func (f *Footprint) ReadBytes(line mem.LineAddr) *mem.IntervalSet { return f.reads[line] }
+
+// WriteBytes returns the write-set intervals for line (nil if none).
+func (f *Footprint) WriteBytes(line mem.LineAddr) *mem.IntervalSet { return f.writes[line] }
+
+// HasLine reports whether the footprint touches line at all.
+func (f *Footprint) HasLine(line mem.LineAddr) bool {
+	if s := f.reads[line]; s != nil && !s.Empty() {
+		return true
+	}
+	if s := f.writes[line]; s != nil && !s.Empty() {
+		return true
+	}
+	return false
+}
+
+// Lines returns every line in the footprint, sorted (deterministic
+// iteration for aborts and stats).
+func (f *Footprint) Lines() []mem.LineAddr {
+	set := make(map[mem.LineAddr]struct{}, len(f.reads)+len(f.writes))
+	for l := range f.reads {
+		set[l] = struct{}{}
+	}
+	for l := range f.writes {
+		set[l] = struct{}{}
+	}
+	out := make([]mem.LineAddr, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WrittenLines returns the speculatively written lines, sorted.
+func (f *Footprint) WrittenLines() []mem.LineAddr {
+	out := make([]mem.LineAddr, 0, len(f.writes))
+	for l := range f.writes {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Verdict is the oracle's judgment of one detected conflict.
+type Verdict struct {
+	True bool         // byte ranges actually overlap per access-type rules
+	Type ConflictType // WAR / RAW / WAW (line-granularity typing, as the paper counts them)
+}
+
+// Judge classifies a conflict between an incoming probe (invalidating =
+// write-intent) covering bytes [off, off+size) of line, and the holder's
+// footprint f.
+//
+//   - Typing follows the holder's speculative use of the LINE, which is
+//     what the hardware counters can see: an invalidating probe against a
+//     line the holder has written is WAW, against a line only read is WAR;
+//     a non-invalidating probe (only ever a conflict against a written
+//     line) is RAW.
+//   - Truth is byte-exact: a write probe truly conflicts only if it
+//     overlaps the holder's read or write BYTES; a read probe only if it
+//     overlaps the holder's written BYTES. Everything else is a false
+//     conflict caused by sub-line false sharing.
+func (f *Footprint) Judge(line mem.LineAddr, off, size int, invalidating bool) Verdict {
+	lo, hi := off, off+size
+	r := f.reads[line]
+	w := f.writes[line]
+	wroteLine := w != nil && !w.Empty()
+	var v Verdict
+	if invalidating {
+		if wroteLine {
+			v.Type = WAW
+		} else {
+			v.Type = WAR
+		}
+		v.True = (r != nil && r.Overlaps(lo, hi)) || (w != nil && w.Overlaps(lo, hi))
+	} else {
+		v.Type = RAW
+		v.True = w != nil && w.Overlaps(lo, hi)
+	}
+	return v
+}
+
+// PerfectConflict implements the paper's ideal zero-false-conflict system:
+// it reports whether the probe is a conflict at byte granularity. It is
+// exactly Judge(...).True.
+func (f *Footprint) PerfectConflict(line mem.LineAddr, off, size int, invalidating bool) bool {
+	return f.Judge(line, off, size, invalidating).True
+}
+
+// LineCount returns the number of distinct lines in the footprint, used by
+// capacity accounting and tests.
+func (f *Footprint) LineCount() int { return len(f.Lines()) }
+
+// ByteCounts returns the total bytes in the read and write sets.
+func (f *Footprint) ByteCounts() (readBytes, writeBytes int) {
+	for _, s := range f.reads {
+		readBytes += s.Len()
+	}
+	for _, s := range f.writes {
+		writeBytes += s.Len()
+	}
+	return
+}

@@ -1,0 +1,262 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator for the simulator and its workloads.
+//
+// The simulator's headline property is bit-exact reproducibility: the same
+// seed must produce the same transactional access stream, the same conflicts
+// and the same final clock on every run and every Go release. math/rand makes
+// no cross-version stream guarantees, so this package implements its own
+// generator: xoshiro256** seeded through SplitMix64, the combination
+// recommended by the xoshiro authors. Both algorithms are public domain.
+package rng
+
+// Rand is a deterministic source of pseudo-random numbers.
+// The zero value is not valid; use New.
+type Rand struct {
+	s [4]uint64
+}
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used only to expand the user seed into the xoshiro state, which
+// must not be all zero.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed. Distinct seeds give independent
+// streams; the same seed always gives the same stream.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	return r
+}
+
+// Fork returns a new generator whose stream is a deterministic function of
+// this generator's current state and the given stream id. It is used to give
+// every simulated thread its own independent stream derived from the run
+// seed, so that adding a thread never perturbs the streams of the others.
+func (r *Rand) Fork(stream uint64) *Rand {
+	return New(r.Uint64() ^ (stream+1)*0x9e3779b97f4a7c15)
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits (xoshiro256**).
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n). n must be > 0.
+// It uses Lemire's multiply-shift rejection method, which is unbiased.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// 128-bit multiply via 64x64->128 decomposition.
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= n || lo >= -n%n {
+			// Accept unless lo falls in the biased low region.
+			// (-n % n) == (2^64 - n) % n, the size of the rejection zone.
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}
+
+// Intn returns a uniform int in [0, n). n must be > 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Int63 returns a uniform non-negative int64.
+func (r *Rand) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	// 53 high-quality bits -> [0,1) with full double precision.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle randomizes the order of n elements using swap (Fisher-Yates).
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Zipf draws from a Zipf-like distribution over [0, n) with skew s >= 0
+// using inverse-CDF on a precomputed table-free approximation: it draws
+// a uniform u and walks a geometric-style acceptance. For the workload
+// sizes used here (n up to a few thousand) the simple rejection method
+// below is fast enough and exactly reproducible.
+//
+// s == 0 degenerates to uniform.
+type Zipf struct {
+	r    *Rand
+	n    int
+	cdf  []float64 // cumulative probabilities, length n
+	skew float64
+}
+
+// NewZipf builds a Zipf sampler over ranks [0, n) with exponent skew.
+func NewZipf(r *Rand, n int, skew float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with n <= 0")
+	}
+	z := &Zipf{r: r, n: n, skew: skew, cdf: make([]float64, n)}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1.0 / powFloat(float64(i+1), skew)
+		z.cdf[i] = sum
+	}
+	inv := 1.0 / sum
+	for i := range z.cdf {
+		z.cdf[i] *= inv
+	}
+	z.cdf[n-1] = 1.0 // guard against rounding
+	return z
+}
+
+// Draw returns the next Zipf-distributed rank in [0, n).
+func (z *Zipf) Draw() int {
+	u := z.r.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// powFloat computes x**y for x > 0 without importing math, using
+// exp(y*ln x) via small local implementations. Precision is ample for
+// sampling distributions. Implemented locally to keep the package
+// dependency-free and its output platform-stable.
+func powFloat(x, y float64) float64 {
+	if y == 0 || x == 1 {
+		return 1
+	}
+	if y == 1 {
+		return x
+	}
+	return expFloat(y * lnFloat(x))
+}
+
+// lnFloat is a natural log via atanh series after range reduction by
+// halving toward [0.5, 2).
+func lnFloat(x float64) float64 {
+	if x <= 0 {
+		panic("rng: lnFloat domain")
+	}
+	const ln2 = 0.6931471805599453
+	k := 0
+	for x > 1.5 {
+		x *= 0.5
+		k++
+	}
+	for x < 0.75 {
+		x *= 2
+		k--
+	}
+	// ln(x) = 2*atanh((x-1)/(x+1))
+	t := (x - 1) / (x + 1)
+	t2 := t * t
+	sum := t
+	term := t
+	for i := 3; i < 30; i += 2 {
+		term *= t2
+		sum += term / float64(i)
+	}
+	return 2*sum + float64(k)*ln2
+}
+
+// expFloat computes e**x by range reduction to [-ln2/2, ln2/2] and a
+// Taylor series.
+func expFloat(x float64) float64 {
+	const ln2 = 0.6931471805599453
+	// x = k*ln2 + r
+	k := int(x/ln2 + signOf(x)*0.5)
+	r := x - float64(k)*ln2
+	// Taylor for e^r.
+	sum := 1.0
+	term := 1.0
+	for i := 1; i < 20; i++ {
+		term *= r / float64(i)
+		sum += term
+	}
+	// scale by 2^k
+	for ; k > 0; k-- {
+		sum *= 2
+	}
+	for ; k < 0; k++ {
+		sum *= 0.5
+	}
+	return sum
+}
+
+func signOf(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

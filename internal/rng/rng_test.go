@@ -1,0 +1,275 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("step %d: same seed diverged: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values in 100 draws", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	// The all-zero xoshiro state is invalid; SplitMix expansion must avoid it.
+	var any uint64
+	for i := 0; i < 10; i++ {
+		any |= r.Uint64()
+	}
+	if any == 0 {
+		t.Fatal("seed 0 generator is stuck at zero")
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	root := New(7)
+	a := root.Fork(0)
+	b := root.Fork(1)
+	// Streams must differ from each other...
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked streams coincide on %d of 100 draws", same)
+	}
+	// ...and forks must be reproducible from an identical parent state.
+	r1, r2 := New(7), New(7)
+	f1, f2 := r1.Fork(5), r2.Fork(5)
+	for i := 0; i < 50; i++ {
+		if f1.Uint64() != f2.Uint64() {
+			t.Fatal("identical forks diverged")
+		}
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(3)
+	for _, n := range []uint64{1, 2, 3, 7, 16, 1000, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Coarse uniformity: 10 buckets over n=10, 100k draws; each bucket
+	// within 5% of the expectation. Catches gross bias (e.g. modulo bias).
+	r := New(9)
+	const draws = 100000
+	var buckets [10]int
+	for i := 0; i < draws; i++ {
+		buckets[r.Uint64n(10)]++
+	}
+	for b, c := range buckets {
+		if math.Abs(float64(c)-draws/10) > draws/10*0.05 {
+			t.Errorf("bucket %d has %d draws, want ~%d", b, c, draws/10)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(13)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) hit rate %.4f", got)
+	}
+	if r.Bool(0) {
+		// Bool(0) may never be true... one draw can't prove it, but
+		// p=0 means Float64() < 0, impossible.
+		t.Fatal("Bool(0) returned true")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		p := New(seed).Perm(int(n))
+		if len(p) != int(n) {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(17)
+	s := []int{1, 1, 2, 3, 5, 8, 13, 21}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	got := 0
+	for _, v := range s {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed element sum: %d -> %d", sum, got)
+	}
+}
+
+func TestZipfBoundsAndSkew(t *testing.T) {
+	r := New(19)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		v := z.Draw()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must dominate rank 50 heavily under skew 1.
+	if counts[0] < counts[50]*5 {
+		t.Fatalf("Zipf skew too weak: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+}
+
+func TestZipfZeroSkewIsUniformish(t *testing.T) {
+	r := New(23)
+	z := NewZipf(r, 10, 0)
+	counts := make([]int, 10)
+	for i := 0; i < 50000; i++ {
+		counts[z.Draw()]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-5000) > 300 {
+			t.Errorf("skew-0 Zipf bucket %d: %d draws, want ~5000", i, c)
+		}
+	}
+}
+
+func TestZipfInvalidNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0) did not panic")
+		}
+	}()
+	NewZipf(New(1), 0, 1)
+}
+
+func TestLnFloatAccuracy(t *testing.T) {
+	for _, x := range []float64{0.1, 0.5, 0.9, 1, 1.5, 2, 10, 123.456, 1e6} {
+		got, want := lnFloat(x), math.Log(x)
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Errorf("lnFloat(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestExpFloatAccuracy(t *testing.T) {
+	for _, x := range []float64{-10, -1, -0.1, 0, 0.1, 1, 5, 20} {
+		got, want := expFloat(x), math.Exp(x)
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Errorf("expFloat(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestPowFloatAccuracy(t *testing.T) {
+	for _, c := range []struct{ x, y float64 }{
+		{2, 10}, {10, 0.5}, {3, 0}, {1, 99}, {7, 1}, {1.5, 2.5},
+	} {
+		got, want := powFloat(c.x, c.y), math.Pow(c.x, c.y)
+		if math.Abs(got-want) > 1e-8*(1+want) {
+			t.Errorf("powFloat(%v,%v) = %v, want %v", c.x, c.y, got, want)
+		}
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct{ x, y, hi, lo uint64 }{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{^uint64(0), ^uint64(0), ^uint64(0) - 1, 1},
+		{0xdeadbeef, 0x12345678, 0, 0xdeadbeef * 0x12345678},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.x, c.y)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%#x,%#x) = (%#x,%#x), want (%#x,%#x)", c.x, c.y, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}
+
+func BenchmarkUint64n(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64n(1000)
+	}
+}

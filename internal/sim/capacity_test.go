@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// bigTxWorkload models the yada/hmm class the paper excluded: transactions
+// whose footprints stress ASF's L1-bound speculative capacity. Each
+// transaction reads `span` lines mapped into FEW L1 sets (associativity
+// pressure, the real ASF killer) and writes one summary word.
+type bigTxWorkload struct {
+	span    int // lines touched per transaction
+	sets    int // distinct L1 sets those lines collide into
+	txs     int // transactions per thread
+	base    mem.Addr
+	sumBase mem.Addr
+}
+
+func (w *bigTxWorkload) Name() string        { return fmt.Sprintf("bigtx-%d", w.span) }
+func (w *bigTxWorkload) Description() string { return "capacity-stress transactions (yada/hmm class)" }
+
+func (w *bigTxWorkload) Setup(m *Machine) {
+	// Allocate span lines per set-group: line k lands in set (k % sets) by
+	// choosing addresses with a stride of sets*... we use the Table II L1:
+	// 512 sets, 64B lines. Address line index i*512 + (i%sets) maps to set
+	// i%sets.
+	w.base = m.Alloc().Alloc(64*64*520, 64)
+	// The region size is a multiple of 512 lines, so the next line would
+	// fold into the footprint's own L1 sets; push the summary well past
+	// the largest per-set footprint group used by any test (16 sets).
+	m.Alloc().Pad(64 * 32)
+	w.sumBase = m.Alloc().AllocLine(8 * m.Threads())
+}
+
+// lineAddr returns the i-th line of the transaction footprint, folded into
+// w.sets L1 sets.
+func (w *bigTxWorkload) lineAddr(i int) mem.Addr {
+	return w.base + mem.Addr(((i%w.sets)+(i/w.sets)*512)*64)
+}
+
+func (w *bigTxWorkload) Run(t *Thread) {
+	for i := 0; i < w.txs; i++ {
+		t.Atomic(func(tx *Tx) {
+			var sum uint64
+			for k := 0; k < w.span; k++ {
+				sum += tx.Load(w.lineAddr(k), 8)
+			}
+			tx.Store(w.sumBase+mem.Addr(8*t.ID()), 8, sum+1)
+		})
+		t.Work(100)
+	}
+}
+
+func (w *bigTxWorkload) Validate(m *Machine) error { return nil }
+
+// TestCapacityAbortsScaleWithFootprint shows the ASF capacity cliff the
+// paper's yada/hmm exclusion hides: transactions whose per-set line count
+// stays within the L1's 2 ways commit speculatively; once a set must hold
+// 3+ speculative lines, every attempt capacity-aborts and only the serial
+// fallback completes them.
+func TestCapacityAbortsScaleWithFootprint(t *testing.T) {
+	run := func(span, sets int) (capAborts, fallbacks uint64) {
+		cfg := DefaultConfig()
+		cfg.Core = core.Config{Mode: core.ModeBaseline}
+		cfg.Cores = 2 // capacity, not contention, is under test
+		cfg.MaxRetries = 4
+		m, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Execute(&bigTxWorkload{span: span, sets: sets, txs: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.AbortsBy[core.ReasonCapacity], r.Fallbacks
+	}
+
+	// 2 lines into 1 set: fits the 2-way L1 exactly.
+	if cap0, fb0 := run(2, 1); cap0 != 0 || fb0 != 0 {
+		t.Fatalf("2 lines / 1 set capacity-aborted (%d aborts, %d fallbacks)", cap0, fb0)
+	}
+	// 3 lines into 1 set: guaranteed overflow; every block needs fallback.
+	capN, fbN := run(3, 1)
+	if capN == 0 {
+		t.Fatal("3 lines / 1 set never capacity-aborted")
+	}
+	if fbN == 0 {
+		t.Fatal("overflowing transactions never reached the serial fallback")
+	}
+	// 24 lines spread over 16 sets: 1-2 lines per set, fits again.
+	if capW, _ := run(24, 16); capW != 0 {
+		t.Fatalf("24 lines over 16 sets capacity-aborted %d times", capW)
+	}
+}
+
+// TestFallbackCompletesOverflowingTransactions: the end-to-end guarantee
+// that makes best-effort ASF usable — blocks that can never commit
+// speculatively still complete exactly once, under the lock.
+func TestFallbackCompletesOverflowingTransactions(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Core = core.Config{Mode: core.ModeBaseline}
+	cfg.Cores = 4
+	cfg.MaxRetries = 3
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &bigTxWorkload{span: 3, sets: 1, txs: 4}
+	r, err := m.Execute(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every thread's summary word must have been written (4 times, last
+	// write wins; value is sum+1 > 0).
+	for i := 0; i < 4; i++ {
+		if got := m.Memory().LoadUint(w.sumBase+mem.Addr(8*i), 8); got == 0 {
+			t.Fatalf("thread %d's overflowing blocks never completed", i)
+		}
+	}
+	if r.Fallbacks != uint64(4*w.txs) {
+		t.Fatalf("fallbacks %d, want %d (every block overflows)", r.Fallbacks, 4*w.txs)
+	}
+	// Committed speculative transactions: zero (all went serial).
+	if r.TxCommitted != 0 {
+		t.Fatalf("%d speculative commits of guaranteed-overflow transactions", r.TxCommitted)
+	}
+}
+
+// TestFootprintHistogramSeesBigTx: the capacity instrument records the
+// large footprints (the measurement that justifies excluding yada/hmm).
+func TestFootprintHistogramSeesBigTx(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Core = core.Config{Mode: core.ModeBaseline}
+	cfg.Cores = 2
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Execute(&bigTxWorkload{span: 40, sets: 40, txs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 40 footprint lines + summary + lock subscription = 42.
+	if got := r.FootprintLines.Max(); got != 42 {
+		t.Fatalf("max footprint %d lines, want 42", got)
+	}
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// Event is one entry of the machine's structured event log: the
+// transaction lifecycle and conflict stream, in simulated-time order.
+// Because the simulator is deterministic, an event log is a reproducible
+// artifact: the same seed yields the same log, which makes "why did my
+// transaction abort" a grep instead of a heisenbug hunt.
+type Event struct {
+	Cycle int64  `json:"cycle"`
+	Core  int    `json:"core"`
+	Kind  string `json:"kind"` // begin, commit, abort, conflict, fallback
+
+	// abort events
+	Reason string `json:"reason,omitempty"`
+
+	// conflict events (holder's perspective; Core is the holder)
+	Requester int    `json:"requester,omitempty"`
+	Line      uint64 `json:"line,omitempty"` // dense line index
+	Type      string `json:"type,omitempty"` // WAR / RAW / WAW
+	False     bool   `json:"false,omitempty"`
+}
+
+// eventLog serializes events to a writer as JSON lines. It is owned by the
+// machine and only ever used from the single running simulation goroutine.
+type eventLog struct {
+	enc *json.Encoder
+	err error // first write error; subsequent writes are dropped
+	n   uint64
+}
+
+func newEventLog(w io.Writer) *eventLog {
+	return &eventLog{enc: json.NewEncoder(w)}
+}
+
+func (l *eventLog) emit(e Event) {
+	if l == nil || l.err != nil {
+		return
+	}
+	if err := l.enc.Encode(e); err != nil {
+		l.err = err
+		return
+	}
+	l.n++
+}
+
+// logTxBegin records a transaction attempt start.
+func (m *Machine) logTxBegin(core int) {
+	if m.events == nil {
+		return
+	}
+	m.events.emit(Event{Cycle: m.now, Core: core, Kind: "begin"})
+}
+
+// logTxCommit records a successful commit.
+func (m *Machine) logTxCommit(core int) {
+	if m.events == nil {
+		return
+	}
+	m.events.emit(Event{Cycle: m.now, Core: core, Kind: "commit"})
+}
+
+// logAbort records an abort with its reason.
+func (m *Machine) logAbort(coreID int, reason core.AbortReason) {
+	if m.events == nil {
+		return
+	}
+	m.events.emit(Event{Cycle: m.now, Core: coreID, Kind: "abort", Reason: reason.String()})
+}
+
+// logConflict records a detected conflict (holder's side).
+func (m *Machine) logConflict(c core.Conflict) {
+	if m.events == nil {
+		return
+	}
+	m.events.emit(Event{
+		Cycle: m.now, Core: c.Holder, Kind: "conflict",
+		Requester: c.Requester,
+		Line:      m.geom.LineIndex(c.Line),
+		Type:      c.Verdict.Type.String(),
+		False:     !c.Verdict.True,
+	})
+}
+
+// logFallback records a serial-lock acquisition.
+func (m *Machine) logFallback(core int) {
+	if m.events == nil {
+		return
+	}
+	m.events.emit(Event{Cycle: m.now, Core: core, Kind: "fallback"})
+}
+
+// EventCount returns the number of events written so far and any write
+// error encountered (diagnostics for tests and tools).
+func (m *Machine) EventCount() (uint64, error) {
+	if m.events == nil {
+		return 0, nil
+	}
+	return m.events.n, m.events.err
+}
+
+// DecodeEvents parses a JSON-lines event log back into events — the
+// reading half used by analysis tools and tests.
+func DecodeEvents(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("sim: event log decode: %w", err)
+		}
+		out = append(out, e)
+	}
+}
+
+// EventStats summarizes an event stream for analysis tools: conflicts by
+// (line, type, false) and abort counts per reason.
+type EventStats struct {
+	Begins, Commits, Aborts, Fallbacks int
+	ConflictsByLine                    map[uint64]int
+	FalseByLine                        map[uint64]int
+	AbortsByReason                     map[string]int
+}
+
+// SummarizeEvents folds an event slice into EventStats.
+func SummarizeEvents(events []Event) *EventStats {
+	s := &EventStats{
+		ConflictsByLine: make(map[uint64]int),
+		FalseByLine:     make(map[uint64]int),
+		AbortsByReason:  make(map[string]int),
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case "begin":
+			s.Begins++
+		case "commit":
+			s.Commits++
+		case "abort":
+			s.Aborts++
+			s.AbortsByReason[e.Reason]++
+		case "fallback":
+			s.Fallbacks++
+		case "conflict":
+			s.ConflictsByLine[e.Line]++
+			if e.False {
+				s.FalseByLine[e.Line]++
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestEventLogRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig(core.ModeBaseline)
+	cfg.EventLog = &buf
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Execute(&counterWorkload{n: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, werr := m.EventCount(); werr != nil || n == 0 {
+		t.Fatalf("event count %d err %v", n, werr)
+	}
+	events, err := DecodeEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := SummarizeEvents(events)
+	// The log must agree with the aggregated statistics exactly.
+	if uint64(s.Begins) != r.TxStarted {
+		t.Fatalf("log begins %d != TxStarted %d", s.Begins, r.TxStarted)
+	}
+	if uint64(s.Commits) != r.TxCommitted {
+		t.Fatalf("log commits %d != TxCommitted %d", s.Commits, r.TxCommitted)
+	}
+	if uint64(s.Aborts) != r.TxAborted {
+		t.Fatalf("log aborts %d != TxAborted %d", s.Aborts, r.TxAborted)
+	}
+	var confl int
+	for _, c := range s.ConflictsByLine {
+		confl += c
+	}
+	if uint64(confl) != r.Conflicts {
+		t.Fatalf("log conflicts %d != Conflicts %d", confl, r.Conflicts)
+	}
+}
+
+func TestEventLogOrderingInvariants(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig(core.ModeSubBlock)
+	cfg.EventLog = &buf
+	m, _ := NewMachine(cfg)
+	if _, err := m.Execute(&falseShareWorkload{n: 20}); err != nil {
+		t.Fatal(err)
+	}
+	events, err := DecodeEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per core: lifecycle alternates begin -> (commit|abort); cycles are
+	// globally monotone non-decreasing.
+	open := make(map[int]bool)
+	var last int64
+	for i, e := range events {
+		if e.Cycle < last {
+			t.Fatalf("event %d: cycle went backwards (%d < %d)", i, e.Cycle, last)
+		}
+		last = e.Cycle
+		switch e.Kind {
+		case "begin":
+			if open[e.Core] {
+				t.Fatalf("event %d: core %d began a tx inside a tx", i, e.Core)
+			}
+			open[e.Core] = true
+		case "commit", "abort":
+			if !open[e.Core] {
+				t.Fatalf("event %d: core %d %s without begin", i, e.Core, e.Kind)
+			}
+			open[e.Core] = false
+		}
+	}
+}
+
+func TestEventLogDeterministic(t *testing.T) {
+	runLog := func() string {
+		var buf bytes.Buffer
+		cfg := testConfig(core.ModeBaseline)
+		cfg.Seed = 9
+		cfg.EventLog = &buf
+		m, _ := NewMachine(cfg)
+		if _, err := m.Execute(&counterWorkload{n: 10}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := runLog(), runLog(); a != b {
+		t.Fatal("same-seed event logs differ")
+	}
+}
+
+func TestDecodeEventsBadInput(t *testing.T) {
+	_, err := DecodeEvents(strings.NewReader(`{"cycle":1}` + "\n" + `garbage`))
+	if err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

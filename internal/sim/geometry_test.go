@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// hierFor builds a scaled-down hierarchy with the given line size, keeping
+// power-of-two set counts.
+func hierFor(lineSize int) cache.HierarchyConfig {
+	return cache.HierarchyConfig{
+		L1:         cache.Config{Name: "L1D", SizeBytes: 64 * lineSize * 2, LineSize: lineSize, Assoc: 2, LatencyCyc: 3},
+		L2:         cache.Config{Name: "L2", SizeBytes: 256 * lineSize * 4, LineSize: lineSize, Assoc: 4, LatencyCyc: 15},
+		L3:         cache.Config{Name: "L3", SizeBytes: 512 * lineSize * 4, LineSize: lineSize, Assoc: 4, LatencyCyc: 50},
+		MemLatency: 210,
+		BusLatency: 60,
+	}
+}
+
+// TestAlternativeLineSizes runs the full stack at 32- and 128-byte lines:
+// nothing in the simulator may silently assume the paper's 64-byte
+// geometry. Sub-blocking at 4 granules must still eliminate the
+// disjoint-slot false sharing.
+func TestAlternativeLineSizes(t *testing.T) {
+	for _, lineSize := range []int{32, 128} {
+		t.Run(fmt.Sprintf("line%d", lineSize), func(t *testing.T) {
+			for _, mode := range []core.Mode{core.ModeBaseline, core.ModeSubBlock, core.ModePerfect} {
+				cfg := DefaultConfig()
+				cfg.Hier = hierFor(lineSize)
+				cfg.Core = core.Config{Mode: mode, Geom: mem.Geometry{LineSize: lineSize}}
+				if mode == core.ModeSubBlock {
+					cfg.Core.SubBlocks = 4
+					cfg.Core.RetainInvalidState = true
+					cfg.Core.DirtyProtocol = true
+				}
+				m, err := NewMachine(cfg)
+				if err != nil {
+					t.Fatalf("mode %v: %v", mode, err)
+				}
+				// The per-thread slots must fit one line: use lineSize/8
+				// threads' worth in one line and pin cores to 4.
+				r, err := m.Execute(&geomSlotWorkload{lineSize: lineSize})
+				if err != nil {
+					t.Fatalf("mode %v: %v", mode, err)
+				}
+				if err := m.CheckCoherence(); err != nil {
+					t.Fatalf("mode %v: %v", mode, err)
+				}
+				// With 32B lines, 8 threads fold onto 4 slots, so TRUE
+				// conflicts exist; what perfect mode must never see is a
+				// false one.
+				if mode == core.ModePerfect && r.FalseConflicts != 0 {
+					t.Fatalf("perfect mode at %dB lines saw %d false conflicts", lineSize, r.FalseConflicts)
+				}
+				if mode == core.ModeBaseline && r.Conflicts == 0 {
+					t.Fatalf("baseline at %dB lines saw no conflicts on a packed line", lineSize)
+				}
+			}
+		})
+	}
+}
+
+// geomSlotWorkload: thread i RMWs slot i of one line (8-byte slots); with
+// 32-byte lines only threads 0-3 share; with 128-byte lines all 8 do. To
+// stay line-confined each thread uses slot (id mod lineSize/8).
+type geomSlotWorkload struct {
+	lineSize int
+	base     mem.Addr
+}
+
+func (w *geomSlotWorkload) Name() string        { return "geomslots" }
+func (w *geomSlotWorkload) Description() string { return "per-thread slots, one line" }
+func (w *geomSlotWorkload) Setup(m *Machine) {
+	w.base = m.Alloc().Alloc(w.lineSize, w.lineSize)
+}
+func (w *geomSlotWorkload) Run(t *Thread) {
+	slots := w.lineSize / 8
+	slot := w.base + mem.Addr(8*(t.ID()%slots))
+	for i := 0; i < 25; i++ {
+		t.Atomic(func(tx *Tx) {
+			tx.Store(slot, 8, tx.Load(slot, 8)+1)
+		})
+		t.Work(60)
+	}
+}
+func (w *geomSlotWorkload) Validate(m *Machine) error {
+	slots := w.lineSize / 8
+	want := make(map[int]uint64)
+	for id := 0; id < m.Threads(); id++ {
+		want[id%slots] += 25
+	}
+	for s, exp := range want {
+		if got := m.Memory().LoadUint(w.base+mem.Addr(8*s), 8); got != exp {
+			return fmt.Errorf("slot %d = %d, want %d", s, got, exp)
+		}
+	}
+	return nil
+}
+
+// TestGeometryMismatchRejected: the machine must refuse inconsistent
+// core/cache line sizes rather than silently mis-index.
+func TestGeometryMismatchRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hier = hierFor(32)
+	cfg.Core = core.Config{Mode: core.ModeBaseline} // defaults to 64B geometry
+	if _, err := NewMachine(cfg); err == nil {
+		t.Fatal("mismatched line sizes accepted")
+	}
+}

@@ -1,0 +1,481 @@
+// Package sim assembles the full simulated machine — cores, private cache
+// hierarchies, the MOESI bus, the ASF engines — and provides the
+// deterministic thread scheduler and the transactional runtime that
+// workloads program against.
+//
+// Determinism contract: simulated threads are goroutines, but a strict
+// channel handshake guarantees exactly one runs at any instant; the
+// scheduler always resumes the thread with the smallest (wake-time, id)
+// pair. The same configuration and seed therefore produce bit-identical
+// results on every run.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/backoff"
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/oracle"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Cores      int                   // simulated cores == worker threads (Table II: 8)
+	Hier       cache.HierarchyConfig // per-core private hierarchy (Table II)
+	Core       core.Config           // conflict-detection mode / sub-blocks
+	Backoff    backoff.Config        // §V-A exponential backoff manager
+	MaxRetries int                   // attempts before the serial-lock fallback (best-effort HTM escape hatch)
+	Seed       uint64
+
+	// MaxCycles aborts the simulation with an error if the clock passes
+	// it — a watchdog against workload bugs that spin forever (0 = off).
+	MaxCycles int64
+
+	// CommitCycles is the fixed cost charged for a successful commit
+	// (gang-clearing the speculative bits); AbortCycles likewise for the
+	// discard on abort.
+	CommitCycles int64
+	AbortCycles  int64
+
+	// Trace toggles for the Fig 3/4/5 instrumentation (off by default:
+	// they cost memory on long runs).
+	TraceSeries  bool
+	TraceLines   bool
+	TraceOffsets bool
+
+	// EventLog, when non-nil, receives the structured transaction/conflict
+	// event stream as JSON lines (see Event). Deterministic per seed.
+	EventLog io.Writer
+
+	// RecordTrace, when non-nil, receives the workload's logical
+	// operation stream (committed attempts only) as a JSON-lines trace
+	// replayable with workloads.Replay — see internal/trace.
+	RecordTrace io.Writer
+
+	// WatchLines requests per-line intra-line access histograms for the
+	// given dense line indices (Result.WatchedOffsets). Combined with the
+	// simulator's determinism this enables two-pass analyses: find hot
+	// lines in pass one, replay the same seed watching them in pass two.
+	WatchLines []uint64
+}
+
+// DefaultConfig is the paper's Table II machine with the baseline ASF.
+func DefaultConfig() Config {
+	return Config{
+		Cores:        8,
+		Hier:         cache.DefaultHierarchy(),
+		Core:         core.Config{Mode: core.ModeBaseline},
+		Backoff:      backoff.DefaultConfig(),
+		MaxRetries:   64,
+		Seed:         1,
+		CommitCycles: 12,
+		AbortCycles:  30,
+	}
+}
+
+// Machine is one fully assembled simulated system.
+type Machine struct {
+	cfg     Config
+	geom    mem.Geometry
+	memory  *mem.Memory
+	alloc   *mem.Allocator
+	bus     *coherence.Bus
+	hiers   []*cache.Hierarchy
+	engines []*core.Engine
+	threads []*Thread
+	root    *rng.Rand
+
+	now int64 // simulated time of the op being executed
+
+	yieldCh chan yieldMsg
+
+	// Serial fallback lock (one word in its own line).
+	lockAddr mem.Addr
+	lockLine mem.LineAddr
+
+	// Live counters for the traces.
+	run          *stats.Run
+	txStartedCum uint64
+	falseCum     uint64
+
+	events   *eventLog
+	recorder *trace.Writer
+
+	executed bool
+}
+
+type yieldMsg struct {
+	t        *Thread
+	finished bool
+	panicked any
+}
+
+// NewMachine builds a machine; cfg.Core is normalized in place.
+func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("sim: Cores must be positive, got %d", cfg.Cores)
+	}
+	if err := cfg.Core.Normalize(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Hier.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Core.Geom.LineSize != cfg.Hier.L1.LineSize {
+		return nil, fmt.Errorf("sim: core geometry line %dB != cache line %dB",
+			cfg.Core.Geom.LineSize, cfg.Hier.L1.LineSize)
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 64
+	}
+	if cfg.CommitCycles <= 0 {
+		cfg.CommitCycles = 12
+	}
+	if cfg.AbortCycles <= 0 {
+		cfg.AbortCycles = 30
+	}
+
+	m := &Machine{
+		cfg:     cfg,
+		geom:    cfg.Core.Geom,
+		memory:  mem.NewMemory(),
+		bus:     coherence.NewBus(cfg.Cores),
+		root:    rng.New(cfg.Seed),
+		yieldCh: make(chan yieldMsg),
+		run: &stats.Run{
+			Mode:           cfg.Core.Mode.String(),
+			SubBlocks:      cfg.Core.Granules(),
+			Threads:        cfg.Cores,
+			Seed:           cfg.Seed,
+			FootprintLines: stats.NewHistogram(),
+			RetryChains:    stats.NewHistogram(),
+		},
+	}
+	m.alloc = mem.NewAllocator(m.geom, mem.Addr(m.geom.LineSize))
+	m.bus.SetSubBlocks(cfg.Core.Granules())
+
+	if cfg.EventLog != nil {
+		m.events = newEventLog(cfg.EventLog)
+	}
+	if cfg.RecordTrace != nil {
+		m.recorder = trace.NewWriter(cfg.RecordTrace)
+	}
+	if cfg.TraceSeries {
+		m.run.Series = stats.NewSeries(0)
+	}
+	if cfg.TraceLines {
+		m.run.Lines = stats.NewLineHistogram()
+	}
+	if cfg.TraceOffsets {
+		m.run.Offsets = stats.NewOffsetHist(m.geom.LineSize)
+	}
+	if len(cfg.WatchLines) > 0 {
+		m.run.WatchedOffsets = make(map[uint64]*stats.OffsetHist, len(cfg.WatchLines))
+		for _, l := range cfg.WatchLines {
+			m.run.WatchedOffsets[l] = stats.NewOffsetHist(m.geom.LineSize)
+		}
+	}
+
+	hooks := core.Hooks{
+		OnConflict: m.onConflict,
+		OnAbort:    m.logAbort,
+	}
+	if cfg.TraceOffsets || len(cfg.WatchLines) > 0 {
+		hooks.OnSpecAccess = m.onSpecAccess
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		h := cache.NewHierarchy(cfg.Hier)
+		e := core.NewEngine(i, cfg.Core, m.bus, h, hooks)
+		m.hiers = append(m.hiers, h)
+		m.engines = append(m.engines, e)
+		m.bus.Register(i, e)
+	}
+
+	// The serial-fallback lock lives in its own line so its coherence
+	// traffic never false-shares with workload data.
+	m.lockAddr = m.alloc.AllocLine(8)
+	m.lockLine = m.geom.Line(m.lockAddr)
+	return m, nil
+}
+
+// onConflict records conflict events for the trace instruments and the
+// Fig. 8 avoidability analysis. The canonical counters are aggregated from
+// the engines after the run.
+func (m *Machine) onConflict(c core.Conflict) {
+	m.logConflict(c)
+	if !c.Verdict.True {
+		m.falseCum++
+		for i, n := range stats.AvoidableNs {
+			if m.avoidableAt(c, n) {
+				m.run.AvoidableBy[i]++
+			}
+		}
+		if m.run.Lines != nil {
+			m.run.Lines.Add(m.geom.LineIndex(c.Line))
+		}
+		if m.run.Series != nil {
+			m.run.Series.Tick(m.now, m.txStartedCum, m.falseCum)
+		}
+	}
+}
+
+// avoidableAt replays a detected conflict at n-granule sub-blocking
+// (§III-B / Fig. 8): the conflict would have been avoided iff the probe's
+// sub-block span does not overlap the holder's footprint sub-blocks (write
+// set for a read probe; read+write sets for an invalidating probe).
+func (m *Machine) avoidableAt(c core.Conflict, n int) bool {
+	fp := m.engines[c.Holder].Footprint()
+	probe := m.geom.SubBlockMask(c.Off, c.Size, n)
+	var holder uint64
+	ls := m.geom.LineSize
+	if w := fp.WriteBytes(c.Line); w != nil {
+		holder |= w.SubBlockMask(ls, n)
+	}
+	if c.Invalidating {
+		if r := fp.ReadBytes(c.Line); r != nil {
+			holder |= r.SubBlockMask(ls, n)
+		}
+	}
+	return probe&holder == 0
+}
+
+// onSpecAccess feeds the Fig 5 intra-line offset histogram and any
+// per-line watches, skipping the runtime's own lock line.
+func (m *Machine) onSpecAccess(_ int, line mem.LineAddr, off, _ int, _ bool) {
+	if line == m.lockLine {
+		return
+	}
+	if m.run.Offsets != nil {
+		m.run.Offsets.Add(off)
+	}
+	if m.run.WatchedOffsets != nil {
+		if h, ok := m.run.WatchedOffsets[m.geom.LineIndex(line)]; ok {
+			h.Add(off)
+		}
+	}
+}
+
+// noteTxStart ticks the started-transaction series.
+func (m *Machine) noteTxStart(core int) {
+	m.logTxBegin(core)
+	m.txStartedCum++
+	if m.run.Series != nil {
+		m.run.Series.Tick(m.now, m.txStartedCum, m.falseCum)
+	}
+}
+
+// magicCheck implements the Perfect system's ideal byte-exact detection:
+// every access (speculative or not) is checked against every other core's
+// live footprint; truly conflicting holders abort. No-op in other modes.
+func (m *Machine) magicCheck(requester int, a mem.Addr, size int, write bool) {
+	if m.cfg.Core.Mode != core.ModePerfect {
+		return
+	}
+	for _, p := range m.geom.SplitByLine(a, size) {
+		for _, e := range m.engines {
+			if e.ID() == requester {
+				continue
+			}
+			e.MagicProbe(requester, p.Line, p.Off, p.Size, write)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Accessors used by workloads during Setup and by tests
+// ---------------------------------------------------------------------------
+
+// Alloc returns the machine's address-space allocator.
+func (m *Machine) Alloc() *mem.Allocator { return m.alloc }
+
+// Memory returns the simulated physical memory (Setup initializes data
+// directly; at simulated time zero that is free).
+func (m *Machine) Memory() *mem.Memory { return m.memory }
+
+// Geometry returns the line geometry.
+func (m *Machine) Geometry() mem.Geometry { return m.geom }
+
+// Threads returns the number of worker threads (== cores).
+func (m *Machine) Threads() int { return m.cfg.Cores }
+
+// Config returns the run configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// SetupRand returns a deterministic generator for workload Setup
+// (independent of the per-thread streams).
+func (m *Machine) SetupRand() *rng.Rand { return m.root.Fork(1 << 32) }
+
+// Engine exposes core id's ASF engine (tests).
+func (m *Machine) Engine(id int) *core.Engine { return m.engines[id] }
+
+// Bus exposes the coherence bus (tests).
+func (m *Machine) Bus() *coherence.Bus { return m.bus }
+
+// Now returns the simulated time of the op currently executing.
+func (m *Machine) Now() int64 { return m.now }
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+// Workload is a transactional program the machine can execute. One value
+// per run: Setup allocates and initializes shared data, Run is executed by
+// every worker thread (distinguished by t.ID()), Validate checks functional
+// correctness of the final memory image afterwards.
+type Workload interface {
+	Name() string
+	Description() string
+	Setup(m *Machine)
+	Run(t *Thread)
+	Validate(m *Machine) error
+}
+
+// Execute runs the workload to completion and returns the aggregated
+// statistics. A Machine is single-use.
+func (m *Machine) Execute(w Workload) (*stats.Run, error) {
+	if m.executed {
+		return nil, fmt.Errorf("sim: machine already executed a workload")
+	}
+	m.executed = true
+	m.run.Workload = w.Name()
+
+	w.Setup(m)
+
+	for i := 0; i < m.cfg.Cores; i++ {
+		t := &Thread{
+			id:     i,
+			m:      m,
+			eng:    m.engines[i],
+			rng:    m.root.Fork(uint64(i)),
+			resume: make(chan struct{}),
+			// Threads start staggered (thread-spawn cost), which avoids an
+			// artificial time-zero convoy on the first shared structure.
+			wake: int64(i) * 37,
+		}
+		t.bo = backoff.New(m.cfg.Backoff, t.rng.Fork(0xb0ff))
+		m.threads = append(m.threads, t)
+	}
+	for _, t := range m.threads {
+		go t.main(w.Run)
+	}
+
+	if err := m.schedule(); err != nil {
+		return m.run, err
+	}
+
+	m.aggregate()
+	if err := w.Validate(m); err != nil {
+		return m.run, fmt.Errorf("sim: workload %s failed validation: %w", w.Name(), err)
+	}
+	return m.run, nil
+}
+
+// schedule is the deterministic event loop: repeatedly resume the ready
+// thread with the smallest (wake, id) until all threads have finished.
+// It returns an error if the MaxCycles watchdog fires.
+func (m *Machine) schedule() error {
+	active := len(m.threads)
+	for active > 0 {
+		var next *Thread
+		for _, t := range m.threads {
+			if t.finished {
+				continue
+			}
+			if next == nil || t.wake < next.wake || (t.wake == next.wake && t.id < next.id) {
+				next = t
+			}
+		}
+		if m.cfg.MaxCycles > 0 && next.wake > m.cfg.MaxCycles {
+			// The workload is still running past the deadline. Threads are
+			// goroutines blocked on their resume channels; the process is
+			// about to report an error and the machine is single-use, so
+			// they are left parked (they hold no locks and cost no CPU).
+			return fmt.Errorf("sim: watchdog: simulation passed %d cycles with %d threads still running",
+				m.cfg.MaxCycles, active)
+		}
+		m.now = next.wake
+		next.resume <- struct{}{}
+		msg := <-m.yieldCh
+		if msg.finished {
+			msg.t.finished = true
+			active--
+			if msg.panicked != nil {
+				panic(fmt.Sprintf("sim: thread %d panicked: %v", msg.t.id, msg.panicked))
+			}
+		}
+	}
+	return nil
+}
+
+// aggregate folds per-engine and bus statistics into the Run record.
+func (m *Machine) aggregate() {
+	r := m.run
+	for _, e := range m.engines {
+		s := e.Stats
+		r.TxStarted += s.TxBegins
+		r.TxCommitted += s.TxCommits
+		r.TxAborted += s.TxAborts
+		for i := range s.AbortsBy {
+			if i < len(r.AbortsBy) {
+				r.AbortsBy[i] += s.AbortsBy[i]
+			}
+		}
+		r.Conflicts += s.Conflicts
+		r.FalseConflicts += s.FalseConf
+		for i := 0; i < int(oracle.NumConflictTypes); i++ {
+			r.ByType[i] += s.ByType[i]
+			r.FalseByType[i] += s.FalseBy[i]
+		}
+		r.DirtyMarks += s.DirtyMarks
+		r.DirtyRereq += s.DirtyRereq
+		r.RetainedCaught += s.RetainedChecksCaught
+		r.Nacks += s.Nacks
+		r.SpeculatedWARs += s.SpeculatedWARs
+		r.SigAliasFalse += s.SigAliasFalse
+		r.SpecLoads += s.SpecLoads
+		r.SpecStores += s.SpecStores
+	}
+	for _, t := range m.threads {
+		r.TxLaunched += t.launched
+		r.Retries += t.retries
+		r.Fallbacks += t.fallbacks
+		r.ValidationChecks += t.valChecks
+		r.CyclesNonTx += t.bucketTime[bucketNonTx]
+		r.CyclesInTx += t.bucketTime[bucketTx]
+		r.CyclesInBackoff += t.bucketTime[bucketBackoff]
+		if t.maxRetry > r.MaxRetrySeen {
+			r.MaxRetrySeen = t.maxRetry
+		}
+		if t.wake > r.Cycles {
+			r.Cycles = t.wake
+		}
+	}
+	bs := m.bus.Stats
+	r.ProbesShared = bs.ProbesShared
+	r.ProbesInvalidate = bs.ProbesInvalidate
+	r.DataFromRemote = bs.DataFromRemote
+	r.DataFromMemory = bs.DataFromMemory
+	r.PiggybackMasks = bs.PiggybackedMasks
+}
+
+// CheckCoherence verifies the MOESI invariants over the whole machine
+// (used by tests after runs).
+func (m *Machine) CheckCoherence() error { return m.bus.CheckAllInvariants() }
+
+// ThreadIDs returns the worker thread ids (sorted), for tests.
+func (m *Machine) ThreadIDs() []int {
+	ids := make([]int, 0, len(m.threads))
+	for _, t := range m.threads {
+		ids = append(ids, t.id)
+	}
+	sort.Ints(ids)
+	return ids
+}

@@ -1,0 +1,310 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// --- WAR-only comparator -----------------------------------------------------
+
+func TestWAROnlyCounterAtomicity(t *testing.T) {
+	// The value-validation path must preserve atomicity under full
+	// contention (every increment is a TRUE conflict, so speculation must
+	// always be caught by validation or eager RAW/WAW detection).
+	cfg := DefaultConfig()
+	cfg.Core = core.Config{Mode: core.ModeWAROnly}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Execute(&counterWorkload{n: 50})
+	if err != nil {
+		t.Fatal(err) // validation failure = lost update = broken comparator
+	}
+	if r.TxCommitted != 400 {
+		t.Fatalf("committed %d", r.TxCommitted)
+	}
+}
+
+func TestWAROnlyEliminatesFalseWARButNotFalseRAW(t *testing.T) {
+	// The falseShare workload (disjoint per-thread RMW slots in one line)
+	// generates both WAR and RAW false conflicts under the baseline. The
+	// WAR-only comparator must (a) still validate, (b) speculate a
+	// non-zero number of WARs through, and (c) still record conflicts —
+	// the RAW/WAW ones it cannot decouple. This is the paper's Fig. 2
+	// argument as an executable test.
+	cfg := DefaultConfig()
+	cfg.Core = core.Config{Mode: core.ModeWAROnly}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Execute(&falseShareWorkload{n: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SpeculatedWARs == 0 {
+		t.Fatal("no WARs were speculated through")
+	}
+	if r.Conflicts == 0 {
+		t.Fatal("WAR-only decoupled everything — RAW conflicts should remain")
+	}
+	// All residual eager conflicts are RAW or WAW by construction.
+	if r.ByType[0] != 0 { // WAR
+		t.Fatalf("eager WAR conflicts under WAR-only mode: %v", r.ByType)
+	}
+	// Disjoint slots: every validation must pass; no validation aborts.
+	if r.AbortsBy[core.ReasonValidation] != 0 {
+		t.Fatalf("%d validation aborts on disjoint data", r.AbortsBy[core.ReasonValidation])
+	}
+}
+
+// trueWARWorkload: a reader transaction whose read value is truly
+// overwritten mid-flight, forcing the WAR-only comparator's commit-time
+// validation to catch it.
+type trueWARWorkload struct {
+	addr  mem.Addr
+	flag  mem.Addr
+	fails *int
+}
+
+func (w *trueWARWorkload) Name() string        { return "truewar" }
+func (w *trueWARWorkload) Description() string { return "validation must catch a true WAR" }
+func (w *trueWARWorkload) Setup(m *Machine) {
+	w.addr = m.Alloc().AllocLine(8)
+	w.flag = m.Alloc().AllocLine(8)
+}
+func (w *trueWARWorkload) Run(t *Thread) {
+	switch t.ID() {
+	case 0:
+		// Reader: long transaction that reads, waits, then commits.
+		// Thread 1's store lands in the window, truly changing the value.
+		t.Atomic(func(tx *Tx) {
+			v := tx.Load(w.addr, 8)
+			tx.Work(3000) // wide window for the writer
+			// Re-derive something from v so the read matters.
+			tx.Store(w.addr+0, 8, v) // harmless write-back of what we read
+		})
+		t.Store(w.flag, 8, 1)
+	case 1:
+		t.Work(500)
+		t.Store(w.addr, 8, 42) // non-tx store: the WAR the reader speculates through
+	}
+}
+func (w *trueWARWorkload) Validate(m *Machine) error {
+	// Serializability: the reader committed AFTER the writer's 42 landed,
+	// and its write-back must therefore be 42, not the stale 0.
+	if got := m.Memory().LoadUint(w.addr, 8); got != 42 {
+		return fmt.Errorf("reader committed stale value %d (validation hole)", got)
+	}
+	return nil
+}
+
+func TestWAROnlyValidationCatchesTrueWAR(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Core = core.Config{Mode: core.ModeWAROnly}
+	cfg.Cores = 2
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Execute(&trueWARWorkload{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AbortsBy[core.ReasonValidation] == 0 {
+		t.Fatal("true WAR slipped through without a validation abort")
+	}
+	if r.ValidationChecks == 0 {
+		t.Fatal("no validation checks recorded")
+	}
+}
+
+// --- Signature comparator ------------------------------------------------------
+
+func TestSignatureCounterAtomicity(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Core = core.Config{Mode: core.ModeSignature}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Execute(&counterWorkload{n: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TxCommitted != 400 {
+		t.Fatalf("committed %d", r.TxCommitted)
+	}
+	// Same-word increments: all conflicts true, like the baseline.
+	if r.FalseConflicts != 0 {
+		t.Fatalf("signature mode misclassified %d conflicts on a single word", r.FalseConflicts)
+	}
+}
+
+func TestSignatureSmallSigAliases(t *testing.T) {
+	// A 64-bit signature under a multi-line workload must alias; the
+	// machine stays correct (validation passes) while SigAliasFalse
+	// conflicts appear.
+	cfg := DefaultConfig()
+	cfg.Core = core.Config{Mode: core.ModeSignature, SignatureBits: 64}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Execute(&isolationWorkload{}); err != nil {
+		t.Fatal(err)
+	}
+	// Aliasing is probabilistic; correctness (no error above) is the hard
+	// assertion. Run a second, denser workload to observe aliasing.
+	cfg2 := cfg
+	m2, _ := NewMachine(cfg2)
+	r2, err := m2.Execute(&spreadWorkload{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.SigAliasFalse == 0 {
+		t.Log("note: no aliasing observed (acceptable but unusual at 64 bits)")
+	}
+}
+
+// spreadWorkload touches many distinct lines per transaction so small
+// signatures alias.
+type spreadWorkload struct{ base mem.Addr }
+
+func (w *spreadWorkload) Name() string        { return "spread" }
+func (w *spreadWorkload) Description() string { return "many lines per tx" }
+func (w *spreadWorkload) Setup(m *Machine)    { w.base = m.Alloc().Alloc(64*64*97, 64) }
+func (w *spreadWorkload) Run(t *Thread) {
+	for i := 0; i < 20; i++ {
+		t.Atomic(func(tx *Tx) {
+			for j := 0; j < 12; j++ {
+				a := w.base + mem.Addr(((t.ID()*257+i*31+j*97)%4096)*64)
+				tx.Load(a, 8)
+			}
+			slot := w.base + mem.Addr((t.ID()*8)%4096*64)
+			tx.Store(slot, 8, tx.Load(slot, 8)+1)
+		})
+		t.Work(100)
+	}
+}
+func (w *spreadWorkload) Validate(m *Machine) error { return nil }
+
+func TestSignatureVsBaselineConflictEquivalenceOnHotLine(t *testing.T) {
+	// On a single hot line (no aliasing possible to OTHER lines because
+	// nothing else is accessed), signature detection must behave exactly
+	// like the baseline: same commits, same validation outcome.
+	run := func(mode core.Mode) uint64 {
+		cfg := DefaultConfig()
+		cfg.Core = core.Config{Mode: mode}
+		m, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Execute(&falseShareWorkload{n: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.TxCommitted
+	}
+	if b, s := run(core.ModeBaseline), run(core.ModeSignature); b != s {
+		t.Fatalf("commit counts differ: baseline %d vs signature %d", b, s)
+	}
+}
+
+// --- Holder-wins resolution comparator ----------------------------------------
+
+func holderWinsCfg(mode core.Mode, sub int) Config {
+	cfg := DefaultConfig()
+	cfg.Core = core.Config{Mode: mode, SubBlocks: sub, Resolution: core.HolderWins}
+	if mode == core.ModeSubBlock {
+		cfg.Core.RetainInvalidState = true
+		cfg.Core.DirtyProtocol = true
+	}
+	return cfg
+}
+
+func TestHolderWinsCounterAtomicity(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		m    core.Mode
+		sub  int
+	}{{"baseline", core.ModeBaseline, 0}, {"subblock4", core.ModeSubBlock, 4}} {
+		t.Run(mode.name, func(t *testing.T) {
+			m, err := NewMachine(holderWinsCfg(mode.m, mode.sub))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := m.Execute(&counterWorkload{n: 40})
+			if err != nil {
+				t.Fatal(err) // lost updates = broken NACK protocol
+			}
+			if r.TxCommitted != 320 {
+				t.Fatalf("committed %d", r.TxCommitted)
+			}
+			if r.Nacks == 0 {
+				t.Fatal("a contended counter under holder-wins never NACKed")
+			}
+		})
+	}
+}
+
+func TestHolderWinsHolderSurvives(t *testing.T) {
+	// Direct protocol check on a two-engine rig semantics via a workload:
+	// a long-running reader must not be aborted by a conflicting writer —
+	// the writer stalls instead.
+	m, err := NewMachine(holderWinsCfg(core.ModeBaseline, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Execute(&holderWinsProbe{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Nacks == 0 {
+		t.Fatal("writer never stalled")
+	}
+}
+
+type holderWinsProbe struct{ addr mem.Addr }
+
+func (w *holderWinsProbe) Name() string        { return "holderwins" }
+func (w *holderWinsProbe) Description() string { return "reader survives a writer" }
+func (w *holderWinsProbe) Setup(m *Machine)    { w.addr = m.Alloc().AllocLine(8) }
+func (w *holderWinsProbe) Run(t *Thread) {
+	switch t.ID() {
+	case 0:
+		ok := t.Atomic(func(tx *Tx) {
+			tx.Load(w.addr, 8)
+			tx.Work(4000) // long window: the writer will collide
+			tx.Load(w.addr, 8)
+		})
+		if !ok {
+			panic("reader did not commit")
+		}
+	case 1:
+		t.Work(500)
+		t.Atomic(func(tx *Tx) {
+			tx.Store(w.addr, 8, 1) // conflicts with the live reader: must stall
+		})
+	}
+}
+func (w *holderWinsProbe) Validate(m *Machine) error {
+	if got := m.Memory().LoadUint(w.addr, 8); got != 1 {
+		return fmt.Errorf("writer's store lost: %d", got)
+	}
+	return nil
+}
+
+func TestHolderWinsRejectedForUnsupportedModes(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModePerfect, core.ModeWAROnly, core.ModeSignature} {
+		cfg := DefaultConfig()
+		cfg.Core = core.Config{Mode: mode, Resolution: core.HolderWins}
+		if _, err := NewMachine(cfg); err == nil {
+			t.Errorf("holder-wins accepted with mode %v", mode)
+		}
+	}
+}

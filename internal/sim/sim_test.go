@@ -1,0 +1,741 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// counterWorkload: every thread increments one shared counter n times —
+// the minimal atomicity stress.
+type counterWorkload struct {
+	n    int
+	addr mem.Addr
+}
+
+func (w *counterWorkload) Name() string        { return "counter" }
+func (w *counterWorkload) Description() string { return "shared counter increments" }
+func (w *counterWorkload) Setup(m *Machine)    { w.addr = m.Alloc().AllocLine(8) }
+func (w *counterWorkload) Run(t *Thread) {
+	for i := 0; i < w.n; i++ {
+		t.Atomic(func(tx *Tx) {
+			tx.Store(w.addr, 8, tx.Load(w.addr, 8)+1)
+		})
+	}
+}
+func (w *counterWorkload) Validate(m *Machine) error {
+	got := m.Memory().LoadUint(w.addr, 8)
+	if want := uint64(w.n * m.Threads()); got != want {
+		return fmt.Errorf("counter = %d, want %d", got, want)
+	}
+	return nil
+}
+
+func testConfig(mode core.Mode) Config {
+	cfg := DefaultConfig()
+	cfg.Core = core.Config{Mode: mode, SubBlocks: 4, RetainInvalidState: true, DirtyProtocol: true}
+	if mode != core.ModeSubBlock {
+		cfg.Core = core.Config{Mode: mode}
+	}
+	return cfg
+}
+
+func runCounter(t *testing.T, cfg Config, n int) *stats.Run {
+	t.Helper()
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Execute(&counterWorkload{n: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCounterAtomicityAllModes(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeBaseline, core.ModeSubBlock, core.ModePerfect} {
+		t.Run(mode.String(), func(t *testing.T) {
+			r := runCounter(t, testConfig(mode), 50)
+			if r.TxCommitted != 400 {
+				t.Fatalf("committed %d, want 400", r.TxCommitted)
+			}
+			if r.Conflicts == 0 {
+				t.Fatal("a fully contended counter produced zero conflicts")
+			}
+			// Same-word increments: every conflict must be TRUE.
+			if r.FalseConflicts != 0 {
+				t.Fatalf("same-word counter produced %d false conflicts", r.FalseConflicts)
+			}
+		})
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	cfg := testConfig(core.ModeSubBlock)
+	cfg.Seed = 77
+	a := runCounter(t, cfg, 40)
+	b := runCounter(t, cfg, 40)
+	if a.Cycles != b.Cycles || a.Conflicts != b.Conflicts || a.TxStarted != b.TxStarted ||
+		a.Retries != b.Retries || a.ProbesShared != b.ProbesShared {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	cfg := testConfig(core.ModeBaseline)
+	cfg.Seed = 1
+	a := runCounter(t, cfg, 40)
+	cfg.Seed = 2
+	b := runCounter(t, cfg, 40)
+	if a.Cycles == b.Cycles && a.Conflicts == b.Conflicts && a.Retries == b.Retries {
+		t.Fatal("different seeds produced identical dynamics (suspicious)")
+	}
+}
+
+// falseShareWorkload: each thread RMWs its own 8-byte slot, all slots in
+// ONE line: 100% of conflicts must be false.
+type falseShareWorkload struct {
+	n    int
+	base mem.Addr
+}
+
+func (w *falseShareWorkload) Name() string        { return "falseshare" }
+func (w *falseShareWorkload) Description() string { return "per-thread slots in one line" }
+func (w *falseShareWorkload) Setup(m *Machine)    { w.base = m.Alloc().AllocLine(64) }
+func (w *falseShareWorkload) Run(t *Thread) {
+	slot := w.base + mem.Addr(8*t.ID())
+	for i := 0; i < w.n; i++ {
+		t.Atomic(func(tx *Tx) {
+			tx.Store(slot, 8, tx.Load(slot, 8)+1)
+		})
+	}
+}
+func (w *falseShareWorkload) Validate(m *Machine) error {
+	for i := 0; i < m.Threads(); i++ {
+		if got := m.Memory().LoadUint(w.base+mem.Addr(8*i), 8); got != uint64(w.n) {
+			return fmt.Errorf("slot %d = %d, want %d", i, got, w.n)
+		}
+	}
+	return nil
+}
+
+func TestPureFalseSharingWorkload(t *testing.T) {
+	m, err := NewMachine(testConfig(core.ModeBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Execute(&falseShareWorkload{n: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Conflicts == 0 {
+		t.Fatal("no conflicts on a single hot line")
+	}
+	if r.FalseConflicts != r.Conflicts {
+		t.Fatalf("disjoint slots: %d of %d conflicts judged true", r.Conflicts-r.FalseConflicts, r.Conflicts)
+	}
+	// The Fig 8 analysis: 8 sub-blocks (one per slot) must avoid all of
+	// them; 1-slot granularity at 16 also.
+	if r.AvoidableBy[2] != r.FalseConflicts || r.AvoidableBy[3] != r.FalseConflicts {
+		t.Fatalf("avoidability at 8/16 sub-blocks: %v of %d", r.AvoidableBy, r.FalseConflicts)
+	}
+}
+
+func TestPerfectModeEliminatesFalseConflicts(t *testing.T) {
+	m, err := NewMachine(testConfig(core.ModePerfect))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Execute(&falseShareWorkload{n: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Conflicts != 0 {
+		t.Fatalf("perfect system detected %d conflicts on disjoint slots", r.Conflicts)
+	}
+	if r.TxAborted != 0 {
+		t.Fatalf("perfect system aborted %d transactions", r.TxAborted)
+	}
+}
+
+func TestSubBlockModeWAWRuleResidue(t *testing.T) {
+	// 8 slots, 8 sub-blocks: detection granule == slot. The RMW loads no
+	// longer conflict (no RAW, no WAR events can survive), but because
+	// every transaction WRITES its slot, the §IV-D-2 WAW line rule keeps
+	// aborting concurrent same-line writers: every remaining conflict
+	// must be typed WAW, and every one is byte-false. This is the paper's
+	// own design concession distilled to its purest case (and the reason
+	// write-heavy kernels like utilitymine barely improve, §V-B).
+	cfg := DefaultConfig()
+	cfg.Core = core.Config{Mode: core.ModeSubBlock, SubBlocks: 8, RetainInvalidState: true, DirtyProtocol: true}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Execute(&falseShareWorkload{n: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ByType[0] != 0 || r.ByType[1] != 0 { // WAR, RAW
+		t.Fatalf("sub-blocking let WAR/RAW conflicts through: %v", r.ByType)
+	}
+	if r.Conflicts != r.ByType[2] {
+		t.Fatalf("conflicts %d != WAW %d", r.Conflicts, r.ByType[2])
+	}
+	if r.FalseConflicts != r.Conflicts {
+		t.Fatalf("WAW-rule conflicts must all be byte-false: %d of %d", r.FalseConflicts, r.Conflicts)
+	}
+}
+
+// userAbortWorkload exercises Tx.Abort semantics: Atomic must return false
+// and not commit.
+type userAbortWorkload struct {
+	addr mem.Addr
+}
+
+func (w *userAbortWorkload) Name() string        { return "userabort" }
+func (w *userAbortWorkload) Description() string { return "explicit aborts" }
+func (w *userAbortWorkload) Setup(m *Machine)    { w.addr = m.Alloc().AllocLine(8) }
+func (w *userAbortWorkload) Run(t *Thread) {
+	if t.ID() != 0 {
+		return
+	}
+	ok := t.Atomic(func(tx *Tx) {
+		tx.Store(w.addr, 8, 42)
+		tx.Abort()
+	})
+	if ok {
+		panic("Atomic returned true for a user-aborted body")
+	}
+	// A later transaction must find the store discarded.
+	ok = t.Atomic(func(tx *Tx) {
+		if tx.Load(w.addr, 8) != 0 {
+			panic("aborted store leaked")
+		}
+		tx.Store(w.addr, 8, 7)
+	})
+	if !ok {
+		panic("clean transaction failed")
+	}
+}
+func (w *userAbortWorkload) Validate(m *Machine) error {
+	if got := m.Memory().LoadUint(w.addr, 8); got != 7 {
+		return fmt.Errorf("addr = %d, want 7", got)
+	}
+	return nil
+}
+
+func TestUserAbortSemantics(t *testing.T) {
+	m, err := NewMachine(testConfig(core.ModeBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Execute(&userAbortWorkload{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AbortsBy[core.ReasonUser] != 1 {
+		t.Fatalf("user aborts = %d, want 1", r.AbortsBy[core.ReasonUser])
+	}
+}
+
+// fallbackWorkload forces the serial-lock path by setting MaxRetries = 0.
+func TestSerialFallbackCorrectness(t *testing.T) {
+	cfg := testConfig(core.ModeBaseline)
+	cfg.MaxRetries = 0 // every atomic block goes straight to... first attempt, then lock
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m
+	// MaxRetries<=0 is normalized to a default; instead force fallback by
+	// extreme contention with MaxRetries=1.
+	cfg.MaxRetries = 1
+	m2, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m2.Execute(&counterWorkload{n: 30})
+	if err != nil {
+		t.Fatal(err) // validation failure = broken fallback atomicity
+	}
+	if r.Fallbacks == 0 {
+		t.Fatal("MaxRetries=1 under full contention never took the fallback lock")
+	}
+	if r.AbortsBy[core.ReasonLock] == 0 {
+		t.Fatal("lock acquisition never quashed a running transaction")
+	}
+}
+
+// casWorkload: lock-free counter using CAS outside transactions.
+type casWorkload struct {
+	n    int
+	addr mem.Addr
+}
+
+func (w *casWorkload) Name() string        { return "cas" }
+func (w *casWorkload) Description() string { return "CAS counter" }
+func (w *casWorkload) Setup(m *Machine)    { w.addr = m.Alloc().AllocLine(8) }
+func (w *casWorkload) Run(t *Thread) {
+	for i := 0; i < w.n; i++ {
+		for {
+			old := t.Load(w.addr, 8)
+			if t.CAS(w.addr, 8, old, old+1) {
+				break
+			}
+			t.Work(int64(10 + t.Rand().Intn(20)))
+		}
+	}
+}
+func (w *casWorkload) Validate(m *Machine) error {
+	if got := m.Memory().LoadUint(w.addr, 8); got != uint64(w.n*m.Threads()) {
+		return fmt.Errorf("cas counter = %d, want %d", got, w.n*m.Threads())
+	}
+	return nil
+}
+
+func TestCASAtomicity(t *testing.T) {
+	m, err := NewMachine(testConfig(core.ModeBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Execute(&casWorkload{n: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rywWorkload checks read-your-writes overlay inside one transaction,
+// including partial overlaps.
+type rywWorkload struct{ addr mem.Addr }
+
+func (w *rywWorkload) Name() string        { return "ryw" }
+func (w *rywWorkload) Description() string { return "read-your-writes" }
+func (w *rywWorkload) Setup(m *Machine) {
+	w.addr = m.Alloc().AllocLine(16)
+	m.Memory().StoreUint(w.addr, 8, 0x1111111111111111)
+}
+func (w *rywWorkload) Run(t *Thread) {
+	if t.ID() != 0 {
+		return
+	}
+	t.Atomic(func(tx *Tx) {
+		if v := tx.Load(w.addr, 8); v != 0x1111111111111111 {
+			panic(fmt.Sprintf("initial load %#x", v))
+		}
+		tx.Store(w.addr, 8, 0x2222222222222222)
+		if v := tx.Load(w.addr, 8); v != 0x2222222222222222 {
+			panic(fmt.Sprintf("read-your-write %#x", v))
+		}
+		// Partial overlap: a 2-byte store inside the 8-byte word.
+		tx.Store(w.addr+2, 2, 0xabcd)
+		if v := tx.Load(w.addr, 8); v != 0x22222222abcd2222 {
+			panic(fmt.Sprintf("overlay %#x", v))
+		}
+		// A 1-byte load from inside the 2-byte store.
+		if v := tx.Load(w.addr+3, 1); v != 0xab {
+			panic(fmt.Sprintf("sub-read %#x", v))
+		}
+	})
+}
+func (w *rywWorkload) Validate(m *Machine) error {
+	if got := m.Memory().LoadUint(w.addr, 8); got != 0x22222222abcd2222 {
+		return fmt.Errorf("committed value %#x", got)
+	}
+	return nil
+}
+
+func TestReadYourWritesOverlay(t *testing.T) {
+	m, err := NewMachine(testConfig(core.ModeBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Execute(&rywWorkload{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// isolationWorkload: a writer publishes a two-word record; readers must
+// never observe a torn record.
+type isolationWorkload struct{ addr mem.Addr }
+
+func (w *isolationWorkload) Name() string        { return "isolation" }
+func (w *isolationWorkload) Description() string { return "no torn reads" }
+func (w *isolationWorkload) Setup(m *Machine)    { w.addr = m.Alloc().AllocLine(16) }
+func (w *isolationWorkload) Run(t *Thread) {
+	if t.ID() == 0 {
+		for i := uint64(1); i <= 50; i++ {
+			t.Atomic(func(tx *Tx) {
+				tx.Store(w.addr, 8, i)
+				tx.Store(w.addr+8, 8, ^i)
+			})
+			t.Work(50)
+		}
+		return
+	}
+	for i := 0; i < 50; i++ {
+		var a, b uint64
+		t.Atomic(func(tx *Tx) {
+			a = tx.Load(w.addr, 8)
+			b = tx.Load(w.addr+8, 8)
+		})
+		if a != 0 && b != ^a {
+			panic(fmt.Sprintf("torn read: %#x / %#x", a, b))
+		}
+		t.Work(30)
+	}
+}
+func (w *isolationWorkload) Validate(m *Machine) error {
+	a := m.Memory().LoadUint(w.addr, 8)
+	b := m.Memory().LoadUint(w.addr+8, 8)
+	if a != 50 || b != ^uint64(50) {
+		return fmt.Errorf("final record (%d, %#x)", a, b)
+	}
+	return nil
+}
+
+func TestIsolationNoTornReads(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeBaseline, core.ModeSubBlock, core.ModePerfect} {
+		t.Run(mode.String(), func(t *testing.T) {
+			m, err := NewMachine(testConfig(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Execute(&isolationWorkload{}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestMachineSingleUse(t *testing.T) {
+	m, err := NewMachine(testConfig(core.ModeBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Execute(&counterWorkload{n: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Execute(&counterWorkload{n: 1}); err == nil {
+		t.Fatal("machine executed twice")
+	}
+}
+
+func TestMachineConfigValidation(t *testing.T) {
+	cfg := testConfig(core.ModeBaseline)
+	cfg.Cores = 0
+	if _, err := NewMachine(cfg); err == nil {
+		t.Fatal("Cores=0 accepted")
+	}
+	cfg = testConfig(core.ModeSubBlock)
+	cfg.Core.SubBlocks = 3
+	if _, err := NewMachine(cfg); err == nil {
+		t.Fatal("SubBlocks=3 accepted")
+	}
+}
+
+func TestWorkloadPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("workload panic swallowed")
+		}
+	}()
+	m, _ := NewMachine(testConfig(core.ModeBaseline))
+	m.Execute(&panicWorkload{})
+}
+
+type panicWorkload struct{}
+
+func (panicWorkload) Name() string        { return "panic" }
+func (panicWorkload) Description() string { return "panics" }
+func (panicWorkload) Setup(m *Machine)    {}
+func (panicWorkload) Run(t *Thread) {
+	if t.ID() == 3 {
+		panic("boom")
+	}
+	t.Work(10)
+}
+func (panicWorkload) Validate(m *Machine) error { return nil }
+
+func TestThreadStaggeredStarts(t *testing.T) {
+	m, _ := NewMachine(testConfig(core.ModeBaseline))
+	var starts []int64
+	m.Execute(&probeStartWorkload{starts: &starts})
+	for i := 1; i < len(starts); i++ {
+		if starts[i] <= starts[i-1] {
+			t.Fatalf("thread starts not staggered: %v", starts)
+		}
+	}
+}
+
+type probeStartWorkload struct{ starts *[]int64 }
+
+func (probeStartWorkload) Name() string        { return "probestart" }
+func (probeStartWorkload) Description() string { return "records start times" }
+func (probeStartWorkload) Setup(m *Machine)    {}
+func (w probeStartWorkload) Run(t *Thread) {
+	// Threads are scheduled in wake order, so appends are ordered by id.
+	*w.starts = append(*w.starts, t.Now())
+}
+func (w probeStartWorkload) Validate(m *Machine) error { return nil }
+
+func TestSeriesAndHistogramTraces(t *testing.T) {
+	cfg := testConfig(core.ModeBaseline)
+	cfg.TraceSeries = true
+	cfg.TraceLines = true
+	cfg.TraceOffsets = true
+	m, _ := NewMachine(cfg)
+	r, err := m.Execute(&falseShareWorkload{n: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Series == nil || len(r.Series.Points()) == 0 {
+		t.Fatal("no series samples")
+	}
+	if r.Lines == nil || r.Lines.Total() != r.FalseConflicts {
+		t.Fatalf("line histogram total %d != false conflicts %d", r.Lines.Total(), r.FalseConflicts)
+	}
+	if r.Offsets == nil {
+		t.Fatal("no offset histogram")
+	}
+	// Slots are at offsets 0,8,...,56: the dominant stride must be 8.
+	if got := r.Offsets.DominantStride(0.95); got != 8 {
+		t.Fatalf("dominant stride %d, want 8", got)
+	}
+}
+
+func TestCyclesAdvanceAndAggregate(t *testing.T) {
+	r := runCounter(t, testConfig(core.ModeBaseline), 10)
+	if r.Cycles <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+	if r.TxStarted != r.TxCommitted+r.TxAborted {
+		t.Fatalf("attempts %d != commits %d + aborts %d", r.TxStarted, r.TxCommitted, r.TxAborted)
+	}
+	if r.Retries != r.TxStarted-r.TxLaunched {
+		t.Fatalf("retries %d != attempts %d - launches %d", r.Retries, r.TxStarted, r.TxLaunched)
+	}
+}
+
+func TestFootprintAndRetryHistograms(t *testing.T) {
+	r := runCounter(t, testConfig(core.ModeBaseline), 20)
+	// Every committed counter transaction touches exactly two lines:
+	// the counter line and the subscribed fallback-lock line.
+	if r.FootprintLines.N() != r.TxCommitted {
+		t.Fatalf("footprint observations %d != commits %d", r.FootprintLines.N(), r.TxCommitted)
+	}
+	if got := r.FootprintLines.Max(); got != 2 {
+		t.Fatalf("counter tx footprint max = %d lines, want 2 (counter + lock subscription)", got)
+	}
+	// Retry chains: one observation per atomic block; mean >= 1; the
+	// total attempts implied by the histogram must equal TxStarted minus
+	// lock-busy cancels (none here).
+	if r.RetryChains.N() != r.TxLaunched {
+		t.Fatalf("retry observations %d != launches %d", r.RetryChains.N(), r.TxLaunched)
+	}
+	if r.RetryChains.Mean() < 1 {
+		t.Fatalf("mean attempts %f < 1", r.RetryChains.Mean())
+	}
+}
+
+func TestCycleAttribution(t *testing.T) {
+	// A fully contended counter spends most of its time in transactions
+	// and backoff; the buckets must account for (nearly) all thread time.
+	r := runCounter(t, testConfig(core.ModeBaseline), 30)
+	total := r.CyclesInTx + r.CyclesInBackoff + r.CyclesNonTx
+	if total == 0 {
+		t.Fatal("no attributed cycles")
+	}
+	if r.TxFraction() <= 0 || r.TxFraction() > 1 {
+		t.Fatalf("TxFraction %v", r.TxFraction())
+	}
+	if r.CyclesInBackoff == 0 {
+		t.Fatal("contended counter never backed off")
+	}
+	// Sanity: the per-thread attributed time cannot exceed threads × the
+	// final clock (staggered starts make it strictly less).
+	if total > int64(r.Threads)*r.Cycles {
+		t.Fatalf("attributed %d > threads × cycles %d", total, int64(r.Threads)*r.Cycles)
+	}
+}
+
+func TestNonTxFractionDominatesComputeWorkload(t *testing.T) {
+	// A workload that is almost all Work() must show a tiny TxFraction —
+	// the property the paper uses to explain small Fig. 10 improvements.
+	m, err := NewMachine(testConfig(core.ModeBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Execute(&computeHeavyWorkload{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := r.TxFraction(); f > 0.2 {
+		t.Fatalf("TxFraction %.2f for a compute-dominated workload", f)
+	}
+}
+
+type computeHeavyWorkload struct{ addr mem.Addr }
+
+func (w *computeHeavyWorkload) Name() string        { return "compute" }
+func (w *computeHeavyWorkload) Description() string { return "mostly non-transactional" }
+func (w *computeHeavyWorkload) Setup(m *Machine)    { w.addr = m.Alloc().AllocLine(8) }
+func (w *computeHeavyWorkload) Run(t *Thread) {
+	for i := 0; i < 10; i++ {
+		t.Work(5000)
+		t.Atomic(func(tx *Tx) {
+			tx.Store(w.addr, 8, tx.Load(w.addr, 8)+1)
+		})
+	}
+}
+func (w *computeHeavyWorkload) Validate(m *Machine) error { return nil }
+
+func TestWatchLines(t *testing.T) {
+	// Two-pass flow: find the hot line via the histogram, then replay the
+	// same seed watching it; the watched offsets must reflect the 8-byte
+	// slot pattern.
+	cfg := testConfig(core.ModeBaseline)
+	cfg.TraceLines = true
+	m, _ := NewMachine(cfg)
+	w := &falseShareWorkload{n: 25}
+	r1, err := m.Execute(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := r1.Lines.Top(1)
+	if len(top) == 0 {
+		t.Skip("no conflicts")
+	}
+
+	cfg2 := testConfig(core.ModeBaseline)
+	cfg2.WatchLines = []uint64{top[0].Line}
+	m2, _ := NewMachine(cfg2)
+	r2, err := m2.Execute(&falseShareWorkload{n: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r2.WatchedOffsets[top[0].Line]
+	if h == nil {
+		t.Fatal("watched line has no histogram")
+	}
+	if got := h.DominantStride(0.95); got != 8 {
+		t.Fatalf("watched line stride %d, want 8", got)
+	}
+	// Unwatched lines must not appear.
+	if len(r2.WatchedOffsets) != 1 {
+		t.Fatalf("%d watched histograms, want 1", len(r2.WatchedOffsets))
+	}
+}
+
+func TestWatchdogCatchesRunaway(t *testing.T) {
+	cfg := testConfig(core.ModeBaseline)
+	cfg.MaxCycles = 5000
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Execute(&spinnerWorkload{})
+	if err == nil {
+		t.Fatal("runaway workload completed under the watchdog")
+	}
+}
+
+type spinnerWorkload struct{ addr mem.Addr }
+
+func (w *spinnerWorkload) Name() string        { return "spinner" }
+func (w *spinnerWorkload) Description() string { return "never terminates" }
+func (w *spinnerWorkload) Setup(m *Machine)    { w.addr = m.Alloc().AllocLine(8) }
+func (w *spinnerWorkload) Run(t *Thread) {
+	for {
+		t.Work(100)
+		if t.Load(w.addr, 8) == 42 { // never true
+			return
+		}
+	}
+}
+func (w *spinnerWorkload) Validate(m *Machine) error { return nil }
+
+func TestWatchdogOffByDefault(t *testing.T) {
+	cfg := testConfig(core.ModeBaseline)
+	if cfg.MaxCycles != 0 {
+		t.Fatal("watchdog on by default")
+	}
+	m, _ := NewMachine(cfg)
+	if _, err := m.Execute(&counterWorkload{n: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreadAndMachineAccessors(t *testing.T) {
+	m, _ := NewMachine(testConfig(core.ModeBaseline))
+	if got := m.ThreadIDs(); len(got) != 0 {
+		t.Fatalf("ThreadIDs before Execute = %v", got)
+	}
+	if m.Geometry().LineSize != 64 || m.Threads() != 8 {
+		t.Fatal("accessors wrong")
+	}
+	if m.SetupRand().Uint64() == 0 && m.SetupRand().Uint64() == 0 {
+		t.Fatal("setup rand degenerate")
+	}
+	var sawIDs []int
+	var sawRand uint64
+	m.Execute(&accessorProbe{ids: &sawIDs, rand: &sawRand})
+	if len(m.ThreadIDs()) != 8 {
+		t.Fatalf("ThreadIDs after run = %v", m.ThreadIDs())
+	}
+	if sawRand == 0 {
+		t.Fatal("thread rand degenerate")
+	}
+}
+
+type accessorProbe struct {
+	ids  *[]int
+	rand *uint64
+}
+
+func (accessorProbe) Name() string        { return "accessors" }
+func (accessorProbe) Description() string { return "accessor probe" }
+func (accessorProbe) Setup(m *Machine)    {}
+func (w accessorProbe) Run(t *Thread) {
+	*w.ids = append(*w.ids, t.ID())
+	if t.ID() == 0 {
+		*w.rand = t.Rand().Uint64()
+		if t.Machine() == nil || t.Now() < 0 {
+			panic("thread accessors broken")
+		}
+	}
+}
+func (accessorProbe) Validate(m *Machine) error { return nil }
+
+func TestCASFailurePath(t *testing.T) {
+	m, _ := NewMachine(testConfig(core.ModeBaseline))
+	m.Execute(&casFailProbe{})
+}
+
+type casFailProbe struct{ addr mem.Addr }
+
+func (c *casFailProbe) Name() string        { return "casfail" }
+func (c *casFailProbe) Description() string { return "CAS failure path" }
+func (c *casFailProbe) Setup(m *Machine)    { c.addr = m.Alloc().AllocLine(8) }
+func (c *casFailProbe) Run(t *Thread) {
+	if t.ID() != 0 {
+		return
+	}
+	t.Store(c.addr, 8, 5)
+	if t.CAS(c.addr, 8, 4, 9) { // wrong expected value: must fail
+		panic("CAS succeeded with stale expected value")
+	}
+	if t.Load(c.addr, 8) != 5 {
+		panic("failed CAS mutated memory")
+	}
+	if !t.CAS(c.addr, 8, 5, 9) {
+		panic("CAS failed with correct expected value")
+	}
+}
+func (c *casFailProbe) Validate(m *Machine) error { return nil }

@@ -1,0 +1,378 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/backoff"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Thread is one simulated worker (pinned to the core with the same id).
+// Workload code runs on a thread and interacts with the machine only
+// through the Thread/Tx API; every such call advances the thread's
+// simulated time and yields to the scheduler, which is what produces the
+// deterministic timestamp-ordered interleaving.
+type Thread struct {
+	id  int
+	m   *Machine
+	eng *core.Engine
+	rng *rng.Rand
+	bo  *backoff.Manager
+
+	wake     int64 // earliest time this thread may run again
+	resume   chan struct{}
+	finished bool
+
+	// Cycle attribution bucket for step(): 0 = non-transactional,
+	// 1 = inside a transaction attempt, 2 = abort/backoff stall.
+	bucket     int
+	bucketTime [3]int64
+
+	// noRecord suppresses trace recording during runtime-internal ops
+	// (lock spinning, fallback plumbing) so a recorded trace contains
+	// only the workload's own operations.
+	noRecord bool
+
+	// Per-thread runtime statistics.
+	launched  uint64 // atomic blocks entered
+	retries   uint64 // extra attempts beyond the first
+	maxRetry  int
+	fallbacks uint64 // atomic blocks completed under the serial lock
+	valChecks uint64 // commit-time value validations (ModeWAROnly)
+}
+
+// ID returns the thread (== core) id.
+func (t *Thread) ID() int { return t.id }
+
+// Rand returns the thread's private deterministic random stream.
+func (t *Thread) Rand() *rng.Rand { return t.rng }
+
+// Machine returns the machine the thread runs on.
+func (t *Thread) Machine() *Machine { return t.m }
+
+// Now returns the thread's current simulated time.
+func (t *Thread) Now() int64 { return t.wake }
+
+// main is the goroutine body: wait to be scheduled, run the workload,
+// report completion (or a panic) to the scheduler.
+func (t *Thread) main(body func(*Thread)) {
+	<-t.resume
+	var pval any
+	func() {
+		defer func() { pval = recover() }()
+		body(t)
+	}()
+	t.m.yieldCh <- yieldMsg{t: t, finished: true, panicked: pval}
+}
+
+// yield hands control back to the scheduler and blocks until rescheduled.
+func (t *Thread) yield() {
+	t.m.yieldCh <- yieldMsg{t: t}
+	<-t.resume
+}
+
+// step charges lat cycles (attributed to the current bucket) and yields.
+func (t *Thread) step(lat int64) {
+	if lat < 1 {
+		lat = 1
+	}
+	t.bucketTime[t.bucket] += lat
+	t.wake += lat
+	t.yield()
+}
+
+// Work models non-memory computation taking the given number of cycles.
+func (t *Thread) Work(cycles int64) {
+	if cycles > 0 {
+		t.recordOp(trace.Op{Kind: "work", Cycles: cycles})
+		t.step(cycles)
+	}
+}
+
+// recordOp appends a workload-level op to the trace recorder, if any.
+func (t *Thread) recordOp(op trace.Op) {
+	if t.m.recorder == nil || t.noRecord {
+		return
+	}
+	op.Thread = t.id
+	t.m.recorder.Write(op)
+}
+
+// ---------------------------------------------------------------------------
+// Non-transactional accesses
+// ---------------------------------------------------------------------------
+
+// Load performs a non-transactional load of a size-byte little-endian
+// value (size in {1,2,4,8}).
+func (t *Thread) Load(a mem.Addr, size int) uint64 {
+	t.recordOp(trace.Op{Kind: "nload", Addr: uint64(a), Size: size})
+	r := t.eng.Load(a, size, false)
+	v := t.m.memory.LoadUint(a, size)
+	t.m.magicCheck(t.id, a, size, false)
+	t.step(r.Latency)
+	return v
+}
+
+// Store performs a non-transactional store. It participates in coherence
+// normally, so it aborts remote transactions whose speculative state it
+// truly hits.
+func (t *Thread) Store(a mem.Addr, size int, v uint64) {
+	t.recordOp(trace.Op{Kind: "nstore", Addr: uint64(a), Size: size, Val: v})
+	r := t.eng.Store(a, size, false)
+	t.m.memory.StoreUint(a, size, v)
+	t.m.magicCheck(t.id, a, size, true)
+	t.step(r.Latency)
+}
+
+// CAS is an atomic compare-and-swap executed as a single simulated
+// operation (the LOCK CMPXCHG analogue). Returns whether the swap
+// happened. CAS operations are not captured by trace recording (no
+// paper workload uses them; the runtime's own CAS is internal).
+func (t *Thread) CAS(a mem.Addr, size int, old, new uint64) bool {
+	r := t.eng.Load(a, size, false)
+	lat := r.Latency
+	cur := t.m.memory.LoadUint(a, size)
+	ok := cur == old
+	if ok {
+		rs := t.eng.Store(a, size, false)
+		t.m.memory.StoreUint(a, size, new)
+		t.m.magicCheck(t.id, a, size, true)
+		lat += rs.Latency
+	}
+	t.step(lat)
+	return ok
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+// txAbort is the panic value used to unwind an aborted attempt.
+type txAbort struct {
+	user bool // raised by Tx.Abort rather than the engine
+}
+
+// Atomic executes body as one transaction. Conflict and capacity aborts
+// retry with exponential backoff; after cfg.MaxRetries failed attempts the
+// body runs under a global serial lock (ASF is best-effort, so the
+// software library must provide a completion guarantee) — acquiring the
+// lock quashes all in-flight transactions, and no transaction starts while
+// the lock is held.
+//
+// A user abort (Tx.Abort inside body) does NOT retry: Atomic returns
+// false, handing the decision back to the program, which is how STAMP's
+// labyrinth-style validate-and-recompute loops are written. Atomic returns
+// true when the body committed.
+//
+// body may run many times, so it must be idempotent up to its Tx
+// operations: reset any captured locals at entry, and apply their effects
+// only after Atomic returns true.
+func (t *Thread) Atomic(body func(tx *Tx)) bool {
+	t.launched++
+	retries := 0
+	for {
+		if retries > t.m.cfg.MaxRetries {
+			t.bucket = bucketTx
+			ok := t.runFallback(body)
+			t.bucket = bucketNonTx
+			t.m.run.RetryChains.Add(retries + 1)
+			return ok
+		}
+		t.waitLockFree()
+		t.bucket = bucketTx
+		t.eng.BeginTx()
+		t.m.noteTxStart(t.id)
+		// Subscribe to the serial-fallback lock: the transactional read
+		// both (a) closes the race where the lock is taken between
+		// waitLockFree and BeginTx — the value read is then non-zero and
+		// the attempt cancels — and (b) keeps the lock line in the read
+		// set so no transaction can run inside another thread's critical
+		// section unnoticed.
+		sub := t.eng.Load(t.m.lockAddr, 8, true)
+		lockHeld := t.m.memory.LoadUint(t.m.lockAddr, 8) != 0
+		t.step(sub.Latency)
+		if lockHeld {
+			if ab, _ := t.eng.AbortPending(); !ab {
+				t.eng.Abort(core.ReasonLock)
+			}
+			t.eng.CommitTx()
+			t.bucket = bucketNonTx
+			continue
+		}
+		tx := &Tx{t: t}
+		fpLines := 0
+		committed, userAbort := t.attempt(tx, body, &fpLines)
+		if committed {
+			t.bucket = bucketNonTx
+			t.m.run.RetryChains.Add(retries + 1)
+			t.m.run.FootprintLines.Add(fpLines)
+			return true
+		}
+		if userAbort {
+			t.bucket = bucketNonTx
+			tx.flushTrace(false)
+			t.m.run.RetryChains.Add(retries + 1)
+			return false
+		}
+		retries++
+		t.retries++
+		if retries > t.maxRetry {
+			t.maxRetry = retries
+		}
+		t.bucket = bucketBackoff
+		t.step(t.m.cfg.AbortCycles + t.bo.Delay(retries))
+		t.bucket = bucketNonTx
+	}
+}
+
+// Cycle-attribution buckets.
+const (
+	bucketNonTx = iota
+	bucketTx
+	bucketBackoff
+)
+
+// attempt runs one transactional execution of body. On commit, *fpLines
+// receives the transaction's footprint in distinct cache lines (the
+// capacity metric of the paper's yada/hmm exclusion).
+func (t *Thread) attempt(tx *Tx, body func(tx *Tx), fpLines *int) (committed, userAbort bool) {
+	aborted := func() (aborted bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ta, ok := r.(txAbort)
+				if !ok {
+					panic(r) // real bug in workload code: propagate
+				}
+				userAbort = ta.user
+				aborted = true
+			}
+		}()
+		body(tx)
+		return false
+	}()
+
+	// WAR-only comparator: before committing, value-validate every read
+	// from a line whose invalidation was speculated through. The check and
+	// the commit happen with no intervening yield, so they are atomic in
+	// simulated time.
+	if !aborted && t.m.cfg.Core.Mode == core.ModeWAROnly && t.eng.HasUnsafe() {
+		if ab, _ := t.eng.AbortPending(); !ab {
+			t.valChecks++
+			if !tx.validateReads(t.unsafeSet()) {
+				t.eng.Abort(core.ReasonValidation)
+			}
+		}
+	}
+
+	if !aborted {
+		*fpLines = t.eng.Footprint().LineCount()
+	}
+	ok, _ := t.eng.CommitTx()
+	if aborted || !ok {
+		// A conflict abort that arrived during an explicit Tx.Abort
+		// unwinding still counts as a user abort for control flow.
+		return false, userAbort
+	}
+	tx.applyWrites(t.m.memory)
+	tx.flushTrace(true)
+	t.m.logTxCommit(t.id)
+	t.step(t.m.cfg.CommitCycles)
+	return true, false
+}
+
+// waitLockFree spins (with polling delay) until the serial fallback lock
+// is free. Checking is a plain coherent load; the lock word lives in its
+// own cache line.
+func (t *Thread) waitLockFree() {
+	t.noRecord = true
+	for t.Load(t.m.lockAddr, 8) != 0 {
+		t.Work(int64(100 + t.rng.Intn(100)))
+	}
+	t.noRecord = false
+}
+
+// runFallback executes body under the global serial lock with direct
+// (non-speculative) accesses. Acquisition force-aborts every in-flight
+// transaction (belt) while the per-transaction lock subscription in Atomic
+// (braces) guarantees no transaction that missed the quash can commit
+// inside the critical section; waitLockFree keeps new transactions out
+// until release. Returns false iff the body user-aborted under the lock.
+func (t *Thread) runFallback(body func(tx *Tx)) bool {
+	for {
+		// Acquire: CAS 0->1; the acquisition and the quashing of running
+		// transactions happen within one simulated op, so no transaction
+		// can slip in between.
+		r := t.eng.Load(t.m.lockAddr, 8, false)
+		lat := r.Latency
+		if t.m.memory.LoadUint(t.m.lockAddr, 8) == 0 {
+			// Quash all in-flight transactions FIRST, then write the lock
+			// word — both inside this one simulated op. Ordering matters:
+			// quashing first (reason "lock") keeps the lock write's
+			// probes from being double-counted as data conflicts.
+			for _, e := range t.m.engines {
+				if e.ID() != t.id {
+					e.ForceAbort(core.ReasonLock)
+				}
+			}
+			rs := t.eng.Store(t.m.lockAddr, 8, false)
+			t.m.memory.StoreUint(t.m.lockAddr, 8, 1)
+			lat += rs.Latency
+			t.step(lat)
+			break
+		}
+		t.step(lat)
+		t.Work(int64(100 + t.rng.Intn(100)))
+	}
+	t.fallbacks++
+	t.m.logFallback(t.id)
+
+	// A user abort under the lock discards the buffered writes and hands
+	// control back to the program (same contract as the speculative path).
+	tx := &Tx{t: t, irrevocable: true}
+	userAborted := func() (ua bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(txAbort); !ok {
+					panic(r)
+				}
+				tx.writes = tx.writes[:0]
+				ua = true
+			}
+		}()
+		body(tx)
+		tx.applyWrites(t.m.memory)
+		return false
+	}()
+	tx.flushTrace(!userAborted)
+
+	// Release.
+	t.noRecord = true
+	t.Store(t.m.lockAddr, 8, 0)
+	t.noRecord = false
+	return !userAborted
+}
+
+// checkAbort panics with txAbort when the engine has aborted the running
+// attempt; called by every Tx operation.
+func (t *Thread) checkAbort() {
+	if ab, _ := t.eng.AbortPending(); ab {
+		panic(txAbort{})
+	}
+}
+
+// unsafeSet converts the engine's speculated-WAR line list to a set.
+func (t *Thread) unsafeSet() map[mem.LineAddr]bool {
+	ls := t.eng.UnsafeLines()
+	set := make(map[mem.LineAddr]bool, len(ls))
+	for _, l := range ls {
+		set[l] = true
+	}
+	return set
+}
+
+func (t *Thread) String() string {
+	return fmt.Sprintf("thread %d @%d", t.id, t.wake)
+}

@@ -1,0 +1,247 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Tx is the handle a transaction body uses for all shared-memory access.
+// Stores are buffered (ASF's lazy data versioning in the L1/LS-queue) and
+// applied to the simulated memory only on commit; loads see the thread's
+// own buffered writes (read-your-writes) overlaid on memory.
+//
+// In irrevocable mode (serial-lock fallback) the same API is served with
+// plain coherent accesses, still write-buffered so that Tx.Abort keeps its
+// discard semantics.
+type Tx struct {
+	t           *Thread
+	writes      []writeRec
+	reads       []readRec  // raw memory values read (ModeWAROnly validation)
+	ops         []trace.Op // this attempt's op stream (trace recording)
+	nacks       int        // holder-wins NACKs taken by this attempt
+	irrevocable bool
+}
+
+type writeRec struct {
+	addr mem.Addr
+	size int
+	val  uint64
+}
+
+// readRec records the RAW memory bytes a load observed (before the
+// transaction's own write overlay), for the WAR-only comparator's
+// commit-time value validation.
+type readRec struct {
+	addr mem.Addr
+	size int
+	raw  uint64
+}
+
+// Thread returns the executing thread (for its Rand, ID, etc.).
+func (tx *Tx) Thread() *Thread { return tx.t }
+
+// Load performs a speculative load of a size-byte little-endian value
+// (size in {1,2,4,8}). It may not return: if the transaction has been
+// aborted the attempt unwinds and retries.
+func (tx *Tx) Load(a mem.Addr, size int) uint64 {
+	t := tx.t
+	t.checkAbort()
+	if tx.irrevocable {
+		r := t.eng.Load(a, size, false)
+		v := tx.readValue(a, size)
+		t.step(r.Latency)
+		return v
+	}
+	r := t.eng.Load(a, size, true)
+	if r.CapacityAbort {
+		panic(txAbort{})
+	}
+	if r.Nacked {
+		tx.stall(r.Latency)
+		return tx.Load(a, size) // retry after the stall
+	}
+	t.checkAbort()
+	tx.traceOp(trace.Op{Kind: "load", Addr: uint64(a), Size: size})
+	if t.m.cfg.Core.Mode == core.ModeWAROnly {
+		tx.reads = append(tx.reads, readRec{a, size, t.m.memory.LoadUint(a, size)})
+	}
+	v := tx.readValue(a, size)
+	t.m.magicCheck(t.id, a, size, false)
+	t.step(r.Latency)
+	return v
+}
+
+// Store performs a speculative (buffered) store.
+func (tx *Tx) Store(a mem.Addr, size int, v uint64) {
+	t := tx.t
+	t.checkAbort()
+	if tx.irrevocable {
+		r := t.eng.Store(a, size, false)
+		tx.writes = append(tx.writes, writeRec{a, size, v})
+		t.step(r.Latency)
+		return
+	}
+	r := t.eng.Store(a, size, true)
+	if r.CapacityAbort {
+		panic(txAbort{})
+	}
+	if r.Nacked {
+		tx.stall(r.Latency)
+		tx.Store(a, size, v) // retry after the stall
+		return
+	}
+	t.checkAbort()
+	tx.traceOp(trace.Op{Kind: "store", Addr: uint64(a), Size: size, Val: v})
+	tx.writes = append(tx.writes, writeRec{a, size, v})
+	t.m.magicCheck(t.id, a, size, true)
+	t.step(r.Latency)
+}
+
+// Work models computation inside the transaction.
+func (tx *Tx) Work(cycles int64) {
+	tx.t.checkAbort()
+	if cycles > 0 {
+		tx.traceOp(trace.Op{Kind: "work", Cycles: cycles})
+	}
+	tx.t.noRecord = true
+	tx.t.Work(cycles)
+	tx.t.noRecord = false
+	tx.t.checkAbort()
+}
+
+// stall handles a holder-wins NACK: wait a jittered delay and account the
+// retry; after too many NACKs in one attempt the transaction gives up and
+// aborts itself — the simplified LogTM-style livelock escape (a real
+// implementation detects possible dependence cycles; a bounded stall count
+// is the standard software approximation).
+func (tx *Tx) stall(busLat int64) {
+	t := tx.t
+	tx.nacks++
+	if tx.nacks > maxNacksPerAttempt {
+		t.eng.Abort(core.ReasonConflict)
+		panic(txAbort{})
+	}
+	t.step(busLat + int64(20+t.rng.Intn(60)))
+	t.checkAbort() // the holder may have quashed us while we stalled
+}
+
+// maxNacksPerAttempt bounds holder-wins stalling before self-abort.
+const maxNacksPerAttempt = 12
+
+// traceOp buffers an op of this attempt for trace recording; the buffer is
+// flushed only if this attempt ends the block (commit or user abort), so a
+// recorded trace holds each block's final op stream exactly once.
+func (tx *Tx) traceOp(op trace.Op) {
+	if tx.t.m.recorder == nil || tx.t.noRecord {
+		return
+	}
+	tx.ops = append(tx.ops, op)
+}
+
+// flushTrace writes the attempt's buffered ops bracketed by begin and
+// commit/abort markers.
+func (tx *Tx) flushTrace(committed bool) {
+	t := tx.t
+	if t.m.recorder == nil || t.noRecord {
+		return
+	}
+	t.m.recorder.Write(trace.Op{Thread: t.id, Kind: "begin"})
+	for _, op := range tx.ops {
+		op.Thread = t.id
+		t.m.recorder.Write(op)
+	}
+	end := "commit"
+	if !committed {
+		end = "abort"
+	}
+	t.m.recorder.Write(trace.Op{Thread: t.id, Kind: end})
+}
+
+// Abort explicitly aborts the attempt (e.g. a validation failure that the
+// program resolves by recomputing); Atomic retries the body.
+func (tx *Tx) Abort() {
+	t := tx.t
+	if tx.irrevocable {
+		panic(txAbort{user: true})
+	}
+	t.checkAbort() // already dead? unwind as a plain abort
+	t.eng.Abort(core.ReasonUser)
+	panic(txAbort{user: true})
+}
+
+// readValue reads [a, a+size) from memory and overlays the transaction's
+// own buffered writes, byte-accurately and in program order.
+func (tx *Tx) readValue(a mem.Addr, size int) uint64 {
+	var buf [8]byte
+	tx.t.m.memory.Read(a, buf[:size])
+	for _, w := range tx.writes {
+		lo := a
+		if w.addr > lo {
+			lo = w.addr
+		}
+		hi := a + mem.Addr(size)
+		if we := w.addr + mem.Addr(w.size); we < hi {
+			hi = we
+		}
+		if lo >= hi {
+			continue
+		}
+		var wb [8]byte
+		binary.LittleEndian.PutUint64(wb[:], w.val)
+		copy(buf[lo-a:hi-a], wb[lo-w.addr:hi-w.addr])
+	}
+	switch size {
+	case 1:
+		return uint64(buf[0])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(buf[:2]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(buf[:4]))
+	case 8:
+		return binary.LittleEndian.Uint64(buf[:8])
+	}
+	panic(fmt.Sprintf("sim: Tx load size %d", size))
+}
+
+// validateReads re-checks, against current memory, every recorded raw
+// read whose line is in the unsafe set — the DPTM-style commit-time value
+// validation. It must be called with no intervening yield before commit
+// (the simulator makes the check + commit atomic). Reports whether all
+// speculated-through reads still hold.
+func (tx *Tx) validateReads(unsafe map[mem.LineAddr]bool) bool {
+	if len(unsafe) == 0 {
+		return true
+	}
+	g := tx.t.m.geom
+	for _, r := range tx.reads {
+		touched := false
+		for _, p := range g.SplitByLine(r.addr, r.size) {
+			if unsafe[p.Line] {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			continue
+		}
+		if tx.t.m.memory.LoadUint(r.addr, r.size) != r.raw {
+			return false
+		}
+	}
+	return true
+}
+
+// applyWrites flushes the buffered write set to memory (commit).
+func (tx *Tx) applyWrites(m *mem.Memory) {
+	for _, w := range tx.writes {
+		m.StoreUint(w.addr, w.size, w.val)
+	}
+	tx.writes = tx.writes[:0]
+}
+
+// WriteSetSize returns the number of buffered stores (diagnostics).
+func (tx *Tx) WriteSetSize() int { return len(tx.writes) }

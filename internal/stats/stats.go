@@ -1,0 +1,525 @@
+// Package stats collects and renders the measurements behind every figure
+// and table of the paper: run-level counters (Figs 1, 2, 9, 10), cumulative
+// time series (Fig 3), per-cache-line histograms (Fig 4) and intra-line
+// access-offset histograms (Fig 5).
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/oracle"
+)
+
+// Run is the aggregated outcome of one simulation run.
+type Run struct {
+	Workload  string
+	Mode      string
+	SubBlocks int
+	Threads   int
+	Seed      uint64
+
+	Cycles int64 // total execution time (max over threads)
+
+	// Cycle attribution, summed over threads: time inside transaction
+	// attempts (including aborted work), time spent in abort/backoff
+	// stalls, and everything else (the "non-transactional execution time"
+	// whose length the paper uses to explain Fig. 10's small improvements).
+	CyclesInTx      int64
+	CyclesInBackoff int64
+	CyclesNonTx     int64
+
+	TxStarted    uint64 // transaction attempts (begins)
+	TxLaunched   uint64 // distinct atomic blocks entered (first attempts)
+	TxCommitted  uint64
+	TxAborted    uint64
+	AbortsBy     [6]uint64 // by core.AbortReason ordinal (none/conflict/capacity/user/lock/validation)
+	Retries      uint64    // total retry attempts (TxStarted - TxLaunched)
+	MaxRetrySeen int
+	Fallbacks    uint64 // transactions that gave up and took the global lock
+
+	Conflicts      uint64
+	FalseConflicts uint64
+	ByType         [oracle.NumConflictTypes]uint64
+	FalseByType    [oracle.NumConflictTypes]uint64
+
+	DirtyMarks     uint64
+	DirtyRereq     uint64
+	RetainedCaught uint64
+	Nacks          uint64 // holder-wins resolution: refused accesses
+
+	// Prior-work comparator metrics (§II): WAR-only speculation and
+	// signature-based detection.
+	SpeculatedWARs   uint64 // would-be WAR conflicts speculated through (ModeWAROnly)
+	ValidationChecks uint64 // commit-time value validations performed
+	SigAliasFalse    uint64 // signature-mode conflicts on lines the holder never touched
+
+	// AvoidableBy[i] counts the FALSE conflicts of this run that
+	// sub-blocking at AvoidableNs[i] granules would not have detected —
+	// the paper's Fig. 8 analysis (§III-B), computed by replaying each
+	// detected conflict against the holder's byte-exact footprint at the
+	// candidate granularity. Meaningful on baseline runs.
+	AvoidableBy [4]uint64
+
+	SpecLoads, SpecStores uint64
+
+	// Coherence traffic (for the §IV-E overhead discussion).
+	ProbesShared     uint64
+	ProbesInvalidate uint64
+	DataFromRemote   uint64
+	DataFromMemory   uint64
+	PiggybackMasks   uint64
+
+	// Always-on distribution instruments.
+	FootprintLines *Histogram // distinct lines per committed transaction
+	RetryChains    *Histogram // attempts per atomic block (1 = first try)
+
+	// Optional traces (enabled per run).
+	Series  *Series        // (cycle, txStarted, falseConflicts) samples
+	Lines   *LineHistogram // false conflicts by line
+	Offsets *OffsetHist    // speculative accesses by intra-line offset
+
+	// WatchedOffsets holds per-line intra-line access histograms for the
+	// line indices requested via the machine's WatchLines option — the
+	// instrument behind the padding/granularity advisor.
+	WatchedOffsets map[uint64]*OffsetHist
+}
+
+// AvoidableNs are the sub-block counts the Fig. 8 analysis evaluates.
+var AvoidableNs = [4]int{2, 4, 8, 16}
+
+// AvoidableRate returns Fig. 8's reduction metric for AvoidableNs[i]:
+// the fraction of this run's false conflicts that i-granule sub-blocking
+// would have avoided.
+func (r *Run) AvoidableRate(i int) float64 {
+	if r.FalseConflicts == 0 {
+		return 0
+	}
+	return float64(r.AvoidableBy[i]) / float64(r.FalseConflicts)
+}
+
+// FalseConflictRate is Fig. 1's metric: false conflicts / all conflicts.
+// Zero when there were no conflicts at all.
+func (r *Run) FalseConflictRate() float64 {
+	if r.Conflicts == 0 {
+		return 0
+	}
+	return float64(r.FalseConflicts) / float64(r.Conflicts)
+}
+
+// TxFraction returns the share of total thread-time spent inside
+// transaction attempts.
+func (r *Run) TxFraction() float64 {
+	total := r.CyclesInTx + r.CyclesInBackoff + r.CyclesNonTx
+	if total == 0 {
+		return 0
+	}
+	return float64(r.CyclesInTx) / float64(total)
+}
+
+// BackoffFraction returns the share of total thread-time spent stalled in
+// abort/backoff.
+func (r *Run) BackoffFraction() float64 {
+	total := r.CyclesInTx + r.CyclesInBackoff + r.CyclesNonTx
+	if total == 0 {
+		return 0
+	}
+	return float64(r.CyclesInBackoff) / float64(total)
+}
+
+// AbortRate is aborts per attempt.
+func (r *Run) AbortRate() float64 {
+	if r.TxStarted == 0 {
+		return 0
+	}
+	return float64(r.TxAborted) / float64(r.TxStarted)
+}
+
+// TypeShare returns the fraction of FALSE conflicts having type t (Fig 2).
+func (r *Run) TypeShare(t oracle.ConflictType) float64 {
+	if r.FalseConflicts == 0 {
+		return 0
+	}
+	return float64(r.FalseByType[t]) / float64(r.FalseConflicts)
+}
+
+// Reduction returns the relative reduction of metric new versus base:
+// (base-new)/base, clamped to 0 when base is 0. Used for Figs 8 and 9.
+func Reduction(base, new uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	d := float64(base) - float64(new)
+	return d / float64(base)
+}
+
+// Speedup returns baseCycles/newCycles (Fig 10's execution-time
+// improvement is Speedup-1).
+func Speedup(baseCycles, newCycles int64) float64 {
+	if newCycles <= 0 {
+		return 0
+	}
+	return float64(baseCycles) / float64(newCycles)
+}
+
+// ---------------------------------------------------------------------------
+// Distribution instruments
+// ---------------------------------------------------------------------------
+
+// Histogram is a simple integer-valued distribution tracker used for
+// transaction footprints (lines per transaction — the capacity analysis
+// behind the paper's yada/hmm exclusion) and retry chains (the paper's
+// explanation of intruder's outsized Fig. 10 win).
+type Histogram struct {
+	counts map[int]uint64
+	n      uint64
+	sum    uint64
+	max    int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]uint64)}
+}
+
+// Add records one observation of value v (negative values are clamped to 0).
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[v]++
+	h.n++
+	h.sum += uint64(v)
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() int { return h.max }
+
+// Percentile returns the smallest value v such that at least frac of the
+// observations are <= v (frac in [0,1]).
+func (h *Histogram) Percentile(frac float64) int {
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(frac * float64(h.n))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for v := 0; v <= h.max; v++ {
+		cum += h.counts[v]
+		if cum >= target {
+			return v
+		}
+	}
+	return h.max
+}
+
+// MarshalJSON renders the histogram as its summary statistics, so the
+// machine-readable Run output (asfsim -json) stays compact.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(map[string]any{
+		"n":    h.N(),
+		"mean": h.Mean(),
+		"max":  h.Max(),
+		"p50":  h.Percentile(0.50),
+		"p95":  h.Percentile(0.95),
+	})
+}
+
+// AtLeast returns the fraction of observations >= v.
+func (h *Histogram) AtLeast(v int) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	var c uint64
+	for k, n := range h.counts {
+		if k >= v {
+			c += n
+		}
+	}
+	return float64(c) / float64(h.n)
+}
+
+// ---------------------------------------------------------------------------
+// Time series (Fig 3)
+// ---------------------------------------------------------------------------
+
+// SeriesPoint is one cumulative sample.
+type SeriesPoint struct {
+	Cycle          int64
+	TxStarted      uint64
+	FalseConflicts uint64
+}
+
+// Series records the cumulative transaction-start and false-conflict
+// counts over simulated time. To bound memory on long runs it keeps at
+// most maxPoints samples, halving its resolution when full (cumulative
+// counts lose nothing but resolution when thinned).
+type Series struct {
+	pts       []SeriesPoint
+	maxPoints int
+	stride    int // record every stride-th event
+	skip      int // events skipped since the last recorded one
+	cur       SeriesPoint
+}
+
+// NewSeries returns a series bounded to maxPoints samples (<=0 means 4096).
+func NewSeries(maxPoints int) *Series {
+	if maxPoints <= 0 {
+		maxPoints = 4096
+	}
+	return &Series{maxPoints: maxPoints, stride: 1}
+}
+
+// Tick advances the running totals and samples the series.
+func (s *Series) Tick(cycle int64, txStarted, falseConf uint64) {
+	s.cur = SeriesPoint{Cycle: cycle, TxStarted: txStarted, FalseConflicts: falseConf}
+	s.skip++
+	if s.skip < s.stride {
+		return
+	}
+	s.skip = 0
+	s.pts = append(s.pts, s.cur)
+	if len(s.pts) >= s.maxPoints {
+		// Thin to every other point and double the stride.
+		half := s.pts[:0]
+		for i := 0; i < len(s.pts); i += 2 {
+			half = append(half, s.pts[i])
+		}
+		s.pts = half
+		s.stride *= 2
+	}
+}
+
+// Points returns the samples plus the final state as the last point.
+func (s *Series) Points() []SeriesPoint {
+	out := make([]SeriesPoint, len(s.pts))
+	copy(out, s.pts)
+	if n := len(out); n == 0 || out[n-1] != s.cur {
+		out = append(out, s.cur)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Line histogram (Fig 4)
+// ---------------------------------------------------------------------------
+
+// LineHistogram counts false conflicts per cache-line index.
+type LineHistogram struct {
+	counts map[uint64]uint64
+}
+
+// NewLineHistogram returns an empty histogram.
+func NewLineHistogram() *LineHistogram {
+	return &LineHistogram{counts: make(map[uint64]uint64)}
+}
+
+// Add records a false conflict on the line with the given dense index.
+func (h *LineHistogram) Add(lineIndex uint64) { h.counts[lineIndex]++ }
+
+// MarshalJSON renders the line histogram as its top-20 lines plus totals.
+func (h *LineHistogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(map[string]any{
+		"distinct": h.Distinct(),
+		"total":    h.Total(),
+		"top":      h.Top(20),
+	})
+}
+
+// LineCount is a (line, count) pair.
+type LineCount struct {
+	Line  uint64
+	Count uint64
+}
+
+// Sorted returns the histogram ordered by line index.
+func (h *LineHistogram) Sorted() []LineCount {
+	out := make([]LineCount, 0, len(h.counts))
+	for l, c := range h.counts {
+		out = append(out, LineCount{l, c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Line < out[j].Line })
+	return out
+}
+
+// Top returns the n most conflicted lines, by descending count.
+func (h *LineHistogram) Top(n int) []LineCount {
+	out := h.Sorted()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Line < out[j].Line
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Distinct returns the number of distinct lines with conflicts.
+func (h *LineHistogram) Distinct() int { return len(h.counts) }
+
+// Total returns the total count.
+func (h *LineHistogram) Total() uint64 {
+	var t uint64
+	for _, c := range h.counts {
+		t += c
+	}
+	return t
+}
+
+// Concentration returns the fraction of all counts carried by the top n
+// lines — the metric that distinguishes kmeans ("mostly from a few specific
+// cache lines") from vacation/intruder ("quite uniform").
+func (h *LineHistogram) Concentration(n int) float64 {
+	tot := h.Total()
+	if tot == 0 {
+		return 0
+	}
+	var top uint64
+	for _, lc := range h.Top(n) {
+		top += lc.Count
+	}
+	return float64(top) / float64(tot)
+}
+
+// ---------------------------------------------------------------------------
+// Offset histogram (Fig 5)
+// ---------------------------------------------------------------------------
+
+// OffsetHist counts speculative accesses by their starting byte offset
+// within a cache line.
+type OffsetHist struct {
+	lineSize int
+	counts   []uint64
+}
+
+// NewOffsetHist returns a histogram for lineSize-byte lines.
+func NewOffsetHist(lineSize int) *OffsetHist {
+	return &OffsetHist{lineSize: lineSize, counts: make([]uint64, lineSize)}
+}
+
+// Add records an access starting at offset off.
+func (h *OffsetHist) Add(off int) {
+	if off >= 0 && off < len(h.counts) {
+		h.counts[off]++
+	}
+}
+
+// MarshalJSON renders the offset histogram as its raw counts and the
+// dominant stride.
+func (h *OffsetHist) MarshalJSON() ([]byte, error) {
+	return json.Marshal(map[string]any{
+		"counts": h.Counts(),
+		"stride": h.DominantStride(0.95),
+	})
+}
+
+// Counts returns the per-offset counts (length = line size).
+func (h *OffsetHist) Counts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// DominantStride estimates the access granularity the histogram exhibits:
+// the largest power-of-two stride g such that at least frac of all accesses
+// start on a multiple of g. For kmeans the paper reports 4 bytes; for
+// vacation/genome/intruder, 8 bytes.
+func (h *OffsetHist) DominantStride(frac float64) int {
+	var total uint64
+	for _, c := range h.counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	best := 1
+	for g := 2; g <= h.lineSize; g *= 2 {
+		var aligned uint64
+		for off, c := range h.counts {
+			if off%g == 0 {
+				aligned += c
+			}
+		}
+		if float64(aligned) >= frac*float64(total) {
+			best = g
+		} else {
+			break
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------------
+// Text rendering
+// ---------------------------------------------------------------------------
+
+// Table renders rows with aligned columns (two spaces between columns).
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Bar renders v in [0,1] as a fixed-width ASCII bar, e.g. "#####-----".
+func Bar(v float64, width int) string {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	n := int(v*float64(width) + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat("-", width-n)
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%5.1f%%", v*100) }

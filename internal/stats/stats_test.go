@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/oracle"
+)
+
+func TestRunDerivedMetrics(t *testing.T) {
+	r := &Run{Conflicts: 200, FalseConflicts: 50, TxStarted: 100, TxAborted: 25}
+	if got := r.FalseConflictRate(); got != 0.25 {
+		t.Errorf("FalseConflictRate = %v", got)
+	}
+	if got := r.AbortRate(); got != 0.25 {
+		t.Errorf("AbortRate = %v", got)
+	}
+	empty := &Run{}
+	if empty.FalseConflictRate() != 0 || empty.AbortRate() != 0 {
+		t.Error("zero-division not guarded")
+	}
+}
+
+func TestTypeShare(t *testing.T) {
+	r := &Run{FalseConflicts: 10}
+	r.FalseByType[oracle.WAR] = 7
+	r.FalseByType[oracle.RAW] = 3
+	if r.TypeShare(oracle.WAR) != 0.7 || r.TypeShare(oracle.RAW) != 0.3 || r.TypeShare(oracle.WAW) != 0 {
+		t.Errorf("TypeShare wrong: %v %v %v",
+			r.TypeShare(oracle.WAR), r.TypeShare(oracle.RAW), r.TypeShare(oracle.WAW))
+	}
+}
+
+func TestAvoidableRate(t *testing.T) {
+	r := &Run{FalseConflicts: 100}
+	r.AvoidableBy = [4]uint64{10, 40, 80, 100}
+	for i, want := range []float64{0.1, 0.4, 0.8, 1.0} {
+		if got := r.AvoidableRate(i); got != want {
+			t.Errorf("AvoidableRate(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestReductionAndSpeedup(t *testing.T) {
+	if Reduction(100, 40) != 0.6 {
+		t.Error("Reduction wrong")
+	}
+	if Reduction(0, 40) != 0 {
+		t.Error("Reduction zero-base not guarded")
+	}
+	if Reduction(100, 150) != -0.5 {
+		t.Error("negative reduction wrong")
+	}
+	if Speedup(200, 100) != 2 || Speedup(200, 0) != 0 {
+		t.Error("Speedup wrong")
+	}
+}
+
+func TestSeriesMonotonicAndBounded(t *testing.T) {
+	s := NewSeries(64)
+	for i := 0; i < 10000; i++ {
+		s.Tick(int64(i*10), uint64(i), uint64(i/2))
+	}
+	pts := s.Points()
+	if len(pts) > 65 {
+		t.Fatalf("series kept %d points, cap 64", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Cycle < pts[i-1].Cycle || pts[i].TxStarted < pts[i-1].TxStarted ||
+			pts[i].FalseConflicts < pts[i-1].FalseConflicts {
+			t.Fatalf("series not monotone at %d: %+v -> %+v", i, pts[i-1], pts[i])
+		}
+	}
+	// Final state always present.
+	last := pts[len(pts)-1]
+	if last.TxStarted != 9999 || last.FalseConflicts != 4999 {
+		t.Fatalf("final point %+v", last)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewSeries(0)
+	pts := s.Points()
+	if len(pts) != 1 || pts[0] != (SeriesPoint{}) {
+		t.Fatalf("empty series points %v", pts)
+	}
+}
+
+func TestLineHistogram(t *testing.T) {
+	h := NewLineHistogram()
+	for i := 0; i < 90; i++ {
+		h.Add(7)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(uint64(100 + i))
+	}
+	if h.Total() != 100 || h.Distinct() != 11 {
+		t.Fatalf("total %d distinct %d", h.Total(), h.Distinct())
+	}
+	top := h.Top(1)
+	if len(top) != 1 || top[0].Line != 7 || top[0].Count != 90 {
+		t.Fatalf("Top(1) = %v", top)
+	}
+	if got := h.Concentration(1); got != 0.9 {
+		t.Fatalf("Concentration(1) = %v", got)
+	}
+	sorted := h.Sorted()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].Line <= sorted[i-1].Line {
+			t.Fatal("Sorted not ascending by line")
+		}
+	}
+}
+
+func TestOffsetHistStride(t *testing.T) {
+	h := NewOffsetHist(64)
+	for off := 0; off < 64; off += 8 {
+		for i := 0; i < 100; i++ {
+			h.Add(off)
+		}
+	}
+	if got := h.DominantStride(0.95); got != 8 {
+		t.Fatalf("stride %d, want 8", got)
+	}
+	// Add a few 4-aligned accesses: stride drops to 4 only if they exceed
+	// the 95% threshold — they don't.
+	for i := 0; i < 10; i++ {
+		h.Add(4)
+	}
+	if got := h.DominantStride(0.95); got != 4 {
+		// 8-aligned accesses are 800/810 = 98.7% but 4-aligned are 100%;
+		// the largest stride with >=95% aligned is 8.
+		t.Logf("stride after noise: %d", got)
+	}
+	empty := NewOffsetHist(64)
+	if empty.DominantStride(0.9) != 0 {
+		t.Fatal("empty histogram stride != 0")
+	}
+}
+
+func TestOffsetHistIgnoresOutOfRange(t *testing.T) {
+	h := NewOffsetHist(64)
+	h.Add(-1)
+	h.Add(64)
+	for _, c := range h.Counts() {
+		if c != 0 {
+			t.Fatal("out-of-range offsets recorded")
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"alpha", "1"},
+		{"a-longer-name", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header %q", lines[0])
+	}
+	// Columns aligned: "value" begins at the same column in every row.
+	col := strings.Index(lines[0], "value")
+	if lines[2][col-1] != ' ' && lines[2][col] == ' ' {
+		t.Fatalf("misaligned row %q", lines[2])
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(0.5, 10) != "#####-----" {
+		t.Fatalf("Bar(0.5,10) = %q", Bar(0.5, 10))
+	}
+	if Bar(-1, 4) != "----" || Bar(2, 4) != "####" {
+		t.Fatal("Bar clamping broken")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.564); got != " 56.4%" {
+		t.Fatalf("Pct = %q", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.N() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Percentile(0.5) != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+	for _, v := range []int{1, 1, 2, 3, 5, 8} {
+		h.Add(v)
+	}
+	if h.N() != 6 || h.Max() != 8 {
+		t.Fatalf("N=%d Max=%d", h.N(), h.Max())
+	}
+	if got := h.Mean(); got < 3.32 || got > 3.34 { // 20/6
+		t.Fatalf("Mean = %v", got)
+	}
+	if h.Percentile(0.5) != 2 {
+		t.Fatalf("p50 = %d", h.Percentile(0.5))
+	}
+	if h.Percentile(1.0) != 8 {
+		t.Fatalf("p100 = %d", h.Percentile(1.0))
+	}
+	if got := h.AtLeast(3); got != 0.5 {
+		t.Fatalf("AtLeast(3) = %v", got)
+	}
+	h.Add(-5) // clamped to 0
+	if h.Percentile(0.01) != 0 {
+		t.Fatal("negative clamp failed")
+	}
+}

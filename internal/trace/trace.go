@@ -1,0 +1,179 @@
+// Package trace implements trace-driven simulation: recording a
+// workload's transactional access stream to a portable JSON-lines file,
+// and replaying such a stream as a workload.
+//
+// Replay holds the ADDRESS stream fixed while the detection system varies,
+// which separates two effects that a live re-run mixes together: the
+// protocol's conflict decisions, and the workload's dynamic divergence
+// (different interleavings take different branches, retry different
+// amounts, touch different addresses). The paper's own Fig. 8 analysis is
+// trace replay in spirit — "would this baseline conflict have existed at N
+// sub-blocks?" — and this package generalizes it to full runs.
+//
+// Known limitation, inherent to trace-driven TM methodology: a recorded
+// stream reflects the control flow of the recorded interleaving. Under a
+// different detection system the same program might have branched
+// differently; replay ignores that, which is exactly what makes the
+// comparison controlled.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/mem"
+)
+
+// Op is one recorded operation of one thread's logical stream. Kinds:
+//
+//	begin  – atomic block start
+//	load   – transactional load   (Addr, Size)
+//	store  – transactional store  (Addr, Size, Val)
+//	work   – compute inside or outside a block (Cycles)
+//	commit – atomic block end (the recorded attempt committed)
+//	abort  – atomic block end via user abort (Tx.Abort)
+//	nload  – non-transactional load
+//	nstore – non-transactional store
+type Op struct {
+	Thread int    `json:"t"`
+	Kind   string `json:"k"`
+	Addr   uint64 `json:"a,omitempty"`
+	Size   int    `json:"n,omitempty"`
+	Val    uint64 `json:"v,omitempty"`
+	Cycles int64  `json:"c,omitempty"`
+}
+
+// Writer serializes ops as JSON lines. Safe for the simulator's
+// single-threaded-at-any-instant execution model; not otherwise
+// synchronized.
+type Writer struct {
+	enc *json.Encoder
+	n   int
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{enc: json.NewEncoder(w)} }
+
+// Write appends one op. Errors are sticky and reported by Flush.
+func (w *Writer) Write(op Op) {
+	if w.err != nil {
+		return
+	}
+	if err := w.enc.Encode(op); err != nil {
+		w.err = err
+		return
+	}
+	w.n++
+}
+
+// Flush reports the op count and any sticky error.
+func (w *Writer) Flush() (int, error) { return w.n, w.err }
+
+// Trace is a parsed per-thread op store.
+type Trace struct {
+	Threads int
+	Ops     [][]Op // indexed by thread
+}
+
+// Read parses a JSON-lines trace.
+func Read(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(r)
+	tr := &Trace{}
+	for {
+		var op Op
+		if err := dec.Decode(&op); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decode: %w", err)
+		}
+		if op.Thread < 0 {
+			return nil, fmt.Errorf("trace: negative thread id %d", op.Thread)
+		}
+		for op.Thread >= len(tr.Ops) {
+			tr.Ops = append(tr.Ops, nil)
+		}
+		tr.Ops[op.Thread] = append(tr.Ops[op.Thread], op)
+	}
+	tr.Threads = len(tr.Ops)
+	if tr.Threads == 0 {
+		return nil, fmt.Errorf("trace: empty")
+	}
+	return tr, nil
+}
+
+// Validate checks stream well-formedness: begins and ends alternate per
+// thread, transactional ops appear only inside blocks, sizes are sane.
+func (tr *Trace) Validate() error {
+	for tid, ops := range tr.Ops {
+		in := false
+		for i, op := range ops {
+			switch op.Kind {
+			case "begin":
+				if in {
+					return fmt.Errorf("trace: thread %d op %d: begin inside a block", tid, i)
+				}
+				in = true
+			case "commit", "abort":
+				if !in {
+					return fmt.Errorf("trace: thread %d op %d: %s outside a block", tid, i, op.Kind)
+				}
+				in = false
+			case "load", "store":
+				if !in {
+					return fmt.Errorf("trace: thread %d op %d: transactional %s outside a block", tid, i, op.Kind)
+				}
+				if !validSize(op.Size) {
+					return fmt.Errorf("trace: thread %d op %d: size %d", tid, i, op.Size)
+				}
+			case "nload", "nstore":
+				if in {
+					return fmt.Errorf("trace: thread %d op %d: non-transactional %s inside a block", tid, i, op.Kind)
+				}
+				if !validSize(op.Size) {
+					return fmt.Errorf("trace: thread %d op %d: size %d", tid, i, op.Size)
+				}
+			case "work":
+				if op.Cycles < 0 {
+					return fmt.Errorf("trace: thread %d op %d: negative work", tid, i)
+				}
+			default:
+				return fmt.Errorf("trace: thread %d op %d: unknown kind %q", tid, i, op.Kind)
+			}
+		}
+		if in {
+			return fmt.Errorf("trace: thread %d: unterminated block", tid)
+		}
+	}
+	return nil
+}
+
+func validSize(n int) bool { return n == 1 || n == 2 || n == 4 || n == 8 }
+
+// Blocks returns the number of atomic blocks in the trace.
+func (tr *Trace) Blocks() int {
+	n := 0
+	for _, ops := range tr.Ops {
+		for _, op := range ops {
+			if op.Kind == "begin" {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// MaxAddr returns the highest byte address any op touches (for sizing the
+// replay machine's address expectations; purely informational).
+func (tr *Trace) MaxAddr() mem.Addr {
+	var max mem.Addr
+	for _, ops := range tr.Ops {
+		for _, op := range ops {
+			if end := mem.Addr(op.Addr) + mem.Addr(op.Size); end > max {
+				max = end
+			}
+		}
+	}
+	return max
+}

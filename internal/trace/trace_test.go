@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	ops := []Op{
+		{Thread: 0, Kind: "begin"},
+		{Thread: 0, Kind: "load", Addr: 0x100, Size: 8},
+		{Thread: 0, Kind: "store", Addr: 0x108, Size: 4, Val: 7},
+		{Thread: 0, Kind: "work", Cycles: 50},
+		{Thread: 0, Kind: "commit"},
+		{Thread: 1, Kind: "nload", Addr: 0x200, Size: 8},
+	}
+	for _, op := range ops {
+		w.Write(op)
+	}
+	if n, err := w.Flush(); n != len(ops) || err != nil {
+		t.Fatalf("Flush = (%d, %v)", n, err)
+	}
+	tr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Threads != 2 {
+		t.Fatalf("threads = %d", tr.Threads)
+	}
+	if len(tr.Ops[0]) != 5 || len(tr.Ops[1]) != 1 {
+		t.Fatalf("per-thread counts %d/%d", len(tr.Ops[0]), len(tr.Ops[1]))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Blocks() != 1 {
+		t.Fatalf("blocks = %d", tr.Blocks())
+	}
+	if tr.MaxAddr() != 0x208 {
+		t.Fatalf("max addr %#x", uint64(tr.MaxAddr()))
+	}
+	// The round-tripped op must carry its fields.
+	if got := tr.Ops[0][2]; got.Val != 7 || got.Size != 4 {
+		t.Fatalf("store op lost fields: %+v", got)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"t":-1,"k":"work"}`)); err == nil {
+		t.Fatal("negative thread accepted")
+	}
+}
+
+func TestValidateCatchesMalformedStreams(t *testing.T) {
+	mk := func(ops ...Op) *Trace {
+		tr := &Trace{Threads: 1, Ops: [][]Op{ops}}
+		return tr
+	}
+	bad := []*Trace{
+		mk(Op{Kind: "commit"}),                                               // end without begin
+		mk(Op{Kind: "begin"}, Op{Kind: "begin"}),                             // nested begin
+		mk(Op{Kind: "load", Addr: 1, Size: 8}),                               // tx op outside block
+		mk(Op{Kind: "begin"}, Op{Kind: "nload", Size: 8}),                    // non-tx op inside block
+		mk(Op{Kind: "begin"}),                                                // unterminated
+		mk(Op{Kind: "begin"}, Op{Kind: "load", Size: 3}, Op{Kind: "commit"}), // bad size
+		mk(Op{Kind: "zap"}),                                                  // unknown kind
+		mk(Op{Kind: "work", Cycles: -1}),                                     // negative work
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("case %d: malformed trace validated", i)
+		}
+	}
+	good := mk(
+		Op{Kind: "work", Cycles: 10},
+		Op{Kind: "begin"}, Op{Kind: "store", Addr: 8, Size: 8, Val: 1}, Op{Kind: "abort"},
+		Op{Kind: "nstore", Addr: 16, Size: 8, Val: 2},
+	)
+	if err := good.Validate(); err != nil {
+		t.Errorf("well-formed trace rejected: %v", err)
+	}
+}

@@ -1,0 +1,125 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+func init() {
+	register("apriori", "association rule mining", func(s Scale) sim.Workload {
+		return NewApriori(s)
+	})
+}
+
+// Apriori reproduces the RMS-TM Apriori kernel (frequent-itemset mining).
+// Threads stream baskets; for each basket a transaction walks the shared
+// candidate hash tree — many speculative READS of interior nodes — and
+// bumps the support counters of the matching candidates, a single WRITE
+// per matched candidate.
+//
+// Because transactions are read-dominated (tree navigation) and the
+// counters are packed eight to a line next to navigation words, a writer's
+// invalidation usually lands on lines other transactions have only
+// speculatively read: apriori is WAR-dominant and, with candidates spread
+// across many lines, shows one of the highest false-conflict rates in
+// Fig. 1 (> 90 %).
+type Apriori struct {
+	scale      Scale
+	baskets    int // baskets per thread
+	candidates int
+	fanout     int // interior navigation words read per level
+
+	tree    Table // interior nodes: 8B navigation words, read-only after setup
+	support Table // candidate support counters: 8B, densely packed
+	matched Table // per-thread match counters, line-padded
+}
+
+// NewApriori builds an apriori instance.
+func NewApriori(scale Scale) *Apriori {
+	return &Apriori{
+		scale:      scale,
+		baskets:    scale.pick(24, 250, 1200),
+		candidates: scale.pick(96, 512, 2048),
+		fanout:     6,
+	}
+}
+
+// Name implements sim.Workload.
+func (w *Apriori) Name() string { return "apriori" }
+
+// Description implements sim.Workload.
+func (w *Apriori) Description() string { return "association rule mining" }
+
+// Setup implements sim.Workload.
+func (w *Apriori) Setup(m *sim.Machine) {
+	a := m.Alloc()
+	w.tree = NewTable(a, w.candidates, 8)
+	w.support = NewTable(a, w.candidates, 8)
+	w.matched = NewTable(a, m.Threads(), 64)
+	r := m.SetupRand()
+	for i := 0; i < w.candidates; i++ {
+		m.Memory().StoreUint(w.tree.Rec(i), 8, uint64(r.Intn(w.candidates))+1)
+	}
+}
+
+// Run implements sim.Workload.
+func (w *Apriori) Run(t *sim.Thread) {
+	z := t.Rand() // basket item skew: popular candidates get most hits
+	var matches uint64
+	for b := 0; b < w.baskets; b++ {
+		t.Work(120) // basket parsing
+
+		nMatch := 0
+		t.Atomic(func(tx *sim.Tx) {
+			nMatch = 0
+			// Navigate the candidate tree: a burst of speculative reads
+			// over interior nodes chosen by the basket's items.
+			cursor := (t.ID()*31 + b) % w.candidates
+			for lvl := 0; lvl < w.fanout; lvl++ {
+				nav := tx.Load(w.tree.Rec(cursor), 8)
+				cursor = int(nav-1) % w.candidates
+				// Read the support counter adjacent to the path (subset
+				// counting reads supports before deciding to bump).
+				tx.Load(w.support.Rec(cursor), 8)
+			}
+			// Bump the supports of the 1-2 matched candidates; skewed so
+			// hot candidates cluster in the low part of the table (the
+			// line-level hot spots that make false conflicts frequent).
+			nbump := 1 + b%3/2
+			for k := 0; k < nbump; k++ {
+				var c int
+				if z.Bool(0.3) {
+					c = z.Intn(w.candidates / 16) // hot region
+				} else {
+					c = z.Intn(w.candidates)
+				}
+				sA := w.support.Rec(c)
+				tx.Store(sA, 8, tx.Load(sA, 8)+1)
+				nMatch++
+			}
+		})
+		matches += uint64(nMatch)
+	}
+	t.Store(w.matched.Rec(t.ID()), 8, matches)
+}
+
+// Validate implements sim.Workload: the support counters must sum to the
+// total number of matches the threads recorded (counter increments are
+// never lost or doubled).
+func (w *Apriori) Validate(m *sim.Machine) error {
+	var support uint64
+	for c := 0; c < w.candidates; c++ {
+		support += m.Memory().LoadUint(w.support.Rec(c), 8)
+	}
+	var matches uint64
+	for tid := 0; tid < m.Threads(); tid++ {
+		matches += m.Memory().LoadUint(w.matched.Rec(tid), 8)
+	}
+	if support != matches {
+		return fmt.Errorf("apriori: support total %d != recorded matches %d", support, matches)
+	}
+	return nil
+}
+
+var _ sim.Workload = (*Apriori)(nil)

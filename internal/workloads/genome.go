@@ -1,0 +1,194 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+func init() {
+	register("genome", "gene sequencing", func(s Scale) sim.Workload {
+		return NewGenome(s)
+	})
+}
+
+// Genome reproduces STAMP genome's phase structure. The original assembles
+// a genome from segments in distinct phases: (1) de-duplicate segments by
+// transactional inserts into a shared hash set, (2) match segment overlaps
+// and transactionally link them into chains. The phases concentrate the
+// transactional activity in bursts — the paper's Fig. 3 shows genome's
+// false conflicts growing rapidly in two particular periods while
+// transaction starts grow linearly.
+//
+// The hash-set buckets are 8-byte words packed contiguously (Fig. 5:
+// 8-byte granularity), so probing/inserting neighbouring buckets falsely
+// shares lines. Inserts read the bucket first (linear probing), so an
+// incoming probe usually finds the holder mid-read-modify-write — genome
+// is one of the paper's RAW-dominated benchmarks.
+type Genome struct {
+	scale    Scale
+	segments int // segments per thread
+	buckets  int
+
+	hash     Table // open-addressed hash set: 8B slot = segment value (0 = empty)
+	links    Table // chain links: 8B per segment slot
+	inserted Table // per-thread dedup counts (line-padded, private)
+}
+
+// NewGenome builds a genome instance.
+func NewGenome(scale Scale) *Genome {
+	return &Genome{
+		scale:    scale,
+		segments: scale.pick(32, 300, 1500),
+		buckets:  scale.pick(1024, 4096, 16384),
+	}
+}
+
+// Name implements sim.Workload.
+func (w *Genome) Name() string { return "genome" }
+
+// Description implements sim.Workload.
+func (w *Genome) Description() string { return "gene sequencing" }
+
+// Setup implements sim.Workload.
+func (w *Genome) Setup(m *sim.Machine) {
+	a := m.Alloc()
+	w.hash = NewTable(a, w.buckets, 8)
+	w.links = NewTable(a, w.buckets, 8)
+	w.inserted = NewTable(a, m.Threads(), 64) // one line each: private, no sharing
+}
+
+// segmentValue generates thread t's i-th segment. Roughly half of every
+// thread's segments come from a COMMON stream indexed only by i, so
+// different threads insert identical values at about the same time — the
+// concurrent duplicate inserts whose same-slot collisions are genome's
+// TRUE conflicts; the rest are thread-private values whose only collisions
+// are line-level false sharing between neighbouring buckets.
+func segmentValue(tid, i, universe int) uint64 {
+	h := uint64(i) * segMix
+	if h>>16&1 == 0 {
+		return h>>32%uint64(universe) + 1 // common stream: shared across threads
+	}
+	v := h>>8 + uint64(tid)*0x9e3779b9
+	return v%uint64(universe) + 1
+}
+
+// segMix is a fixed odd mixing constant decorrelating thread streams
+
+const segMix = 2654435761
+
+// bucketOf preserves value locality (bucket ≈ value), like genome's
+// table keyed by segment prefix: segments with nearby prefixes land in
+// neighbouring buckets, which is where the line-level false sharing
+// between concurrent inserters comes from.
+func (w *Genome) bucketOf(v uint64) int {
+	return int(v % uint64(w.buckets))
+}
+
+// Run implements sim.Workload.
+func (w *Genome) Run(t *sim.Thread) {
+	universe := w.segments * t.Machine().Threads() / 2
+
+	// Phase 1: transactional de-duplication inserts (bursty conflicts).
+	// NOTE: the body may execute several times (aborted attempts retry),
+	// so it communicates through `didInsert`, reset on entry — never by
+	// mutating accumulators directly.
+	var mine uint64
+	for i := 0; i < w.segments; i++ {
+		v := segmentValue(t.ID(), i, universe)
+		t.Work(30) // segment extraction
+		didInsert := false
+		t.Atomic(func(tx *sim.Tx) {
+			didInsert = false
+			b := w.bucketOf(v)
+			for probe := 0; probe < 16; probe++ {
+				slot := (b + probe) % w.buckets
+				cur := tx.Load(w.hash.Rec(slot), 8)
+				if cur == v {
+					return // duplicate
+				}
+				if cur == 0 {
+					tx.Store(w.hash.Rec(slot), 8, v)
+					// Segment checksum/validation after insertion keeps
+					// the written line exposed while neighbours' scans
+					// probe it — the reads arriving then are genome's
+					// RAW conflicts.
+					tx.Work(200)
+					tx.Load(w.hash.Rec(slot), 8)
+					didInsert = true
+					return
+				}
+			}
+			// Table overfull at this cluster: fall through without insert.
+		})
+		if didInsert {
+			mine++
+		}
+	}
+	t.Store(w.inserted.Rec(t.ID()), 8, mine)
+
+	// Inter-phase compute: overlap matching is mostly private work.
+	t.Work(int64(80 * w.segments))
+
+	// Phase 2: transactional chain linking (second conflict burst).
+	for i := 0; i < w.segments; i++ {
+		v := segmentValue(t.ID(), i, universe)
+		next := segmentValue(t.ID(), (i+1)%w.segments, universe)
+		t.Work(25)
+		t.Atomic(func(tx *sim.Tx) {
+			b := w.bucketOf(v)
+			for probe := 0; probe < 16; probe++ {
+				slot := (b + probe) % w.buckets
+				cur := tx.Load(w.hash.Rec(slot), 8)
+				if cur == v {
+					// Link this segment to its overlap successor if the
+					// slot is still unlinked (first matcher wins).
+					if tx.Load(w.links.Rec(slot), 8) == 0 {
+						tx.Store(w.links.Rec(slot), 8, next)
+					}
+					return
+				}
+				if cur == 0 {
+					return // not found (evicted by clustering limit)
+				}
+			}
+		})
+	}
+}
+
+// Validate implements sim.Workload: every non-empty hash slot holds a
+// distinct value (set property), and the per-thread insert counts sum to
+// the number of occupied slots (no lost/duplicated inserts).
+func (w *Genome) Validate(m *sim.Machine) error {
+	seen := make(map[uint64]int)
+	occupied := 0
+	for s := 0; s < w.buckets; s++ {
+		v := m.Memory().LoadUint(w.hash.Rec(s), 8)
+		if v == 0 {
+			continue
+		}
+		occupied++
+		if prev, dup := seen[v]; dup {
+			return fmt.Errorf("genome: segment %d inserted twice (slots %d and %d) — dedup atomicity broken", v, prev, s)
+		}
+		seen[v] = s
+	}
+	var inserted uint64
+	for tid := 0; tid < m.Threads(); tid++ {
+		inserted += m.Memory().LoadUint(w.inserted.Rec(tid), 8)
+	}
+	if inserted != uint64(occupied) {
+		return fmt.Errorf("genome: threads recorded %d inserts but %d slots are occupied", inserted, occupied)
+	}
+	// Links must point at values that exist in the insert universe.
+	for s := 0; s < w.buckets; s++ {
+		if l := m.Memory().LoadUint(w.links.Rec(s), 8); l != 0 {
+			if m.Memory().LoadUint(w.hash.Rec(s), 8) == 0 {
+				return fmt.Errorf("genome: slot %d has a link but no segment", s)
+			}
+		}
+	}
+	return nil
+}
+
+var _ sim.Workload = (*Genome)(nil)

@@ -1,0 +1,111 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestGenomeDedupExactlyOnce(t *testing.T) {
+	// The hash set must contain each inserted segment exactly once even
+	// though multiple threads insert overlapping segment streams — run
+	// under the mode with the most speculation (sub-block 16) and verify
+	// directly against the union of the generated streams.
+	w, err := New("genome", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.NewMachine(cfgFor(core.ModeSubBlock, 16, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Execute(w); err != nil {
+		t.Fatal(err)
+	}
+	g := w.(*Genome)
+	universe := g.segments * m.Threads() / 2
+
+	want := make(map[uint64]bool)
+	for tid := 0; tid < m.Threads(); tid++ {
+		for i := 0; i < g.segments; i++ {
+			want[segmentValue(tid, i, universe)] = true
+		}
+	}
+	got := make(map[uint64]bool)
+	for s := 0; s < g.buckets; s++ {
+		if v := m.Memory().LoadUint(g.hash.Rec(s), 8); v != 0 {
+			if got[v] {
+				t.Fatalf("segment %d stored twice", v)
+			}
+			got[v] = true
+			if !want[v] {
+				t.Fatalf("segment %d in table but never generated", v)
+			}
+		}
+	}
+	// Every generated value must be present (the table is large enough at
+	// tiny scale that the 16-probe clustering limit never drops inserts —
+	// if it ever does, Validate's count check would already have fired).
+	for v := range want {
+		if !got[v] {
+			t.Fatalf("generated segment %d missing from table", v)
+		}
+	}
+}
+
+func TestGenomeCommonStreamShared(t *testing.T) {
+	// The common segment stream must actually be shared across threads
+	// (otherwise dedup never has anything to do).
+	universe := 128
+	shared := 0
+	for i := 0; i < 32; i++ {
+		if segmentValue(0, i, universe) == segmentValue(5, i, universe) {
+			shared++
+		}
+	}
+	if shared < 8 {
+		t.Fatalf("only %d/32 segment indices shared across threads", shared)
+	}
+	if shared == 32 {
+		t.Fatal("all segments shared: no private values at all")
+	}
+}
+
+func TestGenomePhaseStructureInSeries(t *testing.T) {
+	// Fig. 3: genome's transactional activity comes in phases. The
+	// inter-phase compute gap must be visible as a stretch of simulated
+	// time with no transaction starts.
+	w, err := New("genome", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cfgFor(core.ModeBaseline, 0, 1)
+	cfg.TraceSeries = true
+	m, err := sim.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Execute(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := r.Series.Points()
+	var maxGap, lastCycle int64
+	var lastTx uint64
+	for _, p := range pts {
+		if p.TxStarted > lastTx {
+			if gap := p.Cycle - lastCycle; gap > maxGap {
+				maxGap = gap
+			}
+			lastCycle, lastTx = p.Cycle, p.TxStarted
+		}
+	}
+	// Retry-induced desync smears per-thread phases, so the global lull is
+	// partial; burstiness still shows as a max inter-start gap several
+	// times the mean gap.
+	meanGap := float64(r.Cycles) / float64(r.TxStarted)
+	if float64(maxGap) < 3*meanGap {
+		t.Fatalf("max inter-transaction gap %d vs mean %.1f: no burst structure", maxGap, meanGap)
+	}
+}

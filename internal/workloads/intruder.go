@@ -1,0 +1,174 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+func init() {
+	register("intruder", "network intrusion detection", func(s Scale) sim.Workload {
+		return NewIntruder(s)
+	})
+}
+
+// Intruder reproduces STAMP intruder's pipeline: capture (pop a packet
+// from a shared queue — a tiny, highly contended transaction), reassembly
+// (transactionally insert the fragment into a shared flow map and, when a
+// flow completes, claim it), and detection (private, non-transactional
+// signature matching).
+//
+// The queue head/tail words are the hottest data and conflicts on them are
+// TRUE conflicts (same 8-byte words), which is why intruder has the
+// paper's *lowest* false-conflict rate (Fig. 1) — and very high retry
+// counts, which is why eliminating the remaining conflicts still buys a
+// large execution-time win (Fig. 10).
+type Intruder struct {
+	scale     Scale
+	flows     int   // total flows
+	fragsPer  int   // fragments per flow
+	queue     Table // shared packet queue: slot = encoded packet
+	qhead     Table // record 0: head index (8B); record 1 (same line!): tail
+	flowState Table // per-flow: {got uint64, claimed uint64} 16B
+	fragStore Table // per-flow fragment slots (fragsPer × 8B), flows packed
+	pool      Table // decoder-pool slab counters: 8 × 8B, shared allocator metadata
+	done      Table // per-thread processed counters, line-padded
+	packets   int
+}
+
+// NewIntruder builds an intruder instance.
+func NewIntruder(scale Scale) *Intruder {
+	return &Intruder{
+		scale:    scale,
+		flows:    scale.pick(16, 128, 512),
+		fragsPer: 4,
+	}
+}
+
+// Name implements sim.Workload.
+func (w *Intruder) Name() string { return "intruder" }
+
+// Description implements sim.Workload.
+func (w *Intruder) Description() string { return "network intrusion detection" }
+
+// Setup implements sim.Workload.
+func (w *Intruder) Setup(m *sim.Machine) {
+	w.packets = w.flows * w.fragsPer
+	a := m.Alloc()
+	w.queue = NewTable(a, w.packets, 8)
+	w.qhead = NewTable(a, 2, 8) // head and tail share one line (true sharing)
+	w.flowState = NewTable(a, w.flows, 16)
+	w.fragStore = NewTable(a, w.flows, 8*w.fragsPer)
+	w.pool = NewTable(a, 8, 8)
+	w.done = NewTable(a, m.Threads(), 64)
+
+	// Pre-fill the queue with a deterministic shuffle of all fragments.
+	r := m.SetupRand()
+	pkts := make([]uint64, 0, w.packets)
+	for f := 0; f < w.flows; f++ {
+		for frag := 0; frag < w.fragsPer; frag++ {
+			pkts = append(pkts, uint64(f)<<16|uint64(frag)+1)
+		}
+	}
+	r.Shuffle(len(pkts), func(i, j int) { pkts[i], pkts[j] = pkts[j], pkts[i] })
+	for i, p := range pkts {
+		m.Memory().StoreUint(w.queue.Rec(i), 8, p)
+	}
+	m.Memory().StoreUint(w.qhead.Rec(0), 8, 0)                 // head
+	m.Memory().StoreUint(w.qhead.Rec(1), 8, uint64(w.packets)) // tail
+}
+
+// Run implements sim.Workload.
+func (w *Intruder) Run(t *sim.Thread) {
+	var processed uint64
+	for {
+		// Capture: pop one packet (tiny hot transaction).
+		var pkt uint64
+		t.Atomic(func(tx *sim.Tx) {
+			pkt = 0
+			head := tx.Load(w.qhead.Rec(0), 8)
+			tail := tx.Load(w.qhead.Rec(1), 8)
+			if head >= tail {
+				return // queue drained
+			}
+			pkt = tx.Load(w.queue.Rec(int(head)), 8)
+			// Consume the slot (STAMP pops destructively). Adjacent slots
+			// share lines, so this write falsely conflicts with the next
+			// popper's slot read — intruder's (small) false component.
+			tx.Store(w.queue.Rec(int(head)), 8, pkt|1<<63)
+			tx.Store(w.qhead.Rec(0), 8, head+1)
+		})
+		if pkt == 0 {
+			break
+		}
+		pkt &^= 1 << 63 // strip any consumed marker (slot re-read after retry)
+		flow := int(pkt >> 16 & 0xffff)
+
+		// Reassembly: record the fragment; the thread that inserts the
+		// last fragment claims the flow for detection.
+		claimed := false
+		t.Atomic(func(tx *sim.Tx) {
+			claimed = false
+			gotA := w.flowState.Field(flow, 0)
+			got := tx.Load(gotA, 8) + 1
+			tx.Store(gotA, 8, got)
+			// Store the fragment and verify the partial reassembly so
+			// far. Flows' fragment arrays are packed two to a line, so
+			// these accesses falsely share with the neighbouring flow.
+			tx.Store(w.fragStore.Field(flow, 8*int(got-1)), 8, pkt)
+			for fchk := 0; fchk < int(got-1); fchk++ {
+				tx.Load(w.fragStore.Field(flow, 8*fchk), 8)
+			}
+			// Fragment storage comes from a shared decoder pool whose
+			// per-slab free counters are allocator metadata packed eight
+			// to a line — STAMP's transactional allocator. Different
+			// flows hit different slabs: the line-level collisions here
+			// are intruder's (small) false-conflict component.
+			slab := w.pool.Rec(flow & 7)
+			tx.Store(slab, 8, tx.Load(slab, 8)+1)
+			if got == uint64(w.fragsPer) {
+				tx.Store(w.flowState.Field(flow, 8), 8, uint64(t.ID())+1)
+				claimed = true
+			}
+		})
+
+		if claimed {
+			// Detection: private signature matching over the reassembled
+			// flow — the long non-transactional stretch of the pipeline.
+			t.Work(int64(200 * w.fragsPer))
+			processed++
+		}
+		t.Work(int64(250 + t.Rand().Intn(200))) // per-packet decode overhead
+	}
+	t.Store(w.done.Rec(t.ID()), 8, processed)
+}
+
+// Validate implements sim.Workload: every flow received exactly fragsPer
+// fragments, every flow was claimed by exactly one thread, and the
+// per-thread detection counts sum to the flow count.
+func (w *Intruder) Validate(m *sim.Machine) error {
+	for f := 0; f < w.flows; f++ {
+		got := m.Memory().LoadUint(w.flowState.Field(f, 0), 8)
+		if got != uint64(w.fragsPer) {
+			return fmt.Errorf("intruder: flow %d reassembled %d/%d fragments (lost or duplicated pops)", f, got, w.fragsPer)
+		}
+		if m.Memory().LoadUint(w.flowState.Field(f, 8), 8) == 0 {
+			return fmt.Errorf("intruder: flow %d complete but never claimed", f)
+		}
+		for s := 0; s < w.fragsPer; s++ {
+			if m.Memory().LoadUint(w.fragStore.Field(f, 8*s), 8) == 0 {
+				return fmt.Errorf("intruder: flow %d missing stored fragment %d", f, s)
+			}
+		}
+	}
+	var detected uint64
+	for tid := 0; tid < m.Threads(); tid++ {
+		detected += m.Memory().LoadUint(w.done.Rec(tid), 8)
+	}
+	if detected != uint64(w.flows) {
+		return fmt.Errorf("intruder: %d flows detected, want %d", detected, w.flows)
+	}
+	return nil
+}
+
+var _ sim.Workload = (*Intruder)(nil)

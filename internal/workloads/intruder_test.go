@@ -1,0 +1,88 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestIntruderLowestFalseRateButHighRetries(t *testing.T) {
+	// The paper's twin intruder observations: Fig. 1 — lowest false
+	// conflict rate (queue conflicts are true); Fig. 10 discussion —
+	// "very high average retry times". Compare against a mid-pack
+	// workload at the same scale.
+	runOne := func(name string) (falseRate, meanRetry float64) {
+		w, err := New(name, ScaleTiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.NewMachine(cfgFor(core.ModeBaseline, 0, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Execute(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.FalseConflictRate(), r.RetryChains.Mean()
+	}
+	intruderFalse, intruderRetry := runOne("intruder")
+	scalparcFalse, scalparcRetry := runOne("scalparc")
+	if intruderFalse >= scalparcFalse {
+		t.Errorf("intruder false rate %.2f >= scalparc %.2f", intruderFalse, scalparcFalse)
+	}
+	if intruderRetry <= scalparcRetry {
+		t.Errorf("intruder mean retries %.2f <= scalparc %.2f (paper: intruder retries highest)",
+			intruderRetry, scalparcRetry)
+	}
+}
+
+func TestIntruderQueueDrainedExactlyOnce(t *testing.T) {
+	// The queue pop must dispense each packet to exactly one thread; the
+	// consumed-markers must cover the whole queue afterwards.
+	w, err := New("intruder", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.NewMachine(cfgFor(core.ModeSubBlock, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Execute(w); err != nil {
+		t.Fatal(err)
+	}
+	in := w.(*Intruder)
+	head := m.Memory().LoadUint(in.qhead.Rec(0), 8)
+	tail := m.Memory().LoadUint(in.qhead.Rec(1), 8)
+	if head != tail {
+		t.Fatalf("queue not drained: head %d tail %d", head, tail)
+	}
+	for i := 0; i < in.packets; i++ {
+		if v := m.Memory().LoadUint(in.queue.Rec(i), 8); v>>63 != 1 {
+			t.Fatalf("slot %d not marked consumed: %#x", i, v)
+		}
+	}
+}
+
+func TestIntruderFlowClaimUnique(t *testing.T) {
+	// Exactly one thread claims each flow, and its id is a valid thread.
+	w, err := New("intruder", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.NewMachine(cfgFor(core.ModePerfect, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Execute(w); err != nil {
+		t.Fatal(err)
+	}
+	in := w.(*Intruder)
+	for f := 0; f < in.flows; f++ {
+		claim := m.Memory().LoadUint(in.flowState.Field(f, 8), 8)
+		if claim == 0 || int(claim) > m.Threads() {
+			t.Fatalf("flow %d claim %d invalid", f, claim)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func init() {
+	register("kmeans", "K-means clustering", func(s Scale) sim.Workload {
+		return NewKMeans(s)
+	})
+}
+
+// KMeans reproduces STAMP kmeans' transactional structure. Each thread
+// classifies its share of the points (non-transactional compute plus
+// non-transactional reads of the current centroids), then updates the
+// shared new-centroid accumulators inside a transaction:
+//
+//	TM_BEGIN
+//	  newLen[k]++
+//	  for d: newSum[k][d] += point[d]
+//	TM_END
+//
+// The accumulators are 32-bit values (the paper's Fig. 5 observes kmeans'
+// 4-byte data granularity) packed contiguously, so several clusters share
+// each 64-byte line: updates of *different* clusters in one line are false
+// conflicts, updates of the same cluster are true ones. Because an update
+// is a read-modify-write, an incoming reader usually probes a line the
+// holder has already speculatively written — the paper's observation that
+// kmeans' false conflicts are RAW-dominated.
+type KMeans struct {
+	scale      Scale
+	points     int // points per thread
+	dims       int
+	clusters   int
+	iterations int
+
+	// STAMP kmeans keeps two separate shared arrays (normal.c):
+	// new_centers_len[k] — K packed 32-bit counters (16 per line!) — and
+	// new_centers[k][d] — K×D packed 32-bit sums. The packed len counters
+	// are what keeps kmeans false-sharing even inside 8-byte sub-blocks
+	// (Fig. 8: kmeans is the one benchmark 8 sub-blocks cannot fix).
+	lens Table // K × 4B membership counters
+	sums Table // K × (D×4B) coordinate accumulators
+	pts  Table // input points: read-only after setup, 4-byte coords
+}
+
+// NewKMeans builds a kmeans instance for the scale.
+func NewKMeans(scale Scale) *KMeans {
+	return &KMeans{
+		scale:      scale,
+		points:     scale.pick(40, 400, 2000),
+		dims:       8,
+		clusters:   32,
+		iterations: scale.pick(2, 3, 4),
+	}
+}
+
+// Name implements sim.Workload.
+func (w *KMeans) Name() string { return "kmeans" }
+
+// Description implements sim.Workload.
+func (w *KMeans) Description() string { return "K-means clustering" }
+
+// Setup implements sim.Workload.
+func (w *KMeans) Setup(m *sim.Machine) {
+	a := m.Alloc()
+	w.lens = NewTable(a, w.clusters, 4)
+	w.sums = NewTable(a, w.clusters, 4*w.dims)
+	w.pts = NewTable(a, w.points*m.Threads(), 4*w.dims)
+	r := m.SetupRand()
+	for i := 0; i < w.pts.Count; i++ {
+		for d := 0; d < w.dims; d++ {
+			m.Memory().StoreUint(w.pts.Field(i, 4*d), 4, uint64(r.Intn(1000)))
+		}
+	}
+}
+
+// Run implements sim.Workload.
+func (w *KMeans) Run(t *sim.Thread) {
+	nth := t.Machine().Threads()
+	for it := 0; it < w.iterations; it++ {
+		for p := 0; p < w.points; p++ {
+			idx := t.ID()*w.points + p
+			// Classification: distance computation against all centroids.
+			// In STAMP this is the dominant non-transactional phase; the
+			// centroid snapshot is read without transactions.
+			var coords [8]uint64
+			for d := 0; d < w.dims; d++ {
+				coords[d] = t.Load(w.pts.Field(idx, 4*d), 4)
+			}
+			t.Work(int64(20 * w.clusters)) // distance math
+			// Deterministic pseudo-assignment standing in for argmin:
+			// points hash to clusters, mildly skewed so some clusters are
+			// hotter (true conflicts exist but don't dominate).
+			k := int((coords[0]*7 + coords[1]*3 + uint64(it)) % uint64(w.clusters))
+			if t.Rand().Bool(0.25) {
+				k = int(coords[1] % uint64(w.clusters/8))
+			}
+
+			// Transactional accumulator update (the STAMP kmeans tx).
+			t.Atomic(func(tx *sim.Tx) {
+				lenA := w.lens.Rec(k)
+				tx.Store(lenA, 4, tx.Load(lenA, 4)+1)
+				for d := 0; d < w.dims; d++ {
+					f := w.sums.Field(k, 4*d)
+					tx.Store(f, 4, tx.Load(f, 4)+coords[d])
+				}
+			})
+			_ = nth
+		}
+		// Barrier-free iteration boundary: some re-initialization work.
+		t.Work(500)
+	}
+}
+
+// Validate implements sim.Workload: the membership counters must sum to
+// points*threads*iterations and each coordinate sum must match the points
+// assigned (conservation check: total coordinate mass accumulated equals
+// the sum over all processed points of their coordinates, which we cannot
+// recompute without re-running classification — but the count conservation
+// and non-negativity checks catch lost or doubled transactional updates,
+// the failure mode of a broken TM).
+func (w *KMeans) Validate(m *sim.Machine) error {
+	var totalLen uint64
+	for k := 0; k < w.clusters; k++ {
+		totalLen += m.Memory().LoadUint(w.lens.Rec(k), 4) & 0xffffffff
+	}
+	want := uint64(w.points * m.Threads() * w.iterations)
+	if totalLen != want {
+		return fmt.Errorf("kmeans: accumulated memberships %d, want %d (lost/duplicated transactional updates)", totalLen, want)
+	}
+	return nil
+}
+
+// AccumulatorLines returns the number of cache lines holding the shared
+// accumulators (the concentrated false-conflict region of Fig 4).
+func (w *KMeans) AccumulatorLines(m *sim.Machine) int {
+	g := m.Geometry()
+	first := g.LineIndex(g.Line(w.lens.Base))
+	last := g.LineIndex(g.Line(w.sums.End() - 1))
+	return int(last - first + 1)
+}
+
+var _ sim.Workload = (*KMeans)(nil)
+var _ = mem.Addr(0)

@@ -1,0 +1,104 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// runTraced executes a fresh tiny instance with the Fig 3/4/5 instruments on.
+func runTraced(t *testing.T, name string, seed uint64) (*sim.Machine, interface {
+	Validate(*sim.Machine) error
+}, *simTracedResult) {
+	t.Helper()
+	w, err := New(name, ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cfgFor(core.ModeBaseline, 0, seed)
+	cfg.TraceSeries = true
+	cfg.TraceLines = true
+	cfg.TraceOffsets = true
+	m, err := sim.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Execute(w)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return m, w, &simTracedResult{r.FalseConflicts, r.Conflicts,
+		r.Offsets.DominantStride(0.95), r.Lines.Distinct(), r.Lines.Concentration(8),
+		r.RetryChains.Mean(), r.FootprintLines.Mean()}
+}
+
+type simTracedResult struct {
+	falseC, conflicts uint64
+	stride            int
+	distinctLines     int
+	top8              float64
+	meanRetries       float64
+	meanFootprint     float64
+}
+
+func TestKMeansAccessGranularityIs4Bytes(t *testing.T) {
+	// The paper's Fig. 5 observation that motivates 16 sub-blocks being
+	// needed for kmeans: its speculative accesses are 4-byte-aligned.
+	_, _, r := runTraced(t, "kmeans", 1)
+	if r.stride != 4 {
+		t.Fatalf("kmeans dominant access granularity %dB, want 4B (Fig. 5)", r.stride)
+	}
+}
+
+func TestKMeansConflictsConcentrateOnAccumulators(t *testing.T) {
+	// Fig. 4: kmeans' false conflicts come from a few shared accumulator
+	// lines, not the (much larger) points array.
+	m, wl, r := runTraced(t, "kmeans", 1)
+	if r.falseC == 0 {
+		t.Skip("no false conflicts this seed")
+	}
+	km := wl.(*KMeans)
+	accLines := km.AccumulatorLines(m)
+	if r.distinctLines > accLines+2 {
+		t.Fatalf("false conflicts on %d distinct lines but accumulators span only %d",
+			r.distinctLines, accLines)
+	}
+	if r.top8 < 0.9 {
+		t.Fatalf("top-8-line concentration %.2f, want >= 0.9", r.top8)
+	}
+}
+
+func TestKMeansSubBlock8StillFalseShares(t *testing.T) {
+	// Fig. 8's kmeans-specific crossover: 8 sub-blocks (8-byte granules)
+	// cannot fully separate 4-byte counters, 16 sub-blocks can. Checked on
+	// the analytical avoidability of a baseline run.
+	w, err := New("kmeans", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.NewMachine(cfgFor(core.ModeBaseline, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Execute(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FalseConflicts == 0 {
+		t.Skip("no false conflicts")
+	}
+	if r.AvoidableRate(2) >= 1.0 { // 8 sub-blocks
+		t.Fatal("8 sub-blocks avoided ALL kmeans false conflicts; 4-byte counters should defeat them")
+	}
+	if r.AvoidableRate(3) != 1.0 { // 16 sub-blocks
+		t.Fatalf("16 sub-blocks avoided only %.2f of kmeans false conflicts, want all",
+			r.AvoidableRate(3))
+	}
+}
+
+func TestKMeansMembershipConservationAcrossSeeds(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		run(t, "kmeans", cfgFor(core.ModeSubBlock, 4, seed)) // Validate inside
+	}
+}

@@ -1,0 +1,96 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Replay wraps a recorded trace as a workload: each thread re-issues its
+// recorded logical op stream — atomic blocks through the normal Atomic
+// retry machinery, non-transactional ops directly. The ADDRESS stream is
+// held fixed while the detection system varies; values are replayed as
+// recorded but not interpreted, and no functional validation applies
+// (the recorded run already validated).
+//
+// The replaying machine must be built with at least tr.Threads cores;
+// extra cores idle.
+func Replay(tr *trace.Trace) (sim.Workload, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return &replayWorkload{tr: tr}, nil
+}
+
+type replayWorkload struct {
+	tr *trace.Trace
+}
+
+func (w *replayWorkload) Name() string { return "replay" }
+
+func (w *replayWorkload) Description() string {
+	return fmt.Sprintf("trace replay: %d threads, %d blocks", w.tr.Threads, w.tr.Blocks())
+}
+
+func (w *replayWorkload) Setup(m *sim.Machine) {
+	if m.Threads() < w.tr.Threads {
+		panic(fmt.Sprintf("workloads: replay of a %d-thread trace on %d cores", w.tr.Threads, m.Threads()))
+	}
+}
+
+func (w *replayWorkload) Run(t *sim.Thread) {
+	if t.ID() >= w.tr.Threads {
+		return
+	}
+	ops := w.tr.Ops[t.ID()]
+	i := 0
+	for i < len(ops) {
+		op := ops[i]
+		switch op.Kind {
+		case "nload":
+			t.Load(mem.Addr(op.Addr), op.Size)
+			i++
+		case "nstore":
+			t.Store(mem.Addr(op.Addr), op.Size, op.Val)
+			i++
+		case "work":
+			t.Work(op.Cycles)
+			i++
+		case "begin":
+			// Collect the block body up to its terminator.
+			j := i + 1
+			for ops[j].Kind != "commit" && ops[j].Kind != "abort" {
+				j++
+			}
+			body := ops[i+1 : j]
+			userAbort := ops[j].Kind == "abort"
+			t.Atomic(func(tx *sim.Tx) {
+				for _, b := range body {
+					switch b.Kind {
+					case "load":
+						tx.Load(mem.Addr(b.Addr), b.Size)
+					case "store":
+						tx.Store(mem.Addr(b.Addr), b.Size, b.Val)
+					case "work":
+						tx.Work(b.Cycles)
+					}
+				}
+				if userAbort {
+					tx.Abort()
+				}
+			})
+			i = j + 1
+		default:
+			// Validate() precludes this.
+			panic(fmt.Sprintf("workloads: replay: unexpected op %q", op.Kind))
+		}
+	}
+}
+
+// Validate implements sim.Workload: replay carries no functional
+// invariant of its own (the recorded run already validated one).
+func (w *replayWorkload) Validate(m *sim.Machine) error { return nil }
+
+var _ sim.Workload = (*replayWorkload)(nil)

@@ -1,0 +1,138 @@
+package workloads
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// recordRun executes a workload with trace recording and returns the trace
+// plus the live run's stats.
+func recordRun(t *testing.T, name string, mode core.Mode, sub int) (*trace.Trace, *simResult) {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg := cfgFor(mode, sub, 1)
+	cfg.RecordTrace = &buf
+	w, err := New(name, ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Execute(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, &simResult{r.Cycles, r.TxCommitted, r.Conflicts, r.FalseConflicts, r.TxAborted}
+}
+
+// replayRun replays a trace under the given detection mode.
+func replayRun(t *testing.T, tr *trace.Trace, mode core.Mode, sub int) *simResult {
+	t.Helper()
+	w, err := Replay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.NewMachine(cfgFor(mode, sub, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Execute(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &simResult{r.Cycles, r.TxCommitted, r.Conflicts, r.FalseConflicts, r.TxAborted}
+}
+
+func TestRecordedTraceIsWellFormed(t *testing.T) {
+	for _, name := range []string{"kmeans", "vacation", "labyrinth"} {
+		tr, _ := recordRun(t, name, core.ModeBaseline, 0)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: recorded trace malformed: %v", name, err)
+		}
+		if tr.Blocks() == 0 {
+			t.Fatalf("%s: no blocks recorded", name)
+		}
+	}
+}
+
+func TestReplayCommitsEveryRecordedBlock(t *testing.T) {
+	tr, live := recordRun(t, "scalparc", core.ModeBaseline, 0)
+	rp := replayRun(t, tr, core.ModeBaseline, 0)
+	// The trace records one entry per COMPLETED block (commit or user
+	// abort); scalparc has no user aborts, so replay must commit exactly
+	// the recorded block count — which equals the live run's commits.
+	if rp.commits != live.commits {
+		t.Fatalf("replay committed %d, live run %d", rp.commits, live.commits)
+	}
+	if uint64(tr.Blocks()) != live.commits {
+		t.Fatalf("trace has %d blocks, live run committed %d", tr.Blocks(), live.commits)
+	}
+}
+
+func TestReplayPreservesUserAborts(t *testing.T) {
+	tr, _ := recordRun(t, "labyrinth", core.ModeBaseline, 0)
+	aborts := 0
+	for _, ops := range tr.Ops {
+		for _, op := range ops {
+			if op.Kind == "abort" {
+				aborts++
+			}
+		}
+	}
+	if aborts == 0 {
+		t.Skip("no user aborts recorded this seed")
+	}
+	rp := replayRun(t, tr, core.ModeBaseline, 0)
+	_ = rp // the replay must simply complete; Atomic(false) paths exercised
+}
+
+// TestReplayControlledComparison is the methodological payoff: the same
+// recorded stream replayed under baseline and under sub-blocking isolates
+// the detection scheme — the address streams are identical by
+// construction, so the false-conflict drop is purely the protocol's doing.
+func TestReplayControlledComparison(t *testing.T) {
+	tr, _ := recordRun(t, "kmeans", core.ModeBaseline, 0)
+	base := replayRun(t, tr, core.ModeBaseline, 0)
+	sub16 := replayRun(t, tr, core.ModeSubBlock, 16)
+	perfect := replayRun(t, tr, core.ModePerfect, 0)
+
+	if base.falseC == 0 {
+		t.Skip("replay produced no false conflicts")
+	}
+	if perfect.falseC != 0 {
+		t.Fatalf("perfect replay saw %d false conflicts", perfect.falseC)
+	}
+	if sub16.falseC >= base.falseC {
+		t.Fatalf("sub-16 replay false conflicts %d >= baseline replay %d", sub16.falseC, base.falseC)
+	}
+	// Fixed work: all three replays commit the same blocks.
+	if base.commits != sub16.commits || base.commits != perfect.commits {
+		t.Fatalf("replay commits diverged: %d / %d / %d", base.commits, sub16.commits, perfect.commits)
+	}
+}
+
+func TestReplayRejectsMalformedTrace(t *testing.T) {
+	bad := &trace.Trace{Threads: 1, Ops: [][]trace.Op{{{Kind: "commit"}}}}
+	if _, err := Replay(bad); err == nil {
+		t.Fatal("malformed trace accepted")
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	tr, _ := recordRun(t, "vacation", core.ModeBaseline, 0)
+	a := replayRun(t, tr, core.ModeSubBlock, 4)
+	b := replayRun(t, tr, core.ModeSubBlock, 4)
+	if *a != *b {
+		t.Fatalf("same-trace replays diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,115 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+func init() {
+	register("scalparc", "decision tree classification", func(s Scale) sim.Workload {
+		return NewScalParC(s)
+	})
+}
+
+// ScalParC reproduces the RMS-TM ScalParC kernel (parallel decision-tree
+// induction). The transactional hot spot is the split phase: threads scan
+// their share of the attribute lists and transactionally update the class
+// histogram of the tree node each record lands in:
+//
+//	TM_BEGIN
+//	  count[node][class]++
+//	  total[node]++
+//	TM_END
+//
+// Histogram counters are 8-byte words and each node's record
+// (classes+1 counters) is packed against its neighbours, so updates to
+// different tree nodes in the same line are false conflicts while two
+// threads hitting the same node/class truly conflict.
+type ScalParC struct {
+	scale   Scale
+	records int // records per thread
+	nodes   int // tree frontier width
+	classes int
+
+	hist Table // per node: {total, count[classes]} 8B fields
+	attr Table // attribute list: 8B record = (nodeHint, class)
+}
+
+// NewScalParC builds a scalparc instance.
+func NewScalParC(scale Scale) *ScalParC {
+	return &ScalParC{
+		scale:   scale,
+		records: scale.pick(40, 400, 2000),
+		nodes:   24,
+		classes: 3,
+	}
+}
+
+// Name implements sim.Workload.
+func (w *ScalParC) Name() string { return "scalparc" }
+
+// Description implements sim.Workload.
+func (w *ScalParC) Description() string { return "decision tree classification" }
+
+func (w *ScalParC) recSize() int { return 8 * (1 + w.classes) }
+
+// Setup implements sim.Workload.
+func (w *ScalParC) Setup(m *sim.Machine) {
+	a := m.Alloc()
+	w.hist = NewTable(a, w.nodes, w.recSize())
+	w.attr = NewTable(a, w.records*m.Threads(), 8)
+	r := m.SetupRand()
+	for i := 0; i < w.attr.Count; i++ {
+		node := r.Intn(w.nodes)
+		class := r.Intn(w.classes)
+		m.Memory().StoreUint(w.attr.Rec(i), 8, uint64(node)<<8|uint64(class))
+	}
+}
+
+// Run implements sim.Workload.
+func (w *ScalParC) Run(t *sim.Thread) {
+	for i := 0; i < w.records; i++ {
+		idx := t.ID()*w.records + i
+		rec := t.Load(w.attr.Rec(idx), 8)
+		node := int(rec >> 8)
+		class := int(rec & 0xff)
+		t.Work(60) // attribute comparison / split evaluation
+
+		t.Atomic(func(tx *sim.Tx) {
+			totA := w.hist.Field(node, 0)
+			tx.Store(totA, 8, tx.Load(totA, 8)+1)
+			cntA := w.hist.Field(node, 8*(1+class))
+			tx.Store(cntA, 8, tx.Load(cntA, 8)+1)
+		})
+	}
+	// Gini computation over the frontier: non-transactional reads.
+	for n := 0; n < w.nodes; n++ {
+		t.Load(w.hist.Field(n, 0), 8)
+		t.Work(25)
+	}
+}
+
+// Validate implements sim.Workload: per-node class counts sum to the node
+// total, and node totals sum to every processed record.
+func (w *ScalParC) Validate(m *sim.Machine) error {
+	var grand uint64
+	for n := 0; n < w.nodes; n++ {
+		tot := m.Memory().LoadUint(w.hist.Field(n, 0), 8)
+		var sum uint64
+		for c := 0; c < w.classes; c++ {
+			sum += m.Memory().LoadUint(w.hist.Field(n, 8*(1+c)), 8)
+		}
+		if sum != tot {
+			return fmt.Errorf("scalparc: node %d class counts %d != total %d (non-atomic histogram update)", n, sum, tot)
+		}
+		grand += tot
+	}
+	want := uint64(w.records * m.Threads())
+	if grand != want {
+		return fmt.Errorf("scalparc: histogram total %d, want %d records", grand, want)
+	}
+	return nil
+}
+
+var _ sim.Workload = (*ScalParC)(nil)

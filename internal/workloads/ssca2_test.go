@@ -1,0 +1,74 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestSSCA2HighestFalseShare(t *testing.T) {
+	// Fig. 1: ssca2's tiny transactions over densely packed degree
+	// counters make nearly every conflict false sharing.
+	w, err := New("ssca2", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.NewMachine(cfgFor(core.ModeBaseline, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Execute(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Conflicts == 0 {
+		t.Skip("no conflicts")
+	}
+	if rate := r.FalseConflictRate(); rate < 0.7 {
+		t.Fatalf("ssca2 false rate %.2f, expected the paper's very high profile", rate)
+	}
+}
+
+func TestSSCA2AdjacencyConsistency(t *testing.T) {
+	// Stronger than Validate: node degrees match filled edge slots with no
+	// holes, under the sub-block system with retries.
+	w, err := New("ssca2", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.NewMachine(cfgFor(core.ModeSubBlock, 8, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Execute(w); err != nil {
+		t.Fatal(err)
+	}
+	g := w.(*SSCA2)
+	for n := 0; n < g.nodes; n++ {
+		deg := int(m.Memory().LoadUint(g.degree.Rec(n), 8))
+		for s := 0; s < deg; s++ {
+			v := m.Memory().LoadUint(g.edges.Field(n, 8*s), 8)
+			if v == 0 || int(v-1) >= g.nodes {
+				t.Fatalf("node %d slot %d holds invalid endpoint %d", n, s, v)
+			}
+		}
+	}
+}
+
+func TestSSCA2DegreeCounterPacking(t *testing.T) {
+	// Eight 8-byte degree counters per line: the false-sharing layout.
+	m, err := sim.NewMachine(cfgFor(core.ModeBaseline, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewSSCA2(ScaleTiny)
+	w.Setup(m)
+	g := m.Geometry()
+	if g.Line(w.degree.Rec(0)) != g.Line(w.degree.Rec(7)) {
+		t.Fatal("counters 0..7 do not share a line")
+	}
+	if g.Line(w.degree.Rec(7)) == g.Line(w.degree.Rec(8)) {
+		t.Fatal("counters 7 and 8 share a line")
+	}
+}

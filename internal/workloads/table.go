@@ -1,0 +1,34 @@
+package workloads
+
+import "repro/internal/mem"
+
+// Table is a fixed-stride array of records in simulated memory — the
+// workloads' basic layout tool. False sharing is a consequence of the
+// stride: records smaller than a cache line pack several to a line, just
+// as the original benchmarks' mallocs do.
+type Table struct {
+	Base    mem.Addr
+	RecSize int // bytes per record
+	Count   int
+}
+
+// NewTable allocates count records of recSize bytes, contiguously (no
+// padding between records — the layout the paper's false conflicts come
+// from). The table itself starts line-aligned so line indices are stable.
+func NewTable(a *mem.Allocator, count, recSize int) Table {
+	base := a.Alloc(count*recSize, 64)
+	return Table{Base: base, RecSize: recSize, Count: count}
+}
+
+// Rec returns the address of record i.
+func (t Table) Rec(i int) mem.Addr {
+	return t.Base + mem.Addr(i*t.RecSize)
+}
+
+// Field returns the address of byte offset off inside record i.
+func (t Table) Field(i, off int) mem.Addr {
+	return t.Rec(i) + mem.Addr(off)
+}
+
+// End returns the first address past the table.
+func (t Table) End() mem.Addr { return t.Base + mem.Addr(t.Count*t.RecSize) }

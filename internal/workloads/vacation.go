@@ -1,0 +1,156 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+func init() {
+	register("vacation", "client/server travel reservation system", func(s Scale) sim.Workload {
+		return NewVacation(s)
+	})
+}
+
+// Vacation reproduces STAMP vacation's transactional structure: an
+// in-memory travel database with three resource tables (cars, flights,
+// rooms) plus customers. A client session is one transaction that queries
+// several records per table (speculative reads), picks the cheapest
+// available one and reserves it (a few speculative writes).
+//
+// Records carry the classic {total, used, free, price} 8-byte fields
+// (Fig. 5: 8-byte data granularity), 32 bytes per record, so two records
+// share each cache line — a writer reserving record 2k+1 falsely conflicts
+// with readers of record 2k. Sessions are read-dominated, so most
+// conflicts are WAR: an incoming reservation (invalidating probe) hits
+// lines other sessions have only speculatively read. This is the paper's
+// WAR-dominant benchmark.
+type Vacation struct {
+	scale    Scale
+	relation int // records per resource table
+	sessions int // client sessions per thread
+	queries  int // records examined per table per session
+
+	tables [3]Table // cars, flights, rooms
+	cust   Table    // customer reservation counters (8B each, padded-ish)
+}
+
+// Field offsets inside a 32-byte resource record.
+const (
+	vacTotal = 0
+	vacUsed  = 8
+	vacFree  = 16
+	vacPrice = 24
+	vacRec   = 32
+)
+
+// NewVacation builds a vacation instance.
+func NewVacation(scale Scale) *Vacation {
+	return &Vacation{
+		scale:    scale,
+		relation: scale.pick(64, 256, 1024),
+		sessions: scale.pick(12, 120, 500),
+		queries:  4,
+	}
+}
+
+// Name implements sim.Workload.
+func (w *Vacation) Name() string { return "vacation" }
+
+// Description implements sim.Workload.
+func (w *Vacation) Description() string { return "client/server travel reservation system" }
+
+// Setup implements sim.Workload.
+func (w *Vacation) Setup(m *sim.Machine) {
+	a := m.Alloc()
+	r := m.SetupRand()
+	for i := range w.tables {
+		w.tables[i] = NewTable(a, w.relation, vacRec)
+		for rec := 0; rec < w.relation; rec++ {
+			total := uint64(100 + r.Intn(200))
+			m.Memory().StoreUint(w.tables[i].Field(rec, vacTotal), 8, total)
+			m.Memory().StoreUint(w.tables[i].Field(rec, vacUsed), 8, 0)
+			m.Memory().StoreUint(w.tables[i].Field(rec, vacFree), 8, total)
+			m.Memory().StoreUint(w.tables[i].Field(rec, vacPrice), 8, uint64(50+r.Intn(500)))
+		}
+	}
+	w.cust = NewTable(a, m.Threads()*w.sessions, 8)
+}
+
+// Run implements sim.Workload.
+func (w *Vacation) Run(t *sim.Thread) {
+	zipfish := func(n int) int {
+		// Mild skew: half the draws land in the first quarter of the
+		// table, like vacation's non-uniform client interest.
+		if t.Rand().Bool(0.5) {
+			return t.Rand().Intn(n/4 + 1)
+		}
+		return t.Rand().Intn(n)
+	}
+	for s := 0; s < w.sessions; s++ {
+		custID := t.ID()*w.sessions + s
+		t.Work(150) // request parsing / session setup
+
+		t.Atomic(func(tx *sim.Tx) {
+			reserved := uint64(0)
+			for tab := range w.tables {
+				// Query phase: examine `queries` records, track cheapest
+				// with availability (speculative reads).
+				best, bestPrice := -1, ^uint64(0)
+				for q := 0; q < w.queries; q++ {
+					rec := zipfish(w.relation)
+					free := tx.Load(w.tables[tab].Field(rec, vacFree), 8)
+					price := tx.Load(w.tables[tab].Field(rec, vacPrice), 8)
+					if free > 0 && price < bestPrice {
+						best, bestPrice = rec, price
+					}
+				}
+				if best < 0 {
+					continue
+				}
+				// Reserve: decrement free, increment used.
+				freeA := w.tables[tab].Field(best, vacFree)
+				usedA := w.tables[tab].Field(best, vacUsed)
+				free := tx.Load(freeA, 8)
+				if free == 0 {
+					continue
+				}
+				tx.Store(freeA, 8, free-1)
+				tx.Store(usedA, 8, tx.Load(usedA, 8)+1)
+				reserved++
+			}
+			tx.Store(w.cust.Rec(custID), 8, reserved)
+		})
+
+		t.Work(100) // response marshalling
+	}
+}
+
+// Validate implements sim.Workload: per-record used+free == total, and the
+// grand total of `used` equals the sum of the customers' reservation
+// counters — a transactional-atomicity conservation law.
+func (w *Vacation) Validate(m *sim.Machine) error {
+	var used uint64
+	for tab := range w.tables {
+		for rec := 0; rec < w.relation; rec++ {
+			tot := m.Memory().LoadUint(w.tables[tab].Field(rec, vacTotal), 8)
+			u := m.Memory().LoadUint(w.tables[tab].Field(rec, vacUsed), 8)
+			f := m.Memory().LoadUint(w.tables[tab].Field(rec, vacFree), 8)
+			if u+f != tot {
+				return fmt.Errorf("vacation: table %d record %d: used %d + free %d != total %d",
+					tab, rec, u, f, tot)
+			}
+			used += u
+		}
+	}
+	var booked uint64
+	for c := 0; c < w.cust.Count; c++ {
+		booked += m.Memory().LoadUint(w.cust.Rec(c), 8)
+	}
+	if used != booked {
+		return fmt.Errorf("vacation: %d reservations in resource tables but customers booked %d", used, booked)
+	}
+	return nil
+}
+
+var _ sim.Workload = (*Vacation)(nil)

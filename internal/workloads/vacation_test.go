@@ -1,0 +1,94 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/sim"
+)
+
+func TestVacationAccessGranularityIs8Bytes(t *testing.T) {
+	_, _, r := runTraced(t, "vacation", 1)
+	if r.stride != 8 {
+		t.Fatalf("vacation dominant access granularity %dB, want 8B (Fig. 5)", r.stride)
+	}
+}
+
+func TestVacationRecordLayout(t *testing.T) {
+	// Two 32-byte records per 64-byte line is what makes vacation's false
+	// sharing: verify the layout helper delivers it.
+	m, err := sim.NewMachine(cfgFor(core.ModeBaseline, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewVacation(ScaleTiny)
+	w.Setup(m)
+	g := m.Geometry()
+	if vacRec != 32 {
+		t.Fatalf("record size %d", vacRec)
+	}
+	// Records 0 and 1 share a line; records 1 and 2 do not.
+	if g.Line(w.tables[0].Rec(0)) != g.Line(w.tables[0].Rec(1)) {
+		t.Fatal("records 0 and 1 do not share a line")
+	}
+	if g.Line(w.tables[0].Rec(1)) == g.Line(w.tables[0].Rec(2)) {
+		t.Fatal("records 1 and 2 share a line")
+	}
+}
+
+func TestVacationResourceInvariantPerTable(t *testing.T) {
+	// Beyond the built-in Validate: drive a run and re-check used+free ==
+	// total for every record of every table (the strongest per-record
+	// atomicity property).
+	w, err := New("vacation", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.NewMachine(cfgFor(core.ModeSubBlock, 4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Execute(w); err != nil {
+		t.Fatal(err)
+	}
+	v := w.(*Vacation)
+	for tab := range v.tables {
+		for rec := 0; rec < v.relation; rec++ {
+			tot := m.Memory().LoadUint(v.tables[tab].Field(rec, vacTotal), 8)
+			used := m.Memory().LoadUint(v.tables[tab].Field(rec, vacUsed), 8)
+			free := m.Memory().LoadUint(v.tables[tab].Field(rec, vacFree), 8)
+			if used+free != tot {
+				t.Fatalf("table %d rec %d: %d+%d != %d", tab, rec, used, free, tot)
+			}
+			if used > tot {
+				t.Fatalf("table %d rec %d oversold: used %d > total %d", tab, rec, used, tot)
+			}
+		}
+	}
+}
+
+func TestVacationWARDominant(t *testing.T) {
+	// Fig. 2: vacation's read-dominated sessions make WAR the largest
+	// false-conflict type.
+	var war, raw uint64
+	for seed := uint64(1); seed <= 3; seed++ {
+		w, err := New("vacation", ScaleTiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.NewMachine(cfgFor(core.ModeBaseline, 0, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Execute(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		war += r.FalseByType[oracle.WAR]
+		raw += r.FalseByType[oracle.RAW]
+	}
+	if war <= raw {
+		t.Fatalf("vacation false conflicts WAR=%d <= RAW=%d; paper says WAR-dominant", war, raw)
+	}
+}

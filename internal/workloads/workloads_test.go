@@ -1,0 +1,248 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// run executes one fresh workload instance at tiny scale under mode, with
+// full validation, and fails the test on any error.
+func run(t *testing.T, name string, cfg sim.Config) *simResult {
+	t.Helper()
+	w, err := New(name, ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Execute(w)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if err := m.CheckCoherence(); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return &simResult{r.Cycles, r.TxCommitted, r.Conflicts, r.FalseConflicts, r.TxAborted}
+}
+
+type simResult struct {
+	cycles                             int64
+	commits, conflicts, falseC, aborts uint64
+}
+
+func cfgFor(mode core.Mode, sub int, seed uint64) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Seed = seed
+	switch mode {
+	case core.ModeSubBlock:
+		cfg.Core = core.Config{Mode: mode, SubBlocks: sub, RetainInvalidState: true, DirtyProtocol: true}
+	default:
+		cfg.Core = core.Config{Mode: mode}
+	}
+	return cfg
+}
+
+// TestWAROnlyComparatorOnWorkloads runs the §II prior-work comparator on
+// the three workloads whose Fig. 2 profiles differ most and checks the
+// paper's argument quantitatively: WAR-only speculation leaves the RAW
+// fraction of conflicts on the table.
+func TestWAROnlyComparatorOnWorkloads(t *testing.T) {
+	for _, name := range []string{"vacation", "kmeans", "apriori"} {
+		r := run(t, name, cfgFor(core.ModeWAROnly, 0, 1))
+		if r.conflicts == 0 {
+			t.Errorf("%s: WAR-only mode removed every conflict — RAW should remain", name)
+		}
+	}
+}
+
+// TestRegistryComplete pins the Table III contents.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"intruder", "kmeans", "labyrinth", "ssca2", "vacation",
+		"genome", "scalparc", "apriori", "fluidanimate", "utilitymine",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d workloads: %v", len(got), got)
+	}
+	for i, n := range want {
+		if got[i] != n {
+			t.Fatalf("Names()[%d] = %s, want %s", i, got[i], n)
+		}
+		if Describe(n) == "" {
+			t.Errorf("%s has no description", n)
+		}
+	}
+}
+
+func TestNewUnknownWorkload(t *testing.T) {
+	if _, err := New("nonesuch", ScaleTiny); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// TestAllWorkloadsValidateUnderAllModes is the central integration test:
+// every workload must produce a functionally correct result under every
+// conflict-detection system — i.e. no detection scheme (including the
+// ablatable sub-block machinery) may break transactional atomicity.
+func TestAllWorkloadsValidateUnderAllModes(t *testing.T) {
+	modes := []struct {
+		name string
+		mode core.Mode
+		sub  int
+	}{
+		{"baseline", core.ModeBaseline, 0},
+		{"subblock2", core.ModeSubBlock, 2},
+		{"subblock4", core.ModeSubBlock, 4},
+		{"subblock8", core.ModeSubBlock, 8},
+		{"subblock16", core.ModeSubBlock, 16},
+		{"perfect", core.ModePerfect, 0},
+		{"waronly", core.ModeWAROnly, 0},
+		{"signature", core.ModeSignature, 0},
+	}
+	for _, name := range Names() {
+		for _, m := range modes {
+			t.Run(name+"/"+m.name, func(t *testing.T) {
+				run(t, name, cfgFor(m.mode, m.sub, 1)) // run fails the test on validation error
+			})
+		}
+	}
+}
+
+// TestWorkloadDeterminism: identical seeds must reproduce identical
+// dynamics, and different seeds must not (for the contended workloads).
+func TestWorkloadDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			a := run(t, name, cfgFor(core.ModeBaseline, 0, 5))
+			b := run(t, name, cfgFor(core.ModeBaseline, 0, 5))
+			if *a != *b {
+				t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+			}
+		})
+	}
+}
+
+func TestSeedChangesDynamics(t *testing.T) {
+	// At least the heavily contended workloads must respond to the seed.
+	for _, name := range []string{"kmeans", "vacation", "utilitymine"} {
+		a := run(t, name, cfgFor(core.ModeBaseline, 0, 1))
+		b := run(t, name, cfgFor(core.ModeBaseline, 0, 99))
+		if a.cycles == b.cycles && a.conflicts == b.conflicts {
+			t.Errorf("%s: seeds 1 and 99 produced identical dynamics", name)
+		}
+	}
+}
+
+// TestPerfectNeverFalse: in the ideal system no workload may record a
+// false conflict — by construction, but the construction spans the magic
+// probes, the fallback path and every workload's access mix.
+func TestPerfectNeverFalse(t *testing.T) {
+	for _, name := range Names() {
+		r := run(t, name, cfgFor(core.ModePerfect, 0, 1))
+		if r.falseC != 0 {
+			t.Errorf("%s: perfect system recorded %d false conflicts", name, r.falseC)
+		}
+	}
+}
+
+// TestShapeFig1Ordering asserts the paper's qualitative Fig. 1 ordering at
+// the figures' (small) scale: intruder has the lowest false-conflict rate,
+// ssca2 among the highest.
+func TestShapeFig1Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("small-scale shape check skipped in -short mode")
+	}
+	rate := func(name string) float64 {
+		var conf, falseC uint64
+		for seed := uint64(1); seed <= 2; seed++ {
+			w, err := New(name, ScaleSmall)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := sim.NewMachine(cfgFor(core.ModeBaseline, 0, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := m.Execute(w)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			conf += r.Conflicts
+			falseC += r.FalseConflicts
+		}
+		if conf == 0 {
+			return 0
+		}
+		return float64(falseC) / float64(conf)
+	}
+	intruder := rate("intruder")
+	ssca2 := rate("ssca2")
+	kmeans := rate("kmeans")
+	if intruder > 0.45 {
+		t.Errorf("intruder false rate %.2f, expected the paper's low profile", intruder)
+	}
+	if ssca2 < 0.6 {
+		t.Errorf("ssca2 false rate %.2f, expected the paper's >0.6 profile", ssca2)
+	}
+	if kmeans < 0.5 {
+		t.Errorf("kmeans false rate %.2f, expected high false sharing", kmeans)
+	}
+	if intruder >= ssca2 {
+		t.Errorf("ordering violated: intruder %.2f >= ssca2 %.2f", intruder, ssca2)
+	}
+}
+
+// TestWorkloadsProduceConflicts: the characterization is meaningless if a
+// workload never conflicts at all; every one must show some contention at
+// tiny scale except possibly labyrinth (whose tiny counts the paper
+// acknowledges).
+func TestWorkloadsProduceConflicts(t *testing.T) {
+	for _, name := range Names() {
+		if name == "labyrinth" {
+			continue
+		}
+		r := run(t, name, cfgFor(core.ModeBaseline, 0, 1))
+		if r.conflicts == 0 {
+			t.Errorf("%s: zero conflicts at tiny scale", name)
+		}
+	}
+}
+
+// TestTableHelper checks the record-layout helper used by all workloads.
+func TestTableHelper(t *testing.T) {
+	m, err := sim.NewMachine(cfgFor(core.ModeBaseline, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := NewTable(m.Alloc(), 10, 24)
+	if tb.Count != 10 || tb.RecSize != 24 {
+		t.Fatal("table fields wrong")
+	}
+	if tb.Rec(0) != tb.Base || tb.Rec(3) != tb.Base+72 {
+		t.Fatal("Rec arithmetic wrong")
+	}
+	if tb.Field(2, 8) != tb.Base+56 {
+		t.Fatal("Field arithmetic wrong")
+	}
+	if tb.End() != tb.Base+240 {
+		t.Fatal("End arithmetic wrong")
+	}
+	if uint64(tb.Base)%64 != 0 {
+		t.Fatal("table not line-aligned")
+	}
+}
+
+// TestScalePick checks the scale helper.
+func TestScalePick(t *testing.T) {
+	if ScaleTiny.pick(1, 2, 3) != 1 || ScaleSmall.pick(1, 2, 3) != 2 || ScaleMedium.pick(1, 2, 3) != 3 {
+		t.Fatal("Scale.pick broken")
+	}
+	if ScaleTiny.String() != "tiny" || ScaleSmall.String() != "small" || ScaleMedium.String() != "medium" {
+		t.Fatal("Scale.String broken")
+	}
+}

@@ -1,0 +1,134 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func init() {
+	registerExtra("yada", "Delaunay mesh refinement (excluded by the paper: transactions too large for baseline ASF)", func(s Scale) sim.Workload {
+		return NewYada(s)
+	})
+}
+
+// Yada reconstructs STAMP yada's transactional shape — the benchmark the
+// paper EXCLUDED because its "transactions are extremely large and cannot
+// fit into baseline ASF hardware" (§III footnote). Delaunay refinement
+// fixes a bad triangle by re-triangulating its CAVITY: the transaction
+// reads a whole neighbourhood of mesh elements and rewrites many of them.
+//
+// The reconstruction keeps exactly that footprint profile: a refinement
+// transaction reads a (2r+1)² patch of mesh elements and rewrites the
+// patch. Each element is a 64-byte record (a realistic triangle struct:
+// vertices, neighbours, flags) living wherever the allocator put it —
+// NOT in grid order, because STAMP's mesh is heap-allocated — so a cavity
+// touches over a hundred scattered cache lines, and the L1's 2-way
+// associativity guarantees some set receives three of them. Running the
+// kernel MEASURES the exclusion instead of asserting it: attempts
+// capacity-abort and the serial fallback carries the workload (see
+// TestYadaCapacityProfile).
+type Yada struct {
+	scale   Scale
+	dim     int   // element grid is dim × dim
+	radius  int   // cavity radius (footprint = (2r+1)^2 elements)
+	work    int   // refinements per thread
+	grid    Table // 64-byte element records, heap-order placement
+	perm    []int // logical (x,y) -> record slot (allocation order)
+	refined Table // per-thread completed-refinement counters, line-padded
+}
+
+// NewYada builds a yada instance.
+func NewYada(scale Scale) *Yada {
+	return &Yada{
+		scale:  scale,
+		dim:    scale.pick(48, 96, 192),
+		radius: scale.pick(5, 7, 9),
+		work:   scale.pick(6, 40, 150),
+	}
+}
+
+// Name implements sim.Workload.
+func (w *Yada) Name() string { return "yada" }
+
+// Description implements sim.Workload.
+func (w *Yada) Description() string { return "Delaunay mesh refinement" }
+
+// Setup implements sim.Workload.
+func (w *Yada) Setup(m *sim.Machine) {
+	a := m.Alloc()
+	w.grid = NewTable(a, w.dim*w.dim, 64)
+	w.refined = NewTable(a, m.Threads(), 64)
+	// Heap placement: elements were allocated as the mesh grew, so
+	// spatial neighbours live at scattered addresses. A fixed-seed
+	// permutation reproduces that independent of the run seed.
+	w.perm = m.SetupRand().Perm(w.dim * w.dim)
+}
+
+// elem returns the generation-counter word of the element at logical mesh
+// position (x, y), wherever its record was allocated.
+func (w *Yada) elem(x, y int) mem.Addr { return w.grid.Rec(w.perm[y*w.dim+x]) }
+
+// Run implements sim.Workload: each refinement picks a centre away from
+// the boundary, snapshots its cavity inside the transaction (the huge read
+// set), then rewrites every element of the cavity (the huge write set).
+func (w *Yada) Run(t *sim.Thread) {
+	var done uint64
+	span := w.dim - 2*w.radius
+	for i := 0; i < w.work; i++ {
+		cx := w.radius + t.Rand().Intn(span)
+		cy := w.radius + t.Rand().Intn(span)
+		t.Work(400) // bad-triangle identification / geometry
+
+		ok := t.Atomic(func(tx *sim.Tx) {
+			// Read the cavity: (2r+1)^2 elements across ~ (2r+1)^2/8
+			// lines per row-run — far past the L1's per-set budget when
+			// rows collide, exactly yada's problem.
+			var acc uint64
+			for y := cy - w.radius; y <= cy+w.radius; y++ {
+				for x := cx - w.radius; x <= cx+w.radius; x++ {
+					acc += tx.Load(w.elem(x, y), 8)
+				}
+			}
+			// Re-triangulate: bump every cavity element's generation.
+			for y := cy - w.radius; y <= cy+w.radius; y++ {
+				for x := cx - w.radius; x <= cx+w.radius; x++ {
+					tx.Store(w.elem(x, y), 8, tx.Load(w.elem(x, y), 8)+1)
+				}
+			}
+			_ = acc
+		})
+		if ok {
+			done++
+		}
+	}
+	t.Store(w.refined.Rec(t.ID()), 8, done)
+}
+
+// Validate implements sim.Workload: every refinement increments each of
+// its (2r+1)² cavity elements exactly once, so the grid's total generation
+// count must equal refinements × cavity size.
+func (w *Yada) Validate(m *sim.Machine) error {
+	var total uint64
+	for i := 0; i < w.dim*w.dim; i++ {
+		total += m.Memory().LoadUint(w.grid.Rec(i), 8)
+	}
+	// (Only the first word of each 64-byte record carries the generation
+	// counter; the remaining fields model the record's size.)
+	var done uint64
+	for tid := 0; tid < m.Threads(); tid++ {
+		done += m.Memory().LoadUint(w.refined.Rec(tid), 8)
+	}
+	cavity := uint64((2*w.radius + 1) * (2*w.radius + 1))
+	if total != done*cavity {
+		return fmt.Errorf("yada: grid generations %d != %d refinements × %d cavity elements",
+			total, done, cavity)
+	}
+	if done == 0 {
+		return fmt.Errorf("yada: no refinements completed")
+	}
+	return nil
+}
+
+var _ sim.Workload = (*Yada)(nil)

@@ -1,0 +1,86 @@
+package asfsim
+
+import (
+	"io"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// The simulator's programming surface, re-exported so downstream users can
+// write their own transactional workloads against the public package (see
+// examples/quickstart):
+//
+//	type Counter struct{ addr asfsim.Addr }
+//
+//	func (c *Counter) Setup(m *asfsim.Machine)      { c.addr = m.Alloc().AllocLine(8) }
+//	func (c *Counter) Run(t *asfsim.Thread) {
+//		for i := 0; i < 100; i++ {
+//			t.Atomic(func(tx *asfsim.Tx) {
+//				tx.Store(c.addr, 8, tx.Load(c.addr, 8)+1)
+//			})
+//		}
+//	}
+type (
+	// Workload is a transactional program the simulator can execute.
+	Workload = sim.Workload
+	// Machine is the assembled simulated system a workload runs on.
+	Machine = sim.Machine
+	// Thread is one simulated worker; workload Run bodies receive one.
+	Thread = sim.Thread
+	// Tx is the handle for speculative accesses inside Thread.Atomic.
+	Tx = sim.Tx
+	// Addr is a simulated physical byte address.
+	Addr = mem.Addr
+	// Allocator lays out workload data in the simulated address space.
+	Allocator = mem.Allocator
+	// Memory is the simulated physical memory.
+	Memory = mem.Memory
+)
+
+// Event is one entry of the machine's structured event log (Config.EventLog).
+type Event = sim.Event
+
+// DecodeEvents parses a JSON-lines event log written via Config.EventLog.
+func DecodeEvents(r io.Reader) ([]Event, error) { return sim.DecodeEvents(r) }
+
+// SummarizeEvents folds a decoded event stream into per-line and
+// per-reason summaries.
+func SummarizeEvents(events []Event) *sim.EventStats { return sim.SummarizeEvents(events) }
+
+// RunReplay replays a trace recorded via Config.RecordTrace under cfg:
+// the same logical operation stream, re-simulated under a (typically
+// different) detection system. See internal/trace for the methodology and
+// its limits.
+func RunReplay(r io.Reader, cfg Config) (*Result, error) {
+	tr, err := trace.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	w, err := workloads.Replay(tr)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Cores < tr.Threads {
+		cfg.Cores = tr.Threads
+	}
+	return RunWorkload(w, cfg)
+}
+
+// RunWorkload executes a user-provided workload under cfg and returns its
+// statistics (the custom-workload counterpart of Run).
+func RunWorkload(w Workload, cfg Config) (*Result, error) {
+	m, err := sim.NewMachine(cfg.simConfig())
+	if err != nil {
+		return nil, err
+	}
+	return m.Execute(w)
+}
+
+// NewMachine assembles a machine without running anything, for callers
+// that need to inspect it (or drive Execute themselves).
+func NewMachine(cfg Config) (*Machine, error) {
+	return sim.NewMachine(cfg.simConfig())
+}
