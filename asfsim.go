@@ -35,6 +35,8 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/retry"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -188,7 +190,53 @@ type Config struct {
 	DisableRetainInvalid bool // drop spec state from invalidated lines (§IV-D-2 off)
 	DisableDirtyProtocol bool // no Dirty sub-block state (§IV-C off)
 	DisableBackoff       bool // no exponential backoff (§V-A off)
+
+	// Fault configures deterministic spurious-abort injection (interrupts,
+	// TLB misses, capacity noise). The zero value injects nothing and
+	// leaves every run bit-identical to one without the subsystem.
+	Fault FaultConfig
+
+	// Retry selects the retry/fallback policy for aborted transactions.
+	// The zero value is RetryExponential with the run's backoff curve and
+	// MaxRetries cap — the paper's §V-A behaviour.
+	Retry RetryConfig
+
+	// Watchdog configures the livelock/starvation watchdog (zero Window:
+	// off). With Mitigate false it is purely observational.
+	Watchdog WatchdogConfig
 }
+
+// Robustness-subsystem configuration types (see the internal packages for
+// field-level documentation).
+type (
+	// FaultConfig sets the per-kind spurious-abort rates.
+	FaultConfig = fault.Config
+	// RetryConfig selects and parameterizes the retry/fallback policy.
+	RetryConfig = retry.Config
+	// RetryPolicy names a retry/fallback policy kind.
+	RetryPolicy = retry.Kind
+	// WatchdogConfig parameterizes the livelock/starvation watchdog.
+	WatchdogConfig = sim.WatchdogConfig
+)
+
+// Retry/fallback policies selectable via Config.Retry.Kind.
+const (
+	// RetryExponential is the §V-A doubling backoff with the MaxRetries
+	// hard cap (the default).
+	RetryExponential = retry.Exponential
+	// RetryImmediate retries with no backoff.
+	RetryImmediate = retry.Immediate
+	// RetryLinear grows the backoff linearly.
+	RetryLinear = retry.Linear
+	// RetryAdaptive demotes to the serial fallback early under
+	// pathological contention (consecutive-abort runs or a sustained
+	// abort rate).
+	RetryAdaptive = retry.AdaptiveSerialize
+)
+
+// ParseRetryPolicy resolves a policy name ("exponential", "immediate",
+// "linear", "adaptive") as accepted by the -retry-policy CLI flag.
+func ParseRetryPolicy(s string) (RetryPolicy, error) { return retry.ParseKind(s) }
 
 // DefaultConfig returns the paper's evaluation configuration: 8 cores,
 // Table II hierarchy, baseline detection, backoff on.
@@ -226,6 +274,9 @@ func (c Config) simConfig() sim.Config {
 	if c.DisableBackoff {
 		sc.Backoff = backoff.Config{BaseCycles: 1, MaxCycles: 1, Jitter: 0}
 	}
+	sc.Fault = c.Fault
+	sc.Retry = c.Retry
+	sc.Watchdog = c.Watchdog
 	sc.TraceSeries = c.TraceSeries
 	sc.TraceLines = c.TraceLines
 	sc.TraceOffsets = c.TraceOffsets

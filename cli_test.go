@@ -35,6 +35,31 @@ func runBin(t *testing.T, bin string, args ...string) string {
 	return stdout.String()
 }
 
+// runBinExpectUsageError runs the binary expecting a flag-validation
+// failure: exit code 2 and a diagnostic on stderr.
+func runBinExpectUsageError(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("%s %v: succeeded, expected rejection\nstdout: %s", filepath.Base(bin), args, stdout.String())
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("%s %v: %v", filepath.Base(bin), args, err)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Fatalf("%s %v: exit code %d, want 2\nstderr: %s", filepath.Base(bin), args, code, stderr.String())
+	}
+	if stderr.Len() == 0 {
+		t.Fatalf("%s %v: rejected with no diagnostic on stderr", filepath.Base(bin), args)
+	}
+	return stderr.String()
+}
+
 // TestCLIEndToEnd exercises every command the repository ships, with small
 // inputs: the layer no unit test reaches.
 func TestCLIEndToEnd(t *testing.T) {
@@ -80,6 +105,37 @@ func TestCLIEndToEnd(t *testing.T) {
 			if !strings.Contains(rp, "rate 0.0%") {
 				t.Errorf("perfect replay shows false conflicts:\n%s", rp)
 			}
+		}
+
+		// Robustness flags: a faulted run with a non-default policy and a
+		// watchdog window reports its extra sections.
+		out = runBin(t, bin, "-workload", "scalparc", "-scale", "tiny",
+			"-fault-tlb-rate", "0.01", "-fault-interrupt-rate", "1e-4", "-fault-capacity-rate", "0.05",
+			"-retry-policy", "adaptive", "-watchdog-window", "50000", "-watchdog-mitigate")
+		for _, want := range []string{"robustness", "policy adaptive", "spurious", "watchdog", "starvation index"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("faulted run output lacks %q:\n%s", want, out)
+			}
+		}
+		var rob map[string]any
+		if err := json.Unmarshal([]byte(runBin(t, bin, "-workload", "scalparc", "-scale", "tiny",
+			"-fault-tlb-rate", "0.02", "-json")), &rob); err != nil {
+			t.Fatalf("faulted -json output not JSON: %v", err)
+		}
+		if sp, _ := rob["SpuriousAborts"].(float64); sp == 0 {
+			t.Errorf("faulted run at a 2%% TLB rate reported zero spurious aborts")
+		}
+
+		// Invalid robustness flag values are rejected with exit code 2.
+		for _, bad := range [][]string{
+			{"-workload", "scalparc", "-fault-tlb-rate", "-0.1"},
+			{"-workload", "scalparc", "-fault-interrupt-rate", "1.5"},
+			{"-workload", "scalparc", "-fault-capacity-rate", "NaN"},
+			{"-workload", "scalparc", "-retry-policy", "psychic"},
+			{"-workload", "scalparc", "-watchdog-window", "-1"},
+			{"-workload", "scalparc", "-watchdog-mitigate"},
+		} {
+			runBinExpectUsageError(t, bin, bad...)
 		}
 	})
 

@@ -35,6 +35,13 @@ func main() {
 		record  = flag.String("record", "", "record the workload's op stream to this trace file")
 		replay  = flag.String("replay", "", "replay a recorded trace file instead of running a workload")
 		sigBits = flag.Int("sigbits", 0, "signature size in bits for -detect signature (0 = 1024)")
+
+		faultInterrupt = flag.Float64("fault-interrupt-rate", 0, "spurious interrupt aborts per in-transaction cycle (0..1)")
+		faultTLB       = flag.Float64("fault-tlb-rate", 0, "spurious TLB-miss aborts per transactional access (0..1)")
+		faultCapacity  = flag.Float64("fault-capacity-rate", 0, "spurious capacity-noise aborts per transaction attempt (0..1)")
+		retryPolicy    = flag.String("retry-policy", "exponential", "retry/fallback policy: exponential, immediate, linear, adaptive")
+		wdWindow       = flag.Int64("watchdog-window", 0, "livelock/starvation watchdog window in cycles (0 = off)")
+		wdMitigate     = flag.Bool("watchdog-mitigate", false, "let the watchdog boost starving threads (requires -watchdog-window)")
 	)
 	flag.Parse()
 
@@ -52,6 +59,30 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Cores = *cores
 	cfg.SignatureBits = *sigBits
+	cfg.Fault = asfsim.FaultConfig{
+		InterruptRate:     *faultInterrupt,
+		TLBRate:           *faultTLB,
+		CapacityNoiseRate: *faultCapacity,
+	}
+	if err := cfg.Fault.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "asfsim: %v\n", err)
+		os.Exit(2)
+	}
+	policy, err := asfsim.ParseRetryPolicy(*retryPolicy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asfsim: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.Retry.Kind = policy
+	cfg.Watchdog = asfsim.WatchdogConfig{Window: *wdWindow, Mitigate: *wdMitigate}
+	if err := cfg.Watchdog.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "asfsim: %v\n", err)
+		os.Exit(2)
+	}
+	if *wdMitigate && *wdWindow <= 0 {
+		fmt.Fprintln(os.Stderr, "asfsim: -watchdog-mitigate requires a positive -watchdog-window")
+		os.Exit(2)
+	}
 	found := false
 	for _, d := range asfsim.AllDetections {
 		if d.String() == *detect {
@@ -78,7 +109,6 @@ func main() {
 	}
 
 	var r *asfsim.Result
-	var err error
 	switch {
 	case *replay != "":
 		f, ferr := os.Open(*replay)
@@ -125,8 +155,8 @@ func main() {
 	fmt.Println()
 	fmt.Printf("transactions    launched %-8d attempts %-8d committed %-8d fallbacks %d\n",
 		r.TxLaunched, r.TxStarted, r.TxCommitted, r.Fallbacks)
-	fmt.Printf("aborts          total %-8d conflict %-8d capacity %-6d user %-6d lock %-4d validation %d\n",
-		r.TxAborted, r.AbortsBy[1], r.AbortsBy[2], r.AbortsBy[3], r.AbortsBy[4], r.AbortsBy[5])
+	fmt.Printf("aborts          total %-8d conflict %-8d capacity %-6d user %-6d lock %-4d validation %-4d spurious %d\n",
+		r.TxAborted, r.AbortsBy[1], r.AbortsBy[2], r.AbortsBy[3], r.AbortsBy[4], r.AbortsBy[5], r.AbortsBy[6])
 	fmt.Printf("retries         total %-8d max chain %-4d mean attempts/block %.2f\n",
 		r.Retries, r.MaxRetrySeen, r.RetryChains.Mean())
 	fmt.Printf("time breakdown  tx %.1f%%   backoff %.1f%%   non-tx %.1f%%\n",
@@ -151,5 +181,14 @@ func main() {
 	if r.SpeculatedWARs > 0 || r.ValidationChecks > 0 || r.SigAliasFalse > 0 {
 		fmt.Printf("comparators     speculated WARs %-6d validations %-6d signature aliases %d\n",
 			r.SpeculatedWARs, r.ValidationChecks, r.SigAliasFalse)
+	}
+	if cfg.Fault.Enabled() || r.RetryPolicy != "exponential" || r.FallbacksEarly > 0 {
+		fmt.Printf("robustness      policy %-12s spurious %d (interrupt %d tlb %d capacity %d)   early fallbacks %d\n",
+			r.RetryPolicy, r.SpuriousAborts, r.SpuriousBy[0], r.SpuriousBy[1], r.SpuriousBy[2],
+			r.FallbacksEarly)
+	}
+	if *wdWindow > 0 {
+		fmt.Printf("watchdog        livelock windows %-6d starvation alerts %-6d boosts %-6d starvation index %.2f\n",
+			r.LivelockWindows, r.StarvationAlerts, r.WatchdogBoosts, r.StarvationIndex)
 	}
 }

@@ -48,20 +48,19 @@ func New(cfg Config, r *rng.Rand) *Manager {
 // `retries` (1 = first retry). The deterministic component doubles per
 // retry: base << (retries-1), clamped to MaxCycles; the jitter component
 // subtracts up to Jitter*delay at random.
+//
+// The shift is computed directly rather than by a doubling loop, so the
+// cost is O(1) in the retry count: adaptive policies may probe with
+// arbitrarily large retry numbers (see TestDelayHugeRetryCounts).
 func (m *Manager) Delay(retries int) int64 {
 	if retries <= 0 {
 		return 0
 	}
-	d := m.cfg.BaseCycles
-	for i := 1; i < retries; i++ {
-		d <<= 1
-		if d >= m.cfg.MaxCycles || d <= 0 {
-			d = m.cfg.MaxCycles
-			break
-		}
-	}
-	if d > m.cfg.MaxCycles {
-		d = m.cfg.MaxCycles
+	d := m.cfg.MaxCycles
+	// base << shift, guarded against overflow: base <= max>>shift iff
+	// base<<shift <= max, and any shift >= 63 saturates int64.
+	if shift := uint(retries - 1); shift < 63 && m.cfg.BaseCycles <= m.cfg.MaxCycles>>shift {
+		d = m.cfg.BaseCycles << shift
 	}
 	if m.cfg.Jitter > 0 && m.r != nil {
 		j := int64(float64(d) * m.cfg.Jitter * m.r.Float64())

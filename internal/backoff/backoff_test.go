@@ -86,6 +86,68 @@ func TestDefaultConfigSane(t *testing.T) {
 	}
 }
 
+// refDelay is the original doubling-loop implementation, kept as the
+// semantic reference for the closed-form Delay.
+func refDelay(cfg Config, retries int) int64 {
+	if retries <= 0 {
+		return 0
+	}
+	d := cfg.BaseCycles
+	for i := 1; i < retries; i++ {
+		d <<= 1
+		if d >= cfg.MaxCycles || d <= 0 {
+			d = cfg.MaxCycles
+			break
+		}
+	}
+	if d > cfg.MaxCycles {
+		d = cfg.MaxCycles
+	}
+	return d
+}
+
+func TestClosedFormMatchesDoublingLoop(t *testing.T) {
+	cfgs := []Config{
+		{BaseCycles: 1, MaxCycles: 1},
+		{BaseCycles: 64, MaxCycles: 64 << 10},
+		{BaseCycles: 3, MaxCycles: 1000},
+		{BaseCycles: 7, MaxCycles: 7},
+		{BaseCycles: 1, MaxCycles: 1 << 62},
+		{BaseCycles: 1 << 40, MaxCycles: 1 << 50},
+	}
+	for _, cfg := range cfgs {
+		m := New(cfg, nil)
+		for r := 0; r <= 70; r++ {
+			if got, want := m.Delay(r), refDelay(cfg, r); got != want {
+				t.Fatalf("cfg %+v Delay(%d) = %d, reference loop says %d", cfg, r, got, want)
+			}
+		}
+	}
+}
+
+func TestDelayHugeRetryCounts(t *testing.T) {
+	// Adaptive retry policies may probe with enormous retry numbers; Delay
+	// must answer in O(1), not by looping retries times. A time budget on
+	// 10^6 calls would be flaky in CI, so just require the right answers;
+	// the old loop capped at MaxCycles quickly too, making this mostly a
+	// regression net against reintroducing an O(retries) path that also
+	// mis-clamps at the extremes.
+	m := noJitter()
+	for _, r := range []int{1 << 20, 1 << 30, 1 << 62, int(^uint(0) >> 1)} {
+		if d := m.Delay(r); d != 1024 {
+			t.Fatalf("Delay(%d) = %d, want MaxCycles 1024", r, d)
+		}
+	}
+	start := testing.AllocsPerRun(1, func() {
+		for r := 1; r <= 1_000_000; r++ {
+			m.Delay(r)
+		}
+	})
+	if start != 0 {
+		t.Fatalf("Delay allocated %v times per million calls", start)
+	}
+}
+
 func TestShiftOverflowGuard(t *testing.T) {
 	// Retry counts past 63 would overflow the shift without the guard.
 	m := New(Config{BaseCycles: 1 << 40, MaxCycles: 1 << 50, Jitter: 0}, nil)

@@ -85,6 +85,9 @@ const (
 	// ReasonValidation is used by the WAR-only speculation comparator
 	// (ModeWAROnly): value validation at commit found a truly stale read.
 	ReasonValidation
+	// ReasonSpurious is an environmental abort injected by internal/fault
+	// (interrupt, TLB miss, capacity noise) — not a data conflict.
+	ReasonSpurious
 	NumAbortReasons
 )
 
@@ -102,6 +105,8 @@ func (r AbortReason) String() string {
 		return "lock"
 	case ReasonValidation:
 		return "validation"
+	case ReasonSpurious:
+		return "spurious"
 	}
 	return fmt.Sprintf("AbortReason(%d)", int(r))
 }

@@ -1,0 +1,171 @@
+// Package fault implements deterministic spurious-abort injection for the
+// simulated ASF machine.
+//
+// ASF is a best-effort HTM: beyond the true and false data conflicts the
+// paper studies, real transactions also die to environmental causes the
+// conflict-detection hardware cannot help with — timer interrupts, TLB
+// misses taken inside the speculative region, and capacity pressure from
+// unrelated cache activity. The paper's evaluation runs on a quiet
+// simulator and never sees these, but any robustness claim about the
+// retry/fallback machinery (see internal/retry and the watchdog in
+// internal/sim) is only as good as its behaviour under them.
+//
+// The injector is seeded from the run seed through internal/rng, one
+// stream per simulated thread, so faulty runs are exactly as reproducible
+// as clean ones: the same configuration and seed deliver the same faults
+// at the same operations on every run, and a recorded trace replays its
+// fault pattern bit-identically through RunReplay. With every rate zero
+// the injector draws nothing at all, so enabling the subsystem with zero
+// rates provably cannot perturb a run.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Kind names one class of injected spurious abort.
+type Kind int
+
+const (
+	// Interrupt models an asynchronous interrupt (timer, IPI) landing
+	// inside the speculative region. Its hazard is per in-transaction
+	// cycle: long transactions are proportionally more exposed, exactly
+	// as on real hardware.
+	Interrupt Kind = iota
+	// TLB models a TLB miss taken by a transactional memory access. ASF
+	// (like most best-effort HTMs) aborts rather than page-walk inside a
+	// transaction. Its hazard is per transactional access.
+	TLB
+	// CapacityNoise models capacity pressure from activity the simulator
+	// does not otherwise model (prefetchers, SMT siblings, kernel
+	// interference evicting speculative lines). Its hazard is per
+	// transaction attempt, delivered a few operations into the attempt.
+	CapacityNoise
+	NumKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Interrupt:
+		return "interrupt"
+	case TLB:
+		return "tlb"
+	case CapacityNoise:
+		return "capacity-noise"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Kinds lists every fault kind in ordinal order.
+var Kinds = []Kind{Interrupt, TLB, CapacityNoise}
+
+// Config sets the per-kind injection rates. The zero value injects
+// nothing.
+type Config struct {
+	// InterruptRate is the probability of a spurious interrupt abort per
+	// simulated cycle spent inside a transaction attempt (typical
+	// interesting values: 1e-6 .. 1e-3).
+	InterruptRate float64
+	// TLBRate is the probability of a TLB-miss abort per transactional
+	// memory access.
+	TLBRate float64
+	// CapacityNoiseRate is the probability, per transaction attempt, that
+	// the attempt suffers a noise-induced capacity abort. The delivery
+	// point is drawn uniformly over the attempt's first
+	// capacityDeliveryOps operations; attempts shorter than the drawn
+	// point escape (small attempts are genuinely less exposed).
+	CapacityNoiseRate float64
+}
+
+// capacityDeliveryOps bounds how deep into an attempt a planned
+// capacity-noise abort may land.
+const capacityDeliveryOps = 32
+
+// Enabled reports whether any fault kind can fire.
+func (c Config) Enabled() bool {
+	return c.InterruptRate > 0 || c.TLBRate > 0 || c.CapacityNoiseRate > 0
+}
+
+// Validate rejects rates outside [0, 1] (and NaNs, which fail every
+// comparison).
+func (c Config) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"interrupt", c.InterruptRate},
+		{"tlb", c.TLBRate},
+		{"capacity-noise", c.CapacityNoiseRate},
+	} {
+		if !(r.v >= 0 && r.v <= 1) {
+			return fmt.Errorf("fault: %s rate %v outside [0, 1]", r.name, r.v)
+		}
+	}
+	return nil
+}
+
+// Injector delivers spurious aborts for one simulated thread. One
+// injector per thread, seeded from the thread's deterministic stream; the
+// zero number of rng draws is consumed when the corresponding rate is
+// zero, so disabled kinds never perturb enabled ones.
+type Injector struct {
+	cfg Config
+	r   *rng.Rand
+
+	ops   int // transactional ops seen this attempt
+	capAt int // op index at which capacity-noise fires (-1: not this attempt)
+}
+
+// New returns an injector, or nil when cfg injects nothing (callers may
+// invoke methods on a nil *Injector freely).
+func New(cfg Config, r *rng.Rand) *Injector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &Injector{cfg: cfg, r: r, capAt: -1}
+}
+
+// BeginAttempt resets per-attempt state and plans attempt-scoped faults.
+// Call once per transaction attempt, right after the engine's BeginTx.
+func (in *Injector) BeginAttempt() {
+	if in == nil {
+		return
+	}
+	in.ops = 0
+	in.capAt = -1
+	if in.cfg.CapacityNoiseRate > 0 && in.r.Bool(in.cfg.CapacityNoiseRate) {
+		in.capAt = in.r.Intn(capacityDeliveryOps)
+	}
+}
+
+// OnOp is called at the entry of each transactional operation with the
+// simulated cycles elapsed since the previous call in this attempt, and
+// whether the operation is a memory access. It returns the fault kind to
+// deliver, if any; the caller then aborts the attempt.
+func (in *Injector) OnOp(elapsed int64, access bool) (Kind, bool) {
+	if in == nil {
+		return 0, false
+	}
+	in.ops++
+	if in.capAt >= 0 && in.ops > in.capAt {
+		in.capAt = -1
+		return CapacityNoise, true
+	}
+	if in.cfg.InterruptRate > 0 && elapsed > 0 {
+		// One draw per op against the cycle-scaled hazard: for the small
+		// per-cycle rates of interest, 1-(1-p)^elapsed ≈ p*elapsed.
+		p := in.cfg.InterruptRate * float64(elapsed)
+		if p > 1 {
+			p = 1
+		}
+		if in.r.Bool(p) {
+			return Interrupt, true
+		}
+	}
+	if access && in.cfg.TLBRate > 0 && in.r.Bool(in.cfg.TLBRate) {
+		return TLB, true
+	}
+	return 0, false
+}

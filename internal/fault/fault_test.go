@@ -1,0 +1,103 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// drive runs n attempts of opsPerAttempt ops each and returns the number
+// of faults delivered, by kind.
+func drive(in *Injector, n, opsPerAttempt int, elapsed int64) [NumKinds]int {
+	var hits [NumKinds]int
+	for a := 0; a < n; a++ {
+		in.BeginAttempt()
+		for o := 0; o < opsPerAttempt; o++ {
+			if k, ok := in.OnOp(elapsed, true); ok {
+				hits[k]++
+				break // the attempt aborts; next attempt
+			}
+		}
+	}
+	return hits
+}
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	if in := New(Config{}, rng.New(1)); in != nil {
+		t.Fatal("New with zero config should return nil")
+	}
+	// Nil receivers must be safe: the sim calls these unconditionally.
+	var in *Injector
+	in.BeginAttempt()
+	if _, ok := in.OnOp(100, true); ok {
+		t.Fatal("nil injector delivered a fault")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, bad := range []Config{
+		{InterruptRate: -0.1},
+		{TLBRate: 1.5},
+		{CapacityNoiseRate: -1},
+	} {
+		if bad.Validate() == nil {
+			t.Errorf("Validate accepted %+v", bad)
+		}
+	}
+	ok := Config{InterruptRate: 1e-5, TLBRate: 0.01, CapacityNoiseRate: 1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("Validate rejected %+v: %v", ok, err)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	cfg := Config{InterruptRate: 1e-4, TLBRate: 0.02, CapacityNoiseRate: 0.3}
+	a := drive(New(cfg, rng.New(7)), 500, 20, 50)
+	b := drive(New(cfg, rng.New(7)), 500, 20, 50)
+	if a != b {
+		t.Fatalf("same seed, different faults: %v vs %v", a, b)
+	}
+	c := drive(New(cfg, rng.New(8)), 500, 20, 50)
+	if a == c {
+		t.Fatalf("different seeds delivered identical fault patterns %v (suspicious)", a)
+	}
+}
+
+func TestEachKindFires(t *testing.T) {
+	cfg := Config{InterruptRate: 1e-3, TLBRate: 0.02, CapacityNoiseRate: 0.3}
+	hits := drive(New(cfg, rng.New(1)), 2000, 20, 50)
+	for k := Kind(0); k < NumKinds; k++ {
+		if hits[k] == 0 {
+			t.Errorf("kind %v never fired in 2000 attempts", k)
+		}
+	}
+}
+
+func TestRatesScale(t *testing.T) {
+	lo := drive(New(Config{TLBRate: 0.001}, rng.New(3)), 3000, 10, 1)
+	hi := drive(New(Config{TLBRate: 0.05}, rng.New(3)), 3000, 10, 1)
+	if hi[TLB] <= lo[TLB] {
+		t.Errorf("50x TLB rate did not raise fault count: lo=%d hi=%d", lo[TLB], hi[TLB])
+	}
+}
+
+func TestInterruptScalesWithElapsedCycles(t *testing.T) {
+	short := drive(New(Config{InterruptRate: 1e-4}, rng.New(5)), 2000, 10, 10)
+	long := drive(New(Config{InterruptRate: 1e-4}, rng.New(5)), 2000, 10, 500)
+	if long[Interrupt] <= short[Interrupt] {
+		t.Errorf("longer transactions not more exposed: short=%d long=%d",
+			short[Interrupt], long[Interrupt])
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{Interrupt: "interrupt", TLB: "tlb", CapacityNoise: "capacity-noise"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if len(Kinds) != int(NumKinds) {
+		t.Errorf("Kinds lists %d kinds, want %d", len(Kinds), NumKinds)
+	}
+}

@@ -1,0 +1,117 @@
+package oracle
+
+import "fmt"
+
+// Ledger is the progress oracle for the transactional runtime. Where
+// Footprint judges individual conflicts, the Ledger judges the runtime's
+// end-to-end completion contract: every atomic block a thread launches
+// completes EXACTLY once — by committing or by a program-level user abort
+// — regardless of how many attempts, injected spurious faults, quashes or
+// serial-lock fallbacks it took. The simulator feeds it from the retry
+// loop and checks it after every run, so a retry-policy or watchdog bug
+// that drops or double-completes a block fails the run instead of
+// silently corrupting statistics.
+type Ledger struct {
+	rows []ledgerRow
+	err  error // first recorded violation
+}
+
+type ledgerRow struct {
+	launched    uint64
+	committed   uint64
+	userAborted uint64
+	open        bool // a launched block has not completed yet
+}
+
+// NewLedger returns a ledger for the given number of threads.
+func NewLedger(threads int) *Ledger {
+	return &Ledger{rows: make([]ledgerRow, threads)}
+}
+
+// Launch records a thread entering an atomic block. Atomic blocks do not
+// nest; launching over an open block is a violation.
+func (l *Ledger) Launch(thread int) {
+	r := l.row(thread)
+	if r == nil {
+		return
+	}
+	if r.open {
+		l.fail("thread %d launched a block with block %d still open", thread, r.launched)
+		return
+	}
+	r.open = true
+	r.launched++
+}
+
+// Complete records the open block finishing, by commit or by a user
+// abort. Completing with no block open is a violation (a double
+// completion or a completion the runtime never launched).
+func (l *Ledger) Complete(thread int, committed bool) {
+	r := l.row(thread)
+	if r == nil {
+		return
+	}
+	if !r.open {
+		l.fail("thread %d completed a block it never launched (after %d blocks)", thread, r.launched)
+		return
+	}
+	r.open = false
+	if committed {
+		r.committed++
+	} else {
+		r.userAborted++
+	}
+}
+
+// Check returns the first recorded violation, or an error if any thread
+// still has a block open (launched but never completed), or nil when the
+// exactly-once contract held.
+func (l *Ledger) Check() error {
+	if l.err != nil {
+		return l.err
+	}
+	for i := range l.rows {
+		r := &l.rows[i]
+		if r.open {
+			return fmt.Errorf("oracle: thread %d block %d never completed", i, r.launched)
+		}
+		if r.committed+r.userAborted != r.launched {
+			return fmt.Errorf("oracle: thread %d launched %d blocks but completed %d",
+				i, r.launched, r.committed+r.userAborted)
+		}
+	}
+	return nil
+}
+
+// Launched returns the blocks thread has entered.
+func (l *Ledger) Launched(thread int) uint64 {
+	if r := l.row(thread); r != nil {
+		return r.launched
+	}
+	return 0
+}
+
+// Totals returns the machine-wide launched / committed / user-aborted
+// block counts.
+func (l *Ledger) Totals() (launched, committed, userAborted uint64) {
+	for i := range l.rows {
+		launched += l.rows[i].launched
+		committed += l.rows[i].committed
+		userAborted += l.rows[i].userAborted
+	}
+	return
+}
+
+func (l *Ledger) row(thread int) *ledgerRow {
+	if thread < 0 || thread >= len(l.rows) {
+		l.fail("ledger: thread %d out of range [0, %d)", thread, len(l.rows))
+		return nil
+	}
+	return &l.rows[thread]
+}
+
+func (l *Ledger) fail(format string, args ...any) {
+	if l.err == nil {
+		l.err = fmt.Errorf("oracle: "+format, args...)
+	}
+}

@@ -1,0 +1,74 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLedgerExactlyOnce(t *testing.T) {
+	l := NewLedger(2)
+	l.Launch(0)
+	l.Complete(0, true)
+	l.Launch(1)
+	l.Complete(1, false)
+	l.Launch(0)
+	l.Complete(0, true)
+	if err := l.Check(); err != nil {
+		t.Fatalf("clean history failed: %v", err)
+	}
+	launched, committed, userAborted := l.Totals()
+	if launched != 3 || committed != 2 || userAborted != 1 {
+		t.Fatalf("totals = %d/%d/%d, want 3/2/1", launched, committed, userAborted)
+	}
+	if l.Launched(0) != 2 || l.Launched(1) != 1 {
+		t.Fatalf("per-thread launched = %d,%d, want 2,1", l.Launched(0), l.Launched(1))
+	}
+}
+
+func TestLedgerCatchesDroppedBlock(t *testing.T) {
+	l := NewLedger(1)
+	l.Launch(0)
+	if err := l.Check(); err == nil || !strings.Contains(err.Error(), "never completed") {
+		t.Fatalf("open block not caught: %v", err)
+	}
+}
+
+func TestLedgerCatchesDoubleCompletion(t *testing.T) {
+	l := NewLedger(1)
+	l.Launch(0)
+	l.Complete(0, true)
+	l.Complete(0, true)
+	if err := l.Check(); err == nil || !strings.Contains(err.Error(), "never launched") {
+		t.Fatalf("double completion not caught: %v", err)
+	}
+}
+
+func TestLedgerCatchesNestedLaunch(t *testing.T) {
+	l := NewLedger(1)
+	l.Launch(0)
+	l.Launch(0)
+	if err := l.Check(); err == nil || !strings.Contains(err.Error(), "still open") {
+		t.Fatalf("nested launch not caught: %v", err)
+	}
+}
+
+func TestLedgerCatchesOutOfRangeThread(t *testing.T) {
+	l := NewLedger(1)
+	l.Launch(3)
+	if err := l.Check(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range thread not caught: %v", err)
+	}
+	if l.Launched(3) != 0 {
+		t.Fatal("out-of-range Launched not zero")
+	}
+}
+
+func TestLedgerFirstViolationSticks(t *testing.T) {
+	l := NewLedger(1)
+	l.Complete(0, true) // first violation: never launched
+	l.Launch(0)
+	l.Launch(0) // second violation: still open
+	if err := l.Check(); err == nil || !strings.Contains(err.Error(), "never launched") {
+		t.Fatalf("first violation not preserved: %v", err)
+	}
+}

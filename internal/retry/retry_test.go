@@ -1,0 +1,159 @@
+package retry
+
+import (
+	"testing"
+
+	"repro/internal/backoff"
+	"repro/internal/rng"
+)
+
+func TestExponentialMatchesBackoffManagerExactly(t *testing.T) {
+	// The default policy must reproduce the bare backoff.Manager stream
+	// bit-for-bit: this is what makes the retry subsystem provably
+	// zero-impact when left at its defaults.
+	bc := backoff.DefaultConfig()
+	ref := backoff.New(bc, rng.New(42))
+	pol := New(Config{Kind: Exponential, MaxRetries: 64, Backoff: bc}, rng.New(42))
+	for r := 1; r <= 100; r++ {
+		want, got := ref.Delay(r), pol.Delay(r)
+		if want != got {
+			t.Fatalf("retry %d: policy delay %d != manager delay %d", r, got, want)
+		}
+	}
+	if fb, early := pol.Fallback(64); fb || early {
+		t.Fatal("exponential fell back at the cap boundary")
+	}
+	if fb, early := pol.Fallback(65); !fb || early {
+		t.Fatalf("exponential Fallback(65) = %v, %v; want true, false", fb, early)
+	}
+}
+
+func TestImmediate(t *testing.T) {
+	pol := New(Config{Kind: Immediate, MaxRetries: 3}, rng.New(1))
+	for r := 1; r < 50; r++ {
+		if d := pol.Delay(r); d != 0 {
+			t.Fatalf("immediate Delay(%d) = %d, want 0", r, d)
+		}
+	}
+	if fb, _ := pol.Fallback(3); fb {
+		t.Fatal("immediate fell back before the cap")
+	}
+	if fb, early := pol.Fallback(4); !fb || early {
+		t.Fatal("immediate must fall back past the cap, not early")
+	}
+}
+
+func TestLinearGrowsLinearlyAndCaps(t *testing.T) {
+	pol := New(Config{Kind: Linear, MaxRetries: 64,
+		Backoff: backoff.Config{BaseCycles: 10, MaxCycles: 55, Jitter: 0}}, nil)
+	want := []int64{10, 20, 30, 40, 50, 55, 55}
+	for i, w := range want {
+		if d := pol.Delay(i + 1); d != w {
+			t.Fatalf("linear Delay(%d) = %d, want %d", i+1, d, w)
+		}
+	}
+	// Huge retry counts must not overflow.
+	if d := pol.Delay(1 << 40); d != 55 {
+		t.Fatalf("linear Delay(2^40) = %d, want cap 55", d)
+	}
+}
+
+func TestAdaptiveDemotesOnConsecutiveAborts(t *testing.T) {
+	pol := New(Config{Kind: AdaptiveSerialize, MaxRetries: 1000, SerializeAfter: 5}, rng.New(1))
+	for i := 0; i < 4; i++ {
+		pol.NoteAbort()
+	}
+	if fb, _ := pol.Fallback(4); fb {
+		t.Fatal("adaptive demoted before SerializeAfter consecutive aborts")
+	}
+	pol.NoteAbort()
+	fb, early := pol.Fallback(5)
+	if !fb || !early {
+		t.Fatalf("adaptive Fallback after 5 consecutive aborts = %v, %v; want true, true", fb, early)
+	}
+	// A commit resets the run.
+	pol.NoteCommit()
+	if fb, _ := pol.Fallback(1); fb {
+		t.Fatal("adaptive still demoting after a commit reset the streak")
+	}
+}
+
+func TestAdaptiveDemotesOnSustainedAbortRate(t *testing.T) {
+	pol := New(Config{Kind: AdaptiveSerialize, MaxRetries: 1 << 30,
+		SerializeAfter: 1 << 30, DemoteAbortRate: 0.9, DemoteMinAttempts: 16}, rng.New(1))
+	// ~30 aborts per commit: the streak stays finite but the decayed rate
+	// climbs well above 0.9. Fallback is consulted after each abort, like
+	// the runtime's retry loop does.
+	demoted := false
+	for i := 0; i < 600 && !demoted; i++ {
+		if i%31 == 30 {
+			pol.NoteCommit()
+			continue
+		}
+		pol.NoteAbort()
+		fb, early := pol.Fallback(1)
+		demoted = fb && early
+	}
+	if !demoted {
+		t.Fatal("adaptive never demoted under a sustained ~97% abort rate")
+	}
+	// Cooling after a fallback must clear the signal at least briefly.
+	pol.NoteFallback()
+	pol.NoteCommit()
+	if fb, _ := pol.Fallback(0); fb {
+		t.Fatal("adaptive demotes immediately after fallback cooled its state")
+	}
+}
+
+func TestAdaptiveStillHasHardCap(t *testing.T) {
+	pol := New(Config{Kind: AdaptiveSerialize, MaxRetries: 7, SerializeAfter: 1 << 30}, rng.New(1))
+	if fb, early := pol.Fallback(8); !fb || early {
+		t.Fatalf("adaptive hard cap: Fallback(8) = %v, %v; want true, false", fb, early)
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for name, want := range map[string]Kind{
+		"exponential":        Exponential,
+		"immediate":          Immediate,
+		"linear":             Linear,
+		"adaptive":           AdaptiveSerialize,
+		"adaptive-serialize": AdaptiveSerialize,
+	} {
+		k, err := ParseKind(name)
+		if err != nil || k != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", name, k, err, want)
+		}
+		if name != "adaptive-serialize" && k.String() != name {
+			t.Errorf("Kind %v String() = %q, want %q", k, k.String(), name)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind accepted an unknown policy name")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, bad := range []Config{
+		{Kind: Kind(99)},
+		{Kind: Exponential, MaxRetries: -1},
+		{Kind: AdaptiveSerialize, SerializeAfter: -2},
+		{Kind: AdaptiveSerialize, DemoteAbortRate: 1.5},
+	} {
+		if bad.Validate() == nil {
+			t.Errorf("Validate accepted %+v", bad)
+		}
+	}
+	if err := (Config{Kind: AdaptiveSerialize, SerializeAfter: 4}).Validate(); err != nil {
+		t.Errorf("Validate rejected a good config: %v", err)
+	}
+}
+
+func TestEveryPolicyHasName(t *testing.T) {
+	for _, k := range Kinds {
+		p := New(Config{Kind: k}, rng.New(1))
+		if p.Name() != k.String() {
+			t.Errorf("policy %v Name() = %q, want %q", k, p.Name(), k.String())
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 )
 
 // Event is one entry of the machine's structured event log: the
@@ -15,10 +16,12 @@ import (
 // transaction abort" a grep instead of a heisenbug hunt.
 type Event struct {
 	Cycle int64  `json:"cycle"`
-	Core  int    `json:"core"`
-	Kind  string `json:"kind"` // begin, commit, abort, conflict, fallback
+	Core  int    `json:"core"` // -1 on machine-wide watchdog events
+	Kind  string `json:"kind"` // begin, commit, abort, conflict, fallback, spurious, watchdog
 
-	// abort events
+	// abort events: the core.AbortReason name. spurious events: the
+	// fault.Kind name (interrupt/tlb/capacity-noise). watchdog events: the
+	// detection (livelock/starvation) or mitigation (boost).
 	Reason string `json:"reason,omitempty"`
 
 	// conflict events (holder's perspective; Core is the holder)
@@ -89,6 +92,24 @@ func (m *Machine) logConflict(c core.Conflict) {
 	})
 }
 
+// logSpurious records an injected environmental fault; the engine abort
+// it triggers follows as a separate "abort" event with reason "spurious".
+func (m *Machine) logSpurious(core int, k fault.Kind) {
+	if m.events == nil {
+		return
+	}
+	m.events.emit(Event{Cycle: m.now, Core: core, Kind: "spurious", Reason: k.String()})
+}
+
+// logWatchdog records a watchdog detection or mitigation. core is -1 for
+// machine-wide (livelock) events.
+func (m *Machine) logWatchdog(core int, what string) {
+	if m.events == nil {
+		return
+	}
+	m.events.emit(Event{Cycle: m.now, Core: core, Kind: "watchdog", Reason: what})
+}
+
 // logFallback records a serial-lock acquisition.
 func (m *Machine) logFallback(core int) {
 	if m.events == nil {
@@ -126,17 +147,22 @@ func DecodeEvents(r io.Reader) ([]Event, error) {
 // (line, type, false) and abort counts per reason.
 type EventStats struct {
 	Begins, Commits, Aborts, Fallbacks int
+	Spurious                           int
 	ConflictsByLine                    map[uint64]int
 	FalseByLine                        map[uint64]int
 	AbortsByReason                     map[string]int
+	SpuriousByKind                     map[string]int
+	WatchdogByReason                   map[string]int
 }
 
 // SummarizeEvents folds an event slice into EventStats.
 func SummarizeEvents(events []Event) *EventStats {
 	s := &EventStats{
-		ConflictsByLine: make(map[uint64]int),
-		FalseByLine:     make(map[uint64]int),
-		AbortsByReason:  make(map[string]int),
+		ConflictsByLine:  make(map[uint64]int),
+		FalseByLine:      make(map[uint64]int),
+		AbortsByReason:   make(map[string]int),
+		SpuriousByKind:   make(map[string]int),
+		WatchdogByReason: make(map[string]int),
 	}
 	for _, e := range events {
 		switch e.Kind {
@@ -149,6 +175,11 @@ func SummarizeEvents(events []Event) *EventStats {
 			s.AbortsByReason[e.Reason]++
 		case "fallback":
 			s.Fallbacks++
+		case "spurious":
+			s.Spurious++
+			s.SpuriousByKind[e.Reason]++
+		case "watchdog":
+			s.WatchdogByReason[e.Reason]++
 		case "conflict":
 			s.ConflictsByLine[e.Line]++
 			if e.False {

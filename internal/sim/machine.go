@@ -19,8 +19,10 @@ import (
 	"repro/internal/cache"
 	"repro/internal/coherence"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/oracle"
+	"repro/internal/retry"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -34,6 +36,20 @@ type Config struct {
 	Backoff    backoff.Config        // §V-A exponential backoff manager
 	MaxRetries int                   // attempts before the serial-lock fallback (best-effort HTM escape hatch)
 	Seed       uint64
+
+	// Fault configures deterministic spurious-abort injection (zero value:
+	// no faults; runs are then bit-identical to a build without the
+	// subsystem).
+	Fault fault.Config
+
+	// Retry selects the retry/fallback policy. The zero value is the
+	// Exponential policy with this config's Backoff curve and MaxRetries
+	// cap — exactly the pre-policy behaviour.
+	Retry retry.Config
+
+	// Watchdog configures the livelock/starvation watchdog (zero Window:
+	// off).
+	Watchdog WatchdogConfig
 
 	// MaxCycles aborts the simulation with an error if the clock passes
 	// it — a watchdog against workload bugs that spin forever (0 = off).
@@ -106,6 +122,16 @@ type Machine struct {
 	txStartedCum uint64
 	falseCum     uint64
 
+	// Watchdog progress/abort accounting.
+	progressCum uint64 // atomic blocks completed (commit, user abort or fallback)
+	abortCum    uint64 // engine aborts, any reason
+	wd          watchdogState
+
+	// ledger is the progress oracle: it independently re-derives the
+	// exactly-once completion contract from the Launch/Complete stream and
+	// fails the run if a retry-policy or watchdog bug violates it.
+	ledger *oracle.Ledger
+
 	events   *eventLog
 	recorder *trace.Writer
 
@@ -136,6 +162,15 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 64
 	}
+	if err := cfg.Fault.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := cfg.Retry.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := cfg.Watchdog.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	if cfg.CommitCycles <= 0 {
 		cfg.CommitCycles = 12
 	}
@@ -155,12 +190,14 @@ func NewMachine(cfg Config) (*Machine, error) {
 			SubBlocks:      cfg.Core.Granules(),
 			Threads:        cfg.Cores,
 			Seed:           cfg.Seed,
+			RetryPolicy:    cfg.Retry.Kind.String(),
 			FootprintLines: stats.NewHistogram(),
 			RetryChains:    stats.NewHistogram(),
 		},
 	}
 	m.alloc = mem.NewAllocator(m.geom, mem.Addr(m.geom.LineSize))
 	m.bus.SetSubBlocks(cfg.Core.Granules())
+	m.ledger = oracle.NewLedger(cfg.Cores)
 
 	if cfg.EventLog != nil {
 		m.events = newEventLog(cfg.EventLog)
@@ -184,9 +221,13 @@ func NewMachine(cfg Config) (*Machine, error) {
 		}
 	}
 
+	if cfg.Watchdog.Window > 0 {
+		m.wd.windowEnd = cfg.Watchdog.Window
+	}
+
 	hooks := core.Hooks{
 		OnConflict: m.onConflict,
-		OnAbort:    m.logAbort,
+		OnAbort:    m.onAbort,
 	}
 	if cfg.TraceOffsets || len(cfg.WatchLines) > 0 {
 		hooks.OnSpecAccess = m.onSpecAccess
@@ -261,6 +302,13 @@ func (m *Machine) onSpecAccess(_ int, line mem.LineAddr, off, _ int, _ bool) {
 			h.Add(off)
 		}
 	}
+}
+
+// onAbort counts engine aborts for the watchdog and forwards to the event
+// log.
+func (m *Machine) onAbort(coreID int, reason core.AbortReason) {
+	m.abortCum++
+	m.logAbort(coreID, reason)
 }
 
 // noteTxStart ticks the started-transaction series.
@@ -349,6 +397,15 @@ func (m *Machine) Execute(w Workload) (*stats.Run, error) {
 
 	w.Setup(m)
 
+	// The retry policy inherits the machine's MaxRetries cap and backoff
+	// curve unless its config overrides them.
+	rc := m.cfg.Retry
+	if rc.MaxRetries == 0 {
+		rc.MaxRetries = m.cfg.MaxRetries
+	}
+	if rc.Backoff == (backoff.Config{}) {
+		rc.Backoff = m.cfg.Backoff
+	}
 	for i := 0; i < m.cfg.Cores; i++ {
 		t := &Thread{
 			id:     i,
@@ -360,7 +417,16 @@ func (m *Machine) Execute(w Workload) (*stats.Run, error) {
 			// artificial time-zero convoy on the first shared structure.
 			wake: int64(i) * 37,
 		}
-		t.bo = backoff.New(m.cfg.Backoff, t.rng.Fork(0xb0ff))
+		t.lastProgress = t.wake
+		// The policy takes over the rng stream the backoff manager used to
+		// own, so the default Exponential policy reproduces pre-policy runs
+		// bit-for-bit. The fault fork is gated: rng.Fork consumes a draw
+		// from the parent stream, so an unconditional fork would shift
+		// every fault-free run.
+		t.policy = retry.New(rc, t.rng.Fork(0xb0ff))
+		if m.cfg.Fault.Enabled() {
+			t.fault = fault.New(m.cfg.Fault, t.rng.Fork(0xfa17))
+		}
 		m.threads = append(m.threads, t)
 	}
 	for _, t := range m.threads {
@@ -372,6 +438,9 @@ func (m *Machine) Execute(w Workload) (*stats.Run, error) {
 	}
 
 	m.aggregate()
+	if err := m.ledger.Check(); err != nil {
+		return m.run, fmt.Errorf("sim: %w", err)
+	}
 	if err := w.Validate(m); err != nil {
 		return m.run, fmt.Errorf("sim: workload %s failed validation: %w", w.Name(), err)
 	}
@@ -391,6 +460,14 @@ func (m *Machine) schedule() error {
 			}
 			if next == nil || t.wake < next.wake || (t.wake == next.wake && t.id < next.id) {
 				next = t
+			}
+		}
+		// Watchdog windows close strictly between ops: every boundary up to
+		// the next resume time is processed before the thread runs.
+		if w := m.cfg.Watchdog.Window; w > 0 {
+			for next.wake >= m.wd.windowEnd {
+				m.watchdogTick(m.wd.windowEnd)
+				m.wd.windowEnd += w
 			}
 		}
 		if m.cfg.MaxCycles > 0 && next.wake > m.cfg.MaxCycles {
@@ -443,11 +520,21 @@ func (m *Machine) aggregate() {
 		r.SpecLoads += s.SpecLoads
 		r.SpecStores += s.SpecStores
 	}
+	var minDone, maxDone uint64
+	activeThreads := 0
 	for _, t := range m.threads {
 		r.TxLaunched += t.launched
 		r.Retries += t.retries
 		r.Fallbacks += t.fallbacks
+		r.FallbacksEarly += t.fallbacksEarly
+		r.BlocksCommitted += t.blocksCommitted
+		r.BlocksUserAborted += t.blocksUserAborted
 		r.ValidationChecks += t.valChecks
+		for k, n := range t.spuriousBy {
+			if k < len(r.SpuriousBy) {
+				r.SpuriousBy[k] += n
+			}
+		}
 		r.CyclesNonTx += t.bucketTime[bucketNonTx]
 		r.CyclesInTx += t.bucketTime[bucketTx]
 		r.CyclesInBackoff += t.bucketTime[bucketBackoff]
@@ -457,6 +544,22 @@ func (m *Machine) aggregate() {
 		if t.wake > r.Cycles {
 			r.Cycles = t.wake
 		}
+		if t.launched > 0 {
+			d := t.blocksDone()
+			if activeThreads == 0 || d < minDone {
+				minDone = d
+			}
+			if activeThreads == 0 || d > maxDone {
+				maxDone = d
+			}
+			activeThreads++
+		}
+	}
+	r.SpuriousAborts = r.AbortsBy[core.ReasonSpurious]
+	// StarvationIndex: imbalance of completed blocks across the threads
+	// that entered any (1 - min/max; 0 = perfectly balanced).
+	if activeThreads > 1 && maxDone > 0 {
+		r.StarvationIndex = 1 - float64(minDone)/float64(maxDone)
 	}
 	bs := m.bus.Stats
 	r.ProbesShared = bs.ProbesShared

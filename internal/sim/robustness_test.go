@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/mem"
+	"repro/internal/retry"
+)
+
+// pingPongWorkload is the canonical requester-wins livelock generator: two
+// threads update the same two lines in OPPOSITE order with computation in
+// between, so each thread's first store lands on the line the other
+// thread speculatively owns and (requester wins) kills its attempt. With
+// no backoff and no fallback neither thread can ever commit.
+type pingPongWorkload struct {
+	rounds int
+	a, b   mem.Addr
+}
+
+func (w *pingPongWorkload) Name() string        { return "pingpong" }
+func (w *pingPongWorkload) Description() string { return "adversarial opposite-order updates" }
+func (w *pingPongWorkload) Setup(m *Machine) {
+	w.a = m.Alloc().AllocLine(8)
+	w.b = m.Alloc().AllocLine(8)
+}
+func (w *pingPongWorkload) Run(t *Thread) {
+	first, second := w.a, w.b
+	if t.ID()%2 == 1 {
+		first, second = w.b, w.a
+	}
+	for i := 0; i < w.rounds; i++ {
+		t.Atomic(func(tx *Tx) {
+			tx.Store(first, 8, tx.Load(first, 8)+1)
+			tx.Work(400)
+			tx.Store(second, 8, tx.Load(second, 8)+1)
+			tx.Work(400)
+		})
+	}
+}
+func (w *pingPongWorkload) Validate(m *Machine) error {
+	want := uint64(w.rounds * m.Threads())
+	for _, addr := range []mem.Addr{w.a, w.b} {
+		if got := m.Memory().LoadUint(addr, 8); got != want {
+			return fmt.Errorf("counter @%d = %d, want %d", addr, got, want)
+		}
+	}
+	return nil
+}
+
+// pingPongConfig is the adversarial setup: immediate retries (no backoff
+// desynchronization) and an unreachable hard cap (no fallback rescue).
+func pingPongConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Cores = 2
+	cfg.MaxRetries = 1 << 30
+	cfg.Retry = retry.Config{Kind: retry.Immediate, MaxRetries: 1 << 30}
+	cfg.Watchdog.Window = 20_000
+	return cfg
+}
+
+func TestWatchdogDetectsRequesterWinsLivelock(t *testing.T) {
+	cfg := pingPongConfig()
+	cfg.MaxCycles = 400_000
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Execute(&pingPongWorkload{rounds: 3})
+	if err == nil {
+		t.Fatal("adversarial ping-pong completed under immediate retries; expected livelock")
+	}
+	if r.LivelockWindows == 0 {
+		t.Fatal("watchdog saw no livelock window in a livelocked run")
+	}
+	// Detection must fire within the FIRST full window of the livelock:
+	// nearly every window of the run shows aborts and zero completions.
+	if min := uint64(cfg.MaxCycles/cfg.Watchdog.Window) - 2; r.LivelockWindows < min {
+		t.Fatalf("only %d livelock windows over %d cycles (want >= %d)",
+			r.LivelockWindows, cfg.MaxCycles, min)
+	}
+	if r.StarvationAlerts == 0 {
+		t.Fatal("livelocked threads never reported as starving")
+	}
+}
+
+func TestAdaptivePolicyBreaksLivelock(t *testing.T) {
+	cfg := pingPongConfig()
+	cfg.MaxCycles = 2_000_000
+	cfg.Retry = retry.Config{Kind: retry.AdaptiveSerialize, MaxRetries: 1 << 30, SerializeAfter: 4}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &pingPongWorkload{rounds: 3}
+	r, err := m.Execute(w)
+	if err != nil {
+		t.Fatalf("adaptive policy failed to break the livelock: %v", err)
+	}
+	if r.FallbacksEarly == 0 {
+		t.Fatal("adaptive policy completed without any early demotion")
+	}
+	if want := uint64(w.rounds * cfg.Cores); r.BlocksCommitted != want {
+		t.Fatalf("blocks committed = %d, want %d", r.BlocksCommitted, want)
+	}
+	if r.LivelockWindows == 0 {
+		t.Log("note: demotion fired before a full livelock window elapsed")
+	}
+}
+
+func TestWatchdogMitigationBreaksLivelock(t *testing.T) {
+	cfg := pingPongConfig()
+	cfg.MaxCycles = 2_000_000
+	cfg.Watchdog.Mitigate = true
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &pingPongWorkload{rounds: 3}
+	r, err := m.Execute(w)
+	if err != nil {
+		t.Fatalf("watchdog mitigation failed to break the livelock: %v", err)
+	}
+	if r.WatchdogBoosts == 0 {
+		t.Fatal("run completed without any boost — not the mitigation's doing")
+	}
+	if want := uint64(w.rounds * cfg.Cores); r.BlocksCommitted != want {
+		t.Fatalf("blocks committed = %d, want %d", r.BlocksCommitted, want)
+	}
+}
+
+func TestSpuriousAbortAccounting(t *testing.T) {
+	var events bytes.Buffer
+	cfg := testConfig(core.ModeBaseline)
+	cfg.Fault = fault.Config{InterruptRate: 2e-4, TLBRate: 0.02, CapacityNoiseRate: 0.1}
+	cfg.EventLog = &events
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Execute(&counterWorkload{n: 200})
+	if err != nil {
+		t.Fatalf("faulted run failed: %v", err)
+	}
+	if r.SpuriousAborts == 0 {
+		t.Fatal("no spurious aborts delivered at substantial rates")
+	}
+	var byKind uint64
+	for _, n := range r.SpuriousBy {
+		byKind += n
+	}
+	if byKind != r.SpuriousAborts {
+		t.Fatalf("SpuriousBy sums to %d, SpuriousAborts = %d", byKind, r.SpuriousAborts)
+	}
+	if r.AbortsBy[core.ReasonSpurious] != r.SpuriousAborts {
+		t.Fatalf("AbortsBy[spurious] = %d, SpuriousAborts = %d",
+			r.AbortsBy[core.ReasonSpurious], r.SpuriousAborts)
+	}
+	// Every block still completes exactly once under fire.
+	if r.BlocksCommitted != r.TxLaunched {
+		t.Fatalf("blocks committed %d != launched %d", r.BlocksCommitted, r.TxLaunched)
+	}
+
+	// The event log must carry the spurious stream: each injection is a
+	// "spurious" event followed by an engine abort with reason "spurious".
+	evs, err := DecodeEvents(&events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := SummarizeEvents(evs)
+	if uint64(s.Spurious) != r.SpuriousAborts {
+		t.Fatalf("event log has %d spurious events, run counted %d", s.Spurious, r.SpuriousAborts)
+	}
+	if s.AbortsByReason["spurious"] != s.Spurious {
+		t.Fatalf("%d spurious events but %d spurious-reason aborts",
+			s.Spurious, s.AbortsByReason["spurious"])
+	}
+	for _, k := range fault.Kinds {
+		if uint64(s.SpuriousByKind[k.String()]) != r.SpuriousBy[k] {
+			t.Fatalf("kind %v: event log %d, run %d", k, s.SpuriousByKind[k.String()], r.SpuriousBy[k])
+		}
+	}
+}
+
+func TestFaultedRunIsDeterministic(t *testing.T) {
+	run := func() (*bytes.Buffer, uint64) {
+		var events bytes.Buffer
+		cfg := testConfig(core.ModeSubBlock)
+		cfg.Fault = fault.Config{InterruptRate: 1e-4, TLBRate: 0.01, CapacityNoiseRate: 0.05}
+		cfg.Watchdog.Window = 50_000
+		cfg.EventLog = &events
+		m, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Execute(&counterWorkload{n: 150})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &events, r.SpuriousAborts
+	}
+	log1, sp1 := run()
+	log2, sp2 := run()
+	if sp1 != sp2 || !bytes.Equal(log1.Bytes(), log2.Bytes()) {
+		t.Fatalf("same seed, diverging faulted runs: %d vs %d spurious, logs equal=%v",
+			sp1, sp2, bytes.Equal(log1.Bytes(), log2.Bytes()))
+	}
+	if sp1 == 0 {
+		t.Fatal("determinism check vacuous: no spurious aborts fired")
+	}
+}
+
+func TestPassiveWatchdogCountsNothingOnHealthyRun(t *testing.T) {
+	cfg := testConfig(core.ModeBaseline)
+	cfg.Watchdog.Window = 10_000
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Execute(&counterWorkload{n: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LivelockWindows != 0 || r.WatchdogBoosts != 0 {
+		t.Fatalf("healthy run tripped the watchdog: livelock=%d boosts=%d",
+			r.LivelockWindows, r.WatchdogBoosts)
+	}
+}

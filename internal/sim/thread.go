@@ -3,9 +3,10 @@ package sim
 import (
 	"fmt"
 
-	"repro/internal/backoff"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/mem"
+	"repro/internal/retry"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -16,11 +17,12 @@ import (
 // simulated time and yields to the scheduler, which is what produces the
 // deterministic timestamp-ordered interleaving.
 type Thread struct {
-	id  int
-	m   *Machine
-	eng *core.Engine
-	rng *rng.Rand
-	bo  *backoff.Manager
+	id     int
+	m      *Machine
+	eng    *core.Engine
+	rng    *rng.Rand
+	policy retry.Policy
+	fault  *fault.Injector // nil unless fault injection is enabled
 
 	wake     int64 // earliest time this thread may run again
 	resume   chan struct{}
@@ -42,7 +44,20 @@ type Thread struct {
 	maxRetry  int
 	fallbacks uint64 // atomic blocks completed under the serial lock
 	valChecks uint64 // commit-time value validations (ModeWAROnly)
+
+	// Robustness bookkeeping.
+	blocksCommitted   uint64 // blocks completed by commit (speculative or fallback)
+	blocksUserAborted uint64 // blocks completed by a user abort
+	fallbacksEarly    uint64 // fallbacks demanded by the policy before the hard cap
+	spuriousBy        [fault.NumKinds]uint64
+	faultMark         int64 // simulated time of the last fault poll this attempt
+	lastProgress      int64 // simulated time the last block completed (watchdog)
+	starveAlerted     bool  // starvation alert raised for the current episode
 }
+
+// blocksDone returns the atomic blocks this thread has completed, by
+// either outcome.
+func (t *Thread) blocksDone() uint64 { return t.blocksCommitted + t.blocksUserAborted }
 
 // ID returns the thread (== core) id.
 func (t *Thread) ID() int { return t.id }
@@ -155,9 +170,11 @@ type txAbort struct {
 	user bool // raised by Tx.Abort rather than the engine
 }
 
-// Atomic executes body as one transaction. Conflict and capacity aborts
-// retry with exponential backoff; after cfg.MaxRetries failed attempts the
-// body runs under a global serial lock (ASF is best-effort, so the
+// Atomic executes body as one transaction. Machine aborts (conflict,
+// capacity, spurious fault, quash) retry under the configured retry
+// policy (default: §V-A exponential backoff); when the policy demands a
+// fallback — at the hard MaxRetries cap, or earlier for adaptive policies
+// — the body runs under a global serial lock (ASF is best-effort, so the
 // software library must provide a completion guarantee) — acquiring the
 // lock quashes all in-flight transactions, and no transaction starts while
 // the lock is held.
@@ -172,19 +189,28 @@ type txAbort struct {
 // only after Atomic returns true.
 func (t *Thread) Atomic(body func(tx *Tx)) bool {
 	t.launched++
+	t.m.ledger.Launch(t.id)
 	retries := 0
 	for {
-		if retries > t.m.cfg.MaxRetries {
+		if fb, early := t.policy.Fallback(retries); fb {
+			if early {
+				t.fallbacksEarly++
+			}
 			t.bucket = bucketTx
 			ok := t.runFallback(body)
 			t.bucket = bucketNonTx
+			t.policy.NoteFallback()
 			t.m.run.RetryChains.Add(retries + 1)
+			t.noteBlockDone(ok)
 			return ok
 		}
+		t.waitBoost()
 		t.waitLockFree()
 		t.bucket = bucketTx
 		t.eng.BeginTx()
 		t.m.noteTxStart(t.id)
+		t.fault.BeginAttempt()
+		t.faultMark = t.wake
 		// Subscribe to the serial-fallback lock: the transactional read
 		// both (a) closes the race where the lock is taken between
 		// waitLockFree and BeginTx — the value read is then non-zero and
@@ -207,14 +233,20 @@ func (t *Thread) Atomic(body func(tx *Tx)) bool {
 		committed, userAbort := t.attempt(tx, body, &fpLines)
 		if committed {
 			t.bucket = bucketNonTx
+			t.policy.NoteCommit()
 			t.m.run.RetryChains.Add(retries + 1)
 			t.m.run.FootprintLines.Add(fpLines)
+			t.noteBlockDone(true)
 			return true
 		}
 		if userAbort {
 			t.bucket = bucketNonTx
 			tx.flushTrace(false)
+			// A user abort is a voluntary completion, not contention: the
+			// policy treats it like a commit.
+			t.policy.NoteCommit()
 			t.m.run.RetryChains.Add(retries + 1)
+			t.noteBlockDone(false)
 			return false
 		}
 		retries++
@@ -222,8 +254,36 @@ func (t *Thread) Atomic(body func(tx *Tx)) bool {
 		if retries > t.maxRetry {
 			t.maxRetry = retries
 		}
+		t.policy.NoteAbort()
 		t.bucket = bucketBackoff
-		t.step(t.m.cfg.AbortCycles + t.bo.Delay(retries))
+		t.step(t.m.cfg.AbortCycles + t.policy.Delay(retries))
+		t.bucket = bucketNonTx
+	}
+}
+
+// noteBlockDone records an atomic-block completion (commit or user abort)
+// for the per-thread counters and the watchdog's progress tracking.
+func (t *Thread) noteBlockDone(committed bool) {
+	t.m.ledger.Complete(t.id, committed)
+	if committed {
+		t.blocksCommitted++
+	} else {
+		t.blocksUserAborted++
+	}
+	t.m.noteProgress(t)
+}
+
+// waitBoost defers a new transaction attempt while the watchdog has
+// boosted a starving thread (and it is not this one). The stall is
+// bounded by the boost window.
+func (t *Thread) waitBoost() {
+	for {
+		until, mustDefer := t.m.boostFor(t.id)
+		if !mustDefer || t.wake >= until {
+			return
+		}
+		t.bucket = bucketBackoff
+		t.step(until - t.wake)
 		t.bucket = bucketNonTx
 	}
 }
@@ -353,6 +413,27 @@ func (t *Thread) runFallback(body func(tx *Tx)) bool {
 	t.Store(t.m.lockAddr, 8, 0)
 	t.noRecord = false
 	return !userAborted
+}
+
+// pollFault delivers any injected environmental fault due at this point
+// of the running speculative attempt. The cycles elapsed since the
+// previous poll feed the per-cycle interrupt hazard; access marks memory
+// operations for the TLB hazard. No-op (one nil compare) when fault
+// injection is off.
+func (t *Thread) pollFault(access bool) {
+	if t.fault == nil {
+		return
+	}
+	elapsed := t.wake - t.faultMark
+	t.faultMark = t.wake
+	k, hit := t.fault.OnOp(elapsed, access)
+	if !hit {
+		return
+	}
+	t.spuriousBy[k]++
+	t.m.logSpurious(t.id, k)
+	t.eng.Abort(core.ReasonSpurious)
+	panic(txAbort{})
 }
 
 // checkAbort panics with txAbort when the engine has aborted the running

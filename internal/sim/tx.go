@@ -56,6 +56,7 @@ func (tx *Tx) Load(a mem.Addr, size int) uint64 {
 		t.step(r.Latency)
 		return v
 	}
+	t.pollFault(true)
 	r := t.eng.Load(a, size, true)
 	if r.CapacityAbort {
 		panic(txAbort{})
@@ -85,6 +86,7 @@ func (tx *Tx) Store(a mem.Addr, size int, v uint64) {
 		t.step(r.Latency)
 		return
 	}
+	t.pollFault(true)
 	r := t.eng.Store(a, size, true)
 	if r.CapacityAbort {
 		panic(txAbort{})
@@ -104,6 +106,9 @@ func (tx *Tx) Store(a mem.Addr, size int, v uint64) {
 // Work models computation inside the transaction.
 func (tx *Tx) Work(cycles int64) {
 	tx.t.checkAbort()
+	if !tx.irrevocable {
+		tx.t.pollFault(false)
+	}
 	if cycles > 0 {
 		tx.traceOp(trace.Op{Kind: "work", Cycles: cycles})
 	}

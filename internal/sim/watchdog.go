@@ -1,0 +1,115 @@
+package sim
+
+import "fmt"
+
+// WatchdogConfig configures the machine's livelock/starvation watchdog.
+// The watchdog observes the scheduler at fixed windows of simulated time;
+// with Mitigate off it is purely passive (counters and "watchdog" events
+// only) and provably cannot perturb a run.
+type WatchdogConfig struct {
+	// Window is the observation window in cycles; 0 disables the watchdog.
+	Window int64
+
+	// Mitigate enables the progress guarantee: when a thread has starved
+	// for StarveWindows windows, the oldest such thread is boosted for one
+	// window — every other thread defers new transaction attempts until
+	// the boost expires, giving the victim a contention-free window.
+	Mitigate bool
+
+	// StarveWindows is how many windows a thread may sit inside one atomic
+	// block without completing it (while aborts occur machine-wide) before
+	// it is declared starving. 0 = default (4).
+	StarveWindows int64
+}
+
+// Validate rejects nonsensical configurations.
+func (c WatchdogConfig) Validate() error {
+	if c.Window < 0 {
+		return fmt.Errorf("watchdog: Window %d negative", c.Window)
+	}
+	if c.StarveWindows < 0 {
+		return fmt.Errorf("watchdog: StarveWindows %d negative", c.StarveWindows)
+	}
+	return nil
+}
+
+// watchdogState is the machine's per-run watchdog bookkeeping.
+type watchdogState struct {
+	windowEnd    int64  // end of the current observation window
+	lastProgress uint64 // progressCum at the previous window boundary
+	lastAborts   uint64 // abortCum at the previous window boundary
+
+	boostThread int   // thread currently boosted (valid while boostUntil > 0)
+	boostUntil  int64 // simulated time the boost expires; 0 = no boost yet
+}
+
+// watchdogTick runs at each window boundary (simulated time `at`), between
+// scheduler resumes, so it observes a consistent machine state.
+func (m *Machine) watchdogTick(at int64) {
+	m.now = at
+	dp := m.progressCum - m.wd.lastProgress
+	da := m.abortCum - m.wd.lastAborts
+	m.wd.lastProgress = m.progressCum
+	m.wd.lastAborts = m.abortCum
+
+	// Livelock: the whole machine aborted transactions all window long and
+	// completed not a single atomic block — the requester-wins ping-pong
+	// signature.
+	if dp == 0 && da > 0 {
+		m.run.LivelockWindows++
+		m.logWatchdog(-1, "livelock")
+	}
+
+	// Starvation: a thread stuck inside one atomic block for StarveWindows
+	// windows while aborts keep occurring. One alert per episode; the flag
+	// clears when the thread finally completes a block.
+	if da == 0 {
+		return
+	}
+	sw := m.cfg.Watchdog.StarveWindows
+	if sw <= 0 {
+		sw = 4
+	}
+	starveAge := sw * m.cfg.Watchdog.Window
+	var victim *Thread
+	for _, t := range m.threads {
+		if t.finished || t.launched == 0 || t.blocksDone() >= t.launched {
+			continue
+		}
+		if at-t.lastProgress < starveAge {
+			continue
+		}
+		if !t.starveAlerted {
+			t.starveAlerted = true
+			m.run.StarvationAlerts++
+			m.logWatchdog(t.id, "starvation")
+		}
+		if victim == nil || t.lastProgress < victim.lastProgress ||
+			(t.lastProgress == victim.lastProgress && t.id < victim.id) {
+			victim = t
+		}
+	}
+	if victim != nil && m.cfg.Watchdog.Mitigate && at >= m.wd.boostUntil {
+		m.wd.boostThread = victim.id
+		m.wd.boostUntil = at + m.cfg.Watchdog.Window
+		m.run.WatchdogBoosts++
+		m.logWatchdog(victim.id, "boost")
+	}
+}
+
+// boostFor reports whether thread id must defer its next transaction
+// attempt to a boosted starving thread, and until when.
+func (m *Machine) boostFor(id int) (int64, bool) {
+	if m.wd.boostUntil == 0 || id == m.wd.boostThread {
+		return 0, false
+	}
+	return m.wd.boostUntil, true
+}
+
+// noteProgress records the completion of one atomic block (by commit, user
+// abort or fallback) for the watchdog's progress accounting.
+func (m *Machine) noteProgress(t *Thread) {
+	m.progressCum++
+	t.lastProgress = t.wake
+	t.starveAlerted = false
+}

@@ -35,10 +35,22 @@ type Run struct {
 	TxLaunched   uint64 // distinct atomic blocks entered (first attempts)
 	TxCommitted  uint64
 	TxAborted    uint64
-	AbortsBy     [6]uint64 // by core.AbortReason ordinal (none/conflict/capacity/user/lock/validation)
+	AbortsBy     [7]uint64 // by core.AbortReason ordinal (none/conflict/capacity/user/lock/validation/spurious)
 	Retries      uint64    // total retry attempts (TxStarted - TxLaunched)
 	MaxRetrySeen int
 	Fallbacks    uint64 // transactions that gave up and took the global lock
+
+	// Robustness subsystem (fault injection, retry policies, watchdog).
+	RetryPolicy       string    // name of the retry/fallback policy in effect
+	BlocksCommitted   uint64    // atomic blocks that completed by committing
+	BlocksUserAborted uint64    // atomic blocks that completed via a user abort
+	SpuriousAborts    uint64    // injected environmental aborts (= AbortsBy[spurious])
+	SpuriousBy        [3]uint64 // by fault.Kind ordinal (interrupt/tlb/capacity-noise)
+	FallbacksEarly    uint64    // fallbacks taken before the MaxRetries cap (adaptive demotion)
+	LivelockWindows   uint64    // watchdog windows with aborts but zero completions
+	StarvationAlerts  uint64    // per-thread starvation detections
+	WatchdogBoosts    uint64    // mitigation grants (one starving thread boosted per grant)
+	StarvationIndex   float64   // 1 - min/max of per-thread block completions (0 = balanced)
 
 	Conflicts      uint64
 	FalseConflicts uint64
