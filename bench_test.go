@@ -46,6 +46,35 @@ func BenchmarkWorkload(b *testing.B) {
 	}
 }
 
+// BenchmarkMatrixCollect measures the full experiment matrix (every
+// workload × every detection system × one seed) at each parallelism level:
+// serial, and the worker pool at GOMAXPROCS. The results are bit-identical
+// (see harness.TestParallelMatchesSerial); only wall-clock changes, so the
+// serial/parallel ns/op ratio IS the matrix speedup on this machine.
+func BenchmarkMatrixCollect(b *testing.B) {
+	for _, bc := range []struct {
+		name        string
+		parallelism int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // 0 = GOMAXPROCS
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := harness.Options{
+					Scale:       workloads.ScaleTiny,
+					Seeds:       []uint64{benchSeed},
+					Cores:       8,
+					Parallelism: bc.parallelism,
+				}
+				if _, err := harness.Collect(opts, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFig1FalseConflictRate regenerates Figure 1: the baseline ASF
 // false-conflict rate per benchmark.
 func BenchmarkFig1FalseConflictRate(b *testing.B) {

@@ -23,12 +23,13 @@ import (
 
 func main() {
 	var (
-		fig   = flag.Int("fig", 0, "trace figure to print (3, 4 or 5); 0 = all")
-		scale = flag.String("scale", "small", "workload scale: tiny, small, medium")
-		seed  = flag.Uint64("seed", 1, "simulation seed")
-		cores = flag.Int("cores", 8, "simulated cores")
-		wls   = flag.String("workloads", "", "comma-separated workloads (default: the paper's four)")
-		top   = flag.Int("top", 20, "lines shown in the Fig 4 histogram")
+		fig      = flag.Int("fig", 0, "trace figure to print (3, 4 or 5); 0 = all")
+		scale    = flag.String("scale", "small", "workload scale: tiny, small, medium")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		cores    = flag.Int("cores", 8, "simulated cores")
+		wls      = flag.String("workloads", "", "comma-separated workloads (default: the paper's four)")
+		top      = flag.Int("top", 20, "lines shown in the Fig 4 histogram")
+		parallel = flag.Int("parallel", 0, "workloads traced concurrently (0 = GOMAXPROCS, 1 = serial); output is identical either way")
 	)
 	flag.Parse()
 
@@ -49,12 +50,12 @@ func main() {
 		names = strings.Split(*wls, ",")
 	}
 
-	for _, wl := range names {
-		r, err := harness.Trace(wl, sc, *seed, *cores)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "asftrace: %s: %v\n", wl, err)
-			os.Exit(1)
-		}
+	runs, err := harness.CollectTraces(names, sc, *seed, *cores, *parallel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asftrace: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range runs {
 		if *fig == 0 || *fig == 3 {
 			fmt.Println(harness.Fig3(r, 20))
 			fmt.Println()

@@ -1,0 +1,128 @@
+// Command benchjson runs the BenchmarkWorkload suite (one full baseline
+// simulation of every workload at the benchmark scale) through
+// testing.Benchmark and writes the results as a machine-readable JSON
+// file — the repository's performance trajectory. Each entry records
+// wall-time (ns/op), allocation churn (allocs/op, B/op) and the run's
+// deterministic simulated cycle count, so simulator-performance changes
+// and accidental result changes are both visible in one diff.
+//
+// Usage:
+//
+//	benchjson                 # writes BENCH_<yyyy-mm-dd>.json
+//	benchjson -o BENCH.json   # explicit output path
+//	benchjson -o -            # JSON to stdout
+//
+// The committed BENCH_*.json baselines are produced by exactly this
+// command; see EXPERIMENTS.md "Performance".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	asfsim "repro"
+)
+
+// benchSeed matches the root bench_test.go suite so the simcycles counts
+// here and there are the same deterministic numbers.
+const benchSeed = 1
+
+// WorkloadResult is one workload's benchmark entry.
+type WorkloadResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	// SimCycles is the run's simulated execution time — a pure function of
+	// (workload, scale, seed, detection), so any change here is a result
+	// change, not a performance change.
+	SimCycles int64 `json:"simCycles"`
+}
+
+// File is the BENCH_<date>.json schema.
+type File struct {
+	Date       string           `json:"date"`
+	GoVersion  string           `json:"goVersion"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Scale      string           `json:"scale"`
+	Seed       uint64           `json:"seed"`
+	Detection  string           `json:"detection"`
+	Workloads  []WorkloadResult `json:"workloads"`
+}
+
+func main() {
+	out := flag.String("o", "", `output path ("-" = stdout; default BENCH_<yyyy-mm-dd>.json)`)
+	flag.Parse()
+
+	f := File{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      asfsim.ScaleTiny.String(),
+		Seed:       benchSeed,
+		Detection:  asfsim.DetectBaseline.String(),
+	}
+
+	for _, wl := range asfsim.Workloads() {
+		var cycles int64
+		var failure error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := asfsim.DefaultConfig()
+				cfg.Detection = asfsim.DetectBaseline
+				cfg.Seed = benchSeed
+				r, err := asfsim.Run(wl, asfsim.ScaleTiny, cfg)
+				if err != nil {
+					failure = err
+					b.FailNow()
+				}
+				cycles = r.Cycles
+			}
+		})
+		if failure != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", wl, failure)
+			os.Exit(1)
+		}
+		f.Workloads = append(f.Workloads, WorkloadResult{
+			Name:        wl,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			SimCycles:   cycles,
+		})
+		fmt.Fprintf(os.Stderr, "benchjson: %-14s %12.0f ns/op %10d allocs/op %10d simcycles\n",
+			wl, float64(res.T.Nanoseconds())/float64(res.N), res.AllocsPerOp(), cycles)
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", f.Date)
+	}
+	w := os.Stdout
+	if path != "-" {
+		var err error
+		w, err = os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer w.Close()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if path != "-" {
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", path)
+	}
+}

@@ -38,6 +38,7 @@ func main() {
 		seeds    = flag.Int("seeds", 3, "seeds per configuration (results averaged)")
 		cores    = flag.Int("cores", 8, "simulated cores")
 		wls      = flag.String("workloads", "", "comma-separated workload subset (default: all)")
+		parallel = flag.Int("parallel", 0, "matrix cells simulated concurrently (0 = GOMAXPROCS, 1 = serial); output is identical either way")
 	)
 	flag.Parse()
 
@@ -61,6 +62,7 @@ func main() {
 
 	opts := harness.DefaultOptions()
 	opts.Cores = *cores
+	opts.Parallelism = *parallel
 	opts.Seeds = nil
 	for i := 0; i < *seeds; i++ {
 		opts.Seeds = append(opts.Seeds, uint64(i+1))

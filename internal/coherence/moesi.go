@@ -87,8 +87,12 @@ type ConflictChecker interface {
 // WouldConflict runs the side-effect-free pre-check against every remote
 // snooper implementing ConflictChecker.
 func (b *Bus) WouldConflict(core int, line mem.LineAddr, off, size int, invalidating bool) bool {
+	targets := b.snoopTargets(line)
 	for c := 0; c < b.ncores; c++ {
 		if c == core || b.snoopers[c] == nil {
+			continue
+		}
+		if b.filterOn && targets&(1<<uint(c)) == 0 {
 			continue
 		}
 		if cc, ok := b.snoopers[c].(ConflictChecker); ok {
@@ -137,6 +141,7 @@ type Stats struct {
 	Writebacks        uint64 // dirty lines written back on eviction
 	PiggybackedMasks  uint64 // replies that carried a non-zero written mask
 	PiggybackBitsSent uint64 // total mask bits transferred (N per masked reply)
+	FilteredSnoops    uint64 // per-core probe deliveries elided by the snoop filter
 }
 
 // Bus is the broadcast snooping interconnect plus the per-core MOESI state
@@ -148,7 +153,18 @@ type Bus struct {
 	snoopers []Snooper
 	states   map[mem.LineAddr][]State
 	nsubs    int // sub-blocks per line, for piggyback accounting
-	Stats    Stats
+
+	// touched is the snoop-filter directory: bit c of touched[line] is set
+	// once core c has issued any bus transaction for line. The set is
+	// MONOTONE — bits are never cleared, even when every coherence copy is
+	// released — because a core may retain speculative state inside an
+	// invalidated line (§IV-D-2) long after its copy left the protocol,
+	// and that state must keep seeing probes. See EnableSnoopFilter for
+	// the soundness argument.
+	touched  map[mem.LineAddr]uint64
+	filterOn bool
+
+	Stats Stats
 }
 
 // NewBus creates a bus for ncores cores. Snoopers are registered afterwards
@@ -167,6 +183,45 @@ func NewBus(ncores int) *Bus {
 
 // Register installs the snooper for core id.
 func (b *Bus) Register(id int, s Snooper) { b.snoopers[id] = s }
+
+// EnableSnoopFilter turns on the ever-touched snoop filter: probe
+// broadcasts (and holder-wins pre-checks) skip cores that have never
+// issued a bus transaction for the probed line. This is protocol-invisible
+// and changes no detection result, because for such a core Snoop is a
+// complete no-op: it holds no coherence state for the line (only its own
+// Read/Write install one) and no speculative per-line state (markSpec and
+// piggyback marks only follow its own bus transactions), so the snoop
+// could neither conflict, reply with a mask, nor have housekeeping to do.
+//
+// The one detection scheme this reasoning does NOT cover is Bloom
+// signatures (core.ModeSignature): a signature can alias-hit on a line
+// the core never touched — that false conflict is part of the modeled
+// scheme and must fire. The machine therefore leaves the filter off for
+// signature runs. Buses with more than 64 cores exceed the directory's
+// bitmask width and silently keep the filter off.
+func (b *Bus) EnableSnoopFilter() {
+	if b.ncores > 64 {
+		return
+	}
+	b.filterOn = true
+	b.touched = make(map[mem.LineAddr]uint64)
+}
+
+// markTouched records core as a (past or present) toucher of line.
+func (b *Bus) markTouched(core int, line mem.LineAddr) {
+	if b.filterOn {
+		b.touched[line] |= 1 << uint(core)
+	}
+}
+
+// snoopTargets returns the bitmask of cores whose snoopers must see a
+// probe of line. Only meaningful when the filter is on (which implies
+// ncores <= 64, so every core has a bit); callers must check filterOn —
+// a `1 << c` test against an all-ones sentinel would silently drop cores
+// at c >= 64 because Go shifts past the width yield zero.
+func (b *Bus) snoopTargets(line mem.LineAddr) uint64 {
+	return b.touched[line]
+}
 
 // SetSubBlocks tells the bus how many sub-blocks a piggyback mask covers,
 // purely for the §IV-E traffic accounting.
@@ -229,13 +284,19 @@ func (b *Bus) Read(core int, line mem.LineAddr, off, size int, tx, force bool) R
 		// not call Read in this case; tolerate it for robustness.
 		return ReadResult{Source: SourceLocal}
 	}
+	b.markTouched(core, line)
 	b.Stats.ProbesShared++
 	// Broadcast the probe to every other core. Snoopers run conflict
 	// checks; an abort inside a snooper may Drop lines (including this
 	// one), so supplier selection happens after all snoops complete.
 	var mask uint64
+	targets := b.snoopTargets(line)
 	for c := 0; c < b.ncores; c++ {
 		if c == core || b.snoopers[c] == nil {
+			continue
+		}
+		if b.filterOn && targets&(1<<uint(c)) == 0 {
+			b.Stats.FilteredSnoops++
 			continue
 		}
 		r := b.snoopers[c].Snoop(Probe{
@@ -325,9 +386,15 @@ func (b *Bus) Write(core int, line mem.LineAddr, off, size int, tx bool) WriteRe
 		b.Stats.SilentStores++
 		return WriteResult{Source: SourceLocal, SilentUpgrade: true}
 	}
+	b.markTouched(core, line)
 	b.Stats.ProbesInvalidate++
+	targets := b.snoopTargets(line)
 	for c := 0; c < b.ncores; c++ {
 		if c == core || b.snoopers[c] == nil {
+			continue
+		}
+		if b.filterOn && targets&(1<<uint(c)) == 0 {
+			b.Stats.FilteredSnoops++
 			continue
 		}
 		b.snoopers[c].Snoop(Probe{

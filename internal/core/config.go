@@ -159,6 +159,12 @@ func (c *Config) Normalize() error {
 			return fmt.Errorf("core: invalid sub-block count %d for %d-byte lines",
 				c.SubBlocks, c.Geom.LineSize)
 		}
+		if c.SubBlocks > 64 {
+			// Per-granule state is packed into uint64 masks (engine.go)
+			// and the piggyback mask is a uint64 on the wire; more than
+			// 64 granules would silently truncate both.
+			return fmt.Errorf("core: sub-block count %d exceeds the 64-granule mask width", c.SubBlocks)
+		}
 	default:
 		return fmt.Errorf("core: unknown mode %v", c.Mode)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/cache"
 	"repro/internal/coherence"
@@ -59,49 +60,39 @@ type Stats struct {
 }
 
 // lineState is the speculative state attached to one L1 line (or retained
-// from an invalidated one).
+// from an invalidated one). The per-granule Table I states are packed as
+// two bitmasks — bit i of spec/wr is granule i's (SPEC, WR) pair — so the
+// conflict checks, gang clears and any-state predicates on the snoop hot
+// path are single bitwise operations instead of loops over a byte slice.
+// Granule counts are capped at 64 by Config.Normalize.
 type lineState struct {
-	sub      []SubState // one per granule (len 1 for baseline/perfect)
-	retained bool       // line is coherence-invalid but state was kept (§IV-D-2)
+	spec     uint64 // SPEC bit per granule (Table I)
+	wr       uint64 // WR bit per granule
+	retained bool   // line is coherence-invalid but state was kept (§IV-D-2)
 }
 
-func (ls *lineState) anySpec() bool {
-	for _, s := range ls.sub {
-		if s.Spec() {
-			return true
-		}
-	}
-	return false
-}
+func (ls *lineState) anySpec() bool      { return ls.spec != 0 }
+func (ls *lineState) anySpecWrite() bool { return ls.spec&ls.wr != 0 }
+func (ls *lineState) anyDirty() bool     { return ls.wr&^ls.spec != 0 }
 
-func (ls *lineState) anySpecWrite() bool {
-	for _, s := range ls.sub {
-		if s == SpecWrite {
-			return true
-		}
-	}
-	return false
-}
-
-func (ls *lineState) anyDirty() bool {
-	for _, s := range ls.sub {
-		if s == Dirty {
-			return true
-		}
-	}
-	return false
-}
+// dirtyMask returns the bitmask of Dirty granules (WR without SPEC).
+func (ls *lineState) dirtyMask() uint64 { return ls.wr &^ ls.spec }
 
 // writtenMask returns the bitmask of SpecWrite granules (the piggy-back
 // payload of §IV-D-1).
-func (ls *lineState) writtenMask() uint64 {
-	var m uint64
-	for i, s := range ls.sub {
-		if s == SpecWrite {
-			m |= 1 << uint(i)
-		}
-	}
-	return m
+func (ls *lineState) writtenMask() uint64 { return ls.spec & ls.wr }
+
+// get returns granule i's Table I state.
+func (ls *lineState) get(i int) SubState {
+	return SubState((ls.spec>>uint(i)&1)<<1 | ls.wr>>uint(i)&1)
+}
+
+// clearSpec gang-clears every speculative granule to Non-speculative
+// (commit/abort); Dirty marks — WR bits without SPEC — survive, as the
+// paper specifies.
+func (ls *lineState) clearSpec() {
+	ls.wr &^= ls.spec
+	ls.spec = 0
 }
 
 // Engine models one core's ASF speculative machinery. It implements
@@ -118,10 +109,23 @@ type Engine struct {
 
 	lines map[mem.LineAddr]*lineState
 
+	// lastLine/lastLS cache the most recent lines lookup: accesses arrive
+	// in same-line bursts (SplitByLine pieces, load-then-mark sequences),
+	// so one cached entry removes most map probes from the hot path.
+	lastLine mem.LineAddr
+	lastLS   *lineState
+
+	// splitBuf is the reusable scratch for SplitByLine in access().
+	// Engines are single-threaded and never re-enter their own access
+	// path (the bus broadcasts probes only to OTHER cores), so one
+	// buffer per engine is safe.
+	splitBuf []mem.Access
+
 	// Prior-work comparator state (§II): speculated-WAR lines awaiting
-	// commit-time value validation (ModeWAROnly), and the read/write Bloom
-	// signatures (ModeSignature).
-	unsafe            map[mem.LineAddr]bool
+	// commit-time value validation (ModeWAROnly, kept as a sorted slice —
+	// see priorwork.go), and the read/write Bloom signatures
+	// (ModeSignature).
+	unsafe            []mem.LineAddr
 	readSig, writeSig []uint64
 
 	inTx         bool
@@ -143,10 +147,7 @@ func NewEngine(id int, cfg Config, bus *coherence.Bus, hier *cache.Hierarchy, ho
 		hook:  hooks,
 		lines: make(map[mem.LineAddr]*lineState),
 	}
-	switch cfg.Mode {
-	case ModeWAROnly:
-		eng.unsafe = make(map[mem.LineAddr]bool)
-	case ModeSignature:
+	if cfg.Mode == ModeSignature {
 		eng.readSig = make([]uint64, cfg.SignatureBits/64)
 		eng.writeSig = make([]uint64, cfg.SignatureBits/64)
 	}
@@ -167,22 +168,46 @@ func (e *Engine) InTx() bool { return e.inTx }
 // the reason. The transaction runtime polls this after every operation.
 func (e *Engine) AbortPending() (bool, AbortReason) { return e.abortPending, e.abortReason }
 
-// state returns the lineState for l, creating it if create is set.
-func (e *Engine) state(l mem.LineAddr, create bool) *lineState {
+// lookup returns the lineState for l (nil if absent), consulting the
+// one-entry cache first.
+func (e *Engine) lookup(l mem.LineAddr) *lineState {
+	if e.lastLS != nil && e.lastLine == l {
+		return e.lastLS
+	}
 	ls := e.lines[l]
-	if ls == nil && create {
-		ls = &lineState{sub: make([]SubState, e.cfg.Granules())}
-		e.lines[l] = ls
+	if ls != nil {
+		e.lastLine, e.lastLS = l, ls
 	}
 	return ls
+}
+
+// state returns the lineState for l, creating it if create is set.
+func (e *Engine) state(l mem.LineAddr, create bool) *lineState {
+	ls := e.lookup(l)
+	if ls == nil && create {
+		ls = &lineState{}
+		e.lines[l] = ls
+		e.lastLine, e.lastLS = l, ls
+	}
+	return ls
+}
+
+// forget drops line l's state, keeping the lookup cache coherent.
+func (e *Engine) forget(l mem.LineAddr) {
+	delete(e.lines, l)
+	if e.lastLine == l {
+		e.lastLS = nil
+	}
 }
 
 // SubStates returns a copy of the per-granule states for line l (all
 // NonSpec when the engine holds no state). For tests and inspection.
 func (e *Engine) SubStates(l mem.LineAddr) []SubState {
 	out := make([]SubState, e.cfg.Granules())
-	if ls := e.lines[l]; ls != nil {
-		copy(out, ls.sub)
+	if ls := e.lookup(l); ls != nil {
+		for i := range out {
+			out[i] = ls.get(i)
+		}
 	}
 	return out
 }
@@ -190,7 +215,7 @@ func (e *Engine) SubStates(l mem.LineAddr) []SubState {
 // Retained reports whether line l's speculative state is being kept in a
 // coherence-invalidated line.
 func (e *Engine) Retained(l mem.LineAddr) bool {
-	ls := e.lines[l]
+	ls := e.lookup(l)
 	return ls != nil && ls.retained
 }
 
@@ -208,9 +233,7 @@ func (e *Engine) BeginTx() {
 	e.abortPending = false
 	e.abortReason = ReasonNone
 	e.fp.Reset()
-	for l := range e.unsafe {
-		delete(e.unsafe, l)
-	}
+	e.unsafe = e.unsafe[:0]
 	e.Stats.TxBegins++
 }
 
@@ -229,29 +252,22 @@ func (e *Engine) CommitTx() (ok bool, reason AbortReason) {
 		return false, e.abortReason
 	}
 	for l, ls := range e.lines {
-		changed := false
-		for i, s := range ls.sub {
-			if s.Spec() {
-				ls.sub[i] = NonSpec
-				changed = true
-			}
-		}
-		if changed {
+		if ls.anySpec() {
+			ls.clearSpec()
 			e.Stats.CommittedLines++
 		}
-		if ls.retained || (!ls.anyDirty() && !ls.anySpec()) {
+		if ls.retained || ls.wr == 0 {
 			// Retained-invalid entries carry only speculative state;
 			// once cleared there is nothing left to keep. Entries with
 			// no dirty bits are garbage too.
 			delete(e.lines, l)
 		}
 	}
+	e.lastLS = nil
 	if e.cfg.Mode == ModeSignature {
 		e.sigClear()
 	}
-	for l := range e.unsafe {
-		delete(e.unsafe, l)
-	}
+	e.unsafe = e.unsafe[:0]
 	e.inTx = false
 	e.Stats.TxCommits++
 	return true, ReasonNone
@@ -295,21 +311,16 @@ func (e *Engine) abortSelf(reason AbortReason) {
 			e.hier.Invalidate(l)
 			e.bus.Drop(e.id, l, true /* discard, no writeback */)
 		}
-		for i, s := range ls.sub {
-			if s.Spec() {
-				ls.sub[i] = NonSpec
-			}
-		}
+		ls.clearSpec()
 		if ls.retained || !ls.anyDirty() {
 			delete(e.lines, l)
 		}
 	}
+	e.lastLS = nil
 	if e.cfg.Mode == ModeSignature {
 		e.sigClear()
 	}
-	for l := range e.unsafe {
-		delete(e.unsafe, l)
-	}
+	e.unsafe = e.unsafe[:0]
 	if e.hook.OnAbort != nil {
 		e.hook.OnAbort(e.id, reason)
 	}
@@ -355,11 +366,13 @@ func (e *Engine) access(a mem.Addr, size int, tx, write bool) AccessResult {
 		// that outlives the attempt.
 		panic(fmt.Sprintf("core: core %d speculative access on aborted attempt", e.id))
 	}
+	e.splitBuf = e.cfg.Geom.SplitByLineInto(e.splitBuf, a, size)
+	pieces := e.splitBuf
 	var res AccessResult
 	if tx && e.cfg.Resolution == HolderWins {
 		// NACK pre-check: if any live remote transaction would conflict,
 		// refuse the whole access before any coherence transition.
-		for _, p := range e.cfg.Geom.SplitByLine(a, size) {
+		for _, p := range pieces {
 			if e.bus.WouldConflict(e.id, p.Line, p.Off, p.Size, write) {
 				e.Stats.Nacks++
 				res.Nacked = true
@@ -368,7 +381,7 @@ func (e *Engine) access(a mem.Addr, size int, tx, write bool) AccessResult {
 			}
 		}
 	}
-	for _, p := range e.cfg.Geom.SplitByLine(a, size) {
+	for _, p := range pieces {
 		var lat int64
 		var capAbort bool
 		if write {
@@ -393,7 +406,7 @@ func (e *Engine) access(a mem.Addr, size int, tx, write bool) AccessResult {
 // discard legitimate Dirty marks, silently disabling the §IV-C re-request
 // for the next transaction.)
 func (e *Engine) revalidate(l mem.LineAddr) {
-	if ls := e.lines[l]; ls != nil {
+	if ls := e.lookup(l); ls != nil {
 		ls.retained = false
 	}
 }
@@ -423,13 +436,13 @@ func (e *Engine) handleEvictions(ev cache.EvictionSet) (aborted bool) {
 			e.abortSelf(ReasonCapacity)
 			aborted = true
 		} else if !vs.anySpec() {
-			delete(e.lines, v)
+			e.forget(v)
 		}
 	}
 	for _, v := range ev.FromL3 {
 		e.bus.Drop(e.id, v, false)
 		if vs := e.lines[v]; vs != nil && !vs.retained && !vs.anySpec() {
-			delete(e.lines, v)
+			e.forget(v)
 		}
 	}
 	return aborted
@@ -446,17 +459,12 @@ func (e *Engine) loadPiece(p mem.Access, tx bool) (lat int64, capAbort bool) {
 		// Dirty sub-block must be treated as a local miss and re-request
 		// the line with a non-invalidating probe (§IV-C), which aborts a
 		// still-running remote writer.
-		dirtyHit := false
+		var spanDirty uint64
 		if e.cfg.DirtyProtocol && ls != nil {
 			first, last := e.cfg.Geom.SubBlockSpan(p.Off, p.Size, e.cfg.SubBlocks)
-			for i := first; i <= last; i++ {
-				if ls.sub[i] == Dirty {
-					dirtyHit = true
-					break
-				}
-			}
+			spanDirty = ls.dirtyMask() & mem.SpanMask(first, last)
 		}
-		if dirtyHit {
+		if spanDirty != 0 {
 			e.Stats.DirtyRereq++
 			rr := e.bus.Read(e.id, p.Line, p.Off, p.Size, tx, true /* force */)
 			lat = hc.BusLatency
@@ -467,15 +475,9 @@ func (e *Engine) loadPiece(p mem.Access, tx bool) (lat int64, capAbort bool) {
 			// sub-blocks become S-RD for transactional loads (§IV-D-1)
 			// or Non-speculative otherwise; fresh piggyback marks apply
 			// below as usual.
-			first, last := e.cfg.Geom.SubBlockSpan(p.Off, p.Size, e.cfg.SubBlocks)
-			for i := first; i <= last; i++ {
-				if ls.sub[i] == Dirty {
-					if tx {
-						ls.sub[i] = SpecRead
-					} else {
-						ls.sub[i] = NonSpec
-					}
-				}
+			ls.wr &^= spanDirty
+			if tx {
+				ls.spec |= spanDirty
 			}
 			e.applyPiggyback(p.Line, rr.WrittenMask)
 			e.hier.L1().Touch(p.Line)
@@ -505,7 +507,6 @@ func (e *Engine) loadPiece(p mem.Access, tx bool) (lat int64, capAbort bool) {
 		}
 		e.revalidate(p.Line)
 		e.applyPiggyback(p.Line, rr.WrittenMask)
-		ls = e.state(p.Line, false)
 	}
 
 	if tx {
@@ -548,14 +549,12 @@ func (e *Engine) storePiece(p mem.Access, tx bool) (lat int64, capAbort bool) {
 		e.revalidate(p.Line)
 	}
 
-	// A store overwrites any Dirty marks it covers: the local copy of
-	// those bytes is now our own (speculative or committed) data.
-	if ls := e.lines[p.Line]; ls != nil && e.cfg.Mode == ModeSubBlock {
-		first, last := e.cfg.Geom.SubBlockSpan(p.Off, p.Size, e.cfg.SubBlocks)
-		for i := first; i <= last; i++ {
-			if ls.sub[i] == Dirty && !tx {
-				ls.sub[i] = NonSpec
-			}
+	// A non-transactional store overwrites any Dirty marks it covers: the
+	// local copy of those bytes is now our own committed data.
+	if !tx && e.cfg.Mode == ModeSubBlock {
+		if ls := e.lookup(p.Line); ls != nil {
+			first, last := e.cfg.Geom.SubBlockSpan(p.Off, p.Size, e.cfg.SubBlocks)
+			ls.wr &^= ls.dirtyMask() & mem.SpanMask(first, last)
 		}
 	}
 
@@ -577,17 +576,17 @@ func (e *Engine) markSpec(p mem.Access, write bool) {
 	}
 	ls := e.state(p.Line, true)
 	first, last := e.cfg.Geom.SubBlockSpan(p.Off, p.Size, e.cfg.SubBlocks)
-	for i := first; i <= last; i++ {
-		if write {
-			ls.sub[i] = SpecWrite
-		} else if ls.sub[i] != SpecWrite {
-			// A read never downgrades S-WR.
-			ls.sub[i] = SpecRead
-		}
-	}
+	m := mem.SpanMask(first, last)
 	if write {
+		ls.spec |= m
+		ls.wr |= m
 		e.fp.RecordWrite(p.Line, p.Off, p.Size)
 	} else {
+		// A read never downgrades S-WR: spanned granules become S-RD
+		// except where the WR bit belongs to an S-WR granule.
+		sw := ls.writtenMask() & m
+		ls.wr = ls.wr&^m | sw
+		ls.spec |= m
 		e.fp.RecordRead(p.Line, p.Off, p.Size)
 	}
 }
@@ -601,18 +600,13 @@ func (e *Engine) applyPiggyback(l mem.LineAddr, mask uint64) {
 		return
 	}
 	ls := e.state(l, true)
-	for i := 0; i < e.cfg.SubBlocks; i++ {
-		if mask&(1<<uint(i)) == 0 {
-			continue
-		}
-		if ls.sub[i] == NonSpec {
-			ls.sub[i] = Dirty
-			e.Stats.DirtyMarks++
-		} else if ls.sub[i].Spec() {
-			panic(fmt.Sprintf("core: core %d piggyback mask overlaps own speculative sub-block %d of line %#x",
-				e.id, i, uint64(l)))
-		}
+	if mask&ls.spec != 0 {
+		panic(fmt.Sprintf("core: core %d piggyback mask %#x overlaps own speculative sub-blocks of line %#x",
+			e.id, mask, uint64(l)))
 	}
+	fresh := mask &^ ls.wr // already-Dirty granules are not re-marked
+	ls.wr |= fresh
+	e.Stats.DirtyMarks += uint64(bits.OnesCount64(fresh))
 }
 
 // ---------------------------------------------------------------------------
@@ -626,7 +620,7 @@ func (e *Engine) applyPiggyback(l mem.LineAddr, mask uint64) {
 // non-invalidating probes the reply carries the written-sub-block piggyback
 // mask.
 func (e *Engine) Snoop(p coherence.Probe) coherence.Reply {
-	ls := e.lines[p.Line]
+	ls := e.lookup(p.Line)
 	stateValid := e.bus.State(e.id, p.Line).Valid()
 
 	conflict := false
@@ -646,10 +640,10 @@ func (e *Engine) Snoop(p coherence.Probe) coherence.Reply {
 			if ls != nil {
 				switch {
 				case !p.Invalidating:
-					conflict = ls.sub[0] == SpecWrite // RAW cannot be decoupled
-				case ls.sub[0] == SpecWrite:
+					conflict = ls.get(0) == SpecWrite // RAW cannot be decoupled
+				case ls.get(0) == SpecWrite:
 					conflict = true // invalidation destroys uncommitted data
-				case ls.sub[0] == SpecRead:
+				case ls.get(0) == SpecRead:
 					// The prior-work trick: speculate there is no true
 					// conflict, remember the line, validate by value at
 					// commit (§II).
@@ -671,7 +665,7 @@ func (e *Engine) Snoop(p coherence.Probe) coherence.Reply {
 		}
 	}
 	if speculatedWAR {
-		e.unsafe[p.Line] = true
+		e.markUnsafe(p.Line)
 		e.Stats.SpeculatedWARs++
 	}
 
@@ -693,7 +687,7 @@ func (e *Engine) Snoop(p coherence.Probe) coherence.Reply {
 		e.abortSelf(ReasonConflict)
 		// After the abort all speculative state is gone; fall through so
 		// invalidation housekeeping still runs for what remains.
-		ls = e.lines[p.Line]
+		ls = e.lookup(p.Line)
 	}
 
 	var reply coherence.Reply
@@ -717,16 +711,12 @@ func (e *Engine) Snoop(p coherence.Probe) coherence.Reply {
 			// False WAR invalidation: keep the speculative information
 			// inside the invalidated line so later conflicts are caught
 			// (§IV-D-2). Dirty marks die with the data.
-			for i, s := range ls.sub {
-				if s == Dirty {
-					ls.sub[i] = NonSpec
-				}
-			}
+			ls.wr &= ls.spec
 			ls.retained = true
 		default:
 			// No live speculative state worth retaining: dirty marks are
 			// meaningless without the cached data.
-			delete(e.lines, p.Line)
+			e.forget(p.Line)
 		}
 	}
 	return reply
@@ -740,7 +730,7 @@ func (e *Engine) WouldConflict(p coherence.Probe) bool {
 	if !e.inTx || e.abortPending {
 		return false
 	}
-	ls := e.lines[p.Line]
+	ls := e.lookup(p.Line)
 	if ls == nil {
 		return false
 	}
@@ -750,28 +740,30 @@ func (e *Engine) WouldConflict(p coherence.Probe) bool {
 	return e.checkConflict(ls, p)
 }
 
-// checkConflict applies the mode's conflict matrix to a probe.
+// checkConflict applies the mode's conflict matrix to a probe, entirely in
+// bit-parallel mask operations.
 func (e *Engine) checkConflict(ls *lineState, p coherence.Probe) bool {
 	switch e.cfg.Mode {
 	case ModeBaseline:
-		return ls.sub[0].ConflictsWith(p.Invalidating)
+		// sub[0].ConflictsWith: an invalidating probe conflicts with any
+		// speculative state, a non-invalidating one only with S-WR.
+		if ls.spec&1 == 0 {
+			return false
+		}
+		return p.Invalidating || ls.wr&1 != 0
 	case ModeSubBlock:
-		// Per-sub-block check over the probe's span.
 		first, last := e.cfg.Geom.SubBlockSpan(p.Off, p.Size, e.cfg.SubBlocks)
-		for i := first; i <= last; i++ {
-			if ls.sub[i].ConflictsWith(p.Invalidating) {
-				return true
-			}
+		m := mem.SpanMask(first, last)
+		if p.Invalidating {
+			// Per-sub-block overlap with any speculative granule, plus
+			// §IV-D-2: an invalidating probe against a line with ANY
+			// speculatively written sub-block aborts the holder even
+			// without overlap, because invalidation would destroy the
+			// uncommitted data. (WAW false conflicts are ~0 % of the
+			// total, so the paper accepts this.)
+			return ls.spec&m != 0 || ls.anySpecWrite()
 		}
-		// §IV-D-2: an invalidating probe against a line with ANY
-		// speculatively written sub-block aborts the holder even without
-		// overlap, because invalidation would destroy the uncommitted
-		// data. (WAW false conflicts are ~0 % of the total, so the paper
-		// accepts this.)
-		if p.Invalidating && ls.anySpecWrite() {
-			return true
-		}
-		return false
+		return ls.writtenMask()&m != 0
 	}
 	return false
 }

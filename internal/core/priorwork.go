@@ -71,6 +71,28 @@ func (e *Engine) sigClear() {
 	}
 }
 
+// markUnsafe records line l as speculated-through (invalidated while
+// speculatively read). The set is a sorted slice with dedup-on-insert: it
+// is tiny in practice, cleared with [:0] at transaction boundaries, and a
+// sorted slice makes IsUnsafe a branch-light binary search with no
+// per-transaction map allocation.
+func (e *Engine) markUnsafe(l mem.LineAddr) {
+	i := sort.Search(len(e.unsafe), func(i int) bool { return e.unsafe[i] >= l })
+	if i < len(e.unsafe) && e.unsafe[i] == l {
+		return
+	}
+	e.unsafe = append(e.unsafe, 0)
+	copy(e.unsafe[i+1:], e.unsafe[i:])
+	e.unsafe[i] = l
+}
+
+// IsUnsafe reports whether line l was speculated through and needs
+// commit-time value validation.
+func (e *Engine) IsUnsafe(l mem.LineAddr) bool {
+	i := sort.Search(len(e.unsafe), func(i int) bool { return e.unsafe[i] >= l })
+	return i < len(e.unsafe) && e.unsafe[i] == l
+}
+
 // UnsafeLines returns, sorted, the lines the WAR-only comparator speculated
 // through (invalidated while speculatively read). The transaction runtime
 // must value-validate the bytes it read from these lines before commit.
@@ -78,11 +100,8 @@ func (e *Engine) UnsafeLines() []mem.LineAddr {
 	if len(e.unsafe) == 0 {
 		return nil
 	}
-	out := make([]mem.LineAddr, 0, len(e.unsafe))
-	for l := range e.unsafe {
-		out = append(out, l)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]mem.LineAddr, len(e.unsafe))
+	copy(out, e.unsafe)
 	return out
 }
 

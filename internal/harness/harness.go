@@ -6,8 +6,11 @@ package harness
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	asfsim "repro"
 	"repro/internal/oracle"
@@ -21,6 +24,13 @@ type Options struct {
 	Seeds     []uint64 // runs per cell; results are averaged
 	Cores     int
 	Workloads []string // nil = all, Table III order
+
+	// Parallelism is the number of matrix cells simulated concurrently.
+	// 0 means GOMAXPROCS, 1 means strictly serial. Every (workload,
+	// detection, seed) run is an independent, fully seeded simulation, so
+	// the collected matrix is bit-identical at any parallelism level —
+	// TestParallelMatchesSerial holds the harness to that.
+	Parallelism int
 }
 
 // DefaultOptions is the configuration used for EXPERIMENTS.md: small
@@ -72,16 +82,7 @@ func (c *Cell) std(f func(*stats.Run) float64) float64 {
 		d := f(r) - m
 		ss += d * d
 	}
-	// sqrt via Newton iterations (no math import needed elsewhere).
-	v := ss / float64(n)
-	if v == 0 {
-		return 0
-	}
-	x := v
-	for i := 0; i < 30; i++ {
-		x = 0.5 * (x + v/x)
-	}
-	return x
+	return math.Sqrt(ss / float64(n))
 }
 
 // CyclesStd returns the seed-to-seed standard deviation of execution time.
@@ -131,30 +132,86 @@ type Matrix struct {
 	Cells map[string]map[asfsim.Detection]*Cell
 }
 
-// Collect runs the matrix. Detections lists which systems to run; nil
-// means all of them.
+// Collect runs the matrix, fanning the (workload, detection, seed) cells
+// across opts.Parallelism worker goroutines. Every run is an independent,
+// deterministic simulation (own Machine, own seeded RNG), and each lands
+// in a preassigned slot of its cell's Runs slice, so the matrix is
+// bit-identical to a serial collection regardless of scheduling. On
+// failure the error reported is the one belonging to the earliest cell in
+// matrix order, again independent of scheduling. Detections lists which
+// systems to run; nil means all of them.
 func Collect(opts Options, detections []asfsim.Detection) (*Matrix, error) {
 	opts.normalize()
 	if len(detections) == 0 {
 		detections = asfsim.Detections
 	}
 	m := &Matrix{Opts: opts, Cells: make(map[string]map[asfsim.Detection]*Cell)}
+	type job struct {
+		wl   string
+		det  asfsim.Detection
+		cell *Cell
+		si   int // seed index = slot in cell.Runs
+	}
+	var jobs []job
 	for _, wl := range opts.Workloads {
-		m.Cells[wl] = make(map[asfsim.Detection]*Cell)
+		m.Cells[wl] = make(map[asfsim.Detection]*Cell, len(detections))
 		for _, d := range detections {
-			cell := &Cell{}
-			for _, seed := range opts.Seeds {
-				cfg := asfsim.DefaultConfig()
-				cfg.Detection = d
-				cfg.Cores = opts.Cores
-				cfg.Seed = seed
-				r, err := asfsim.Run(wl, opts.Scale, cfg)
-				if err != nil {
-					return nil, fmt.Errorf("harness: %s/%v/seed %d: %w", wl, d, seed, err)
-				}
-				cell.Runs = append(cell.Runs, r)
-			}
+			cell := &Cell{Runs: make([]*stats.Run, len(opts.Seeds))}
 			m.Cells[wl][d] = cell
+			for si := range opts.Seeds {
+				jobs = append(jobs, job{wl, d, cell, si})
+			}
+		}
+	}
+	runJob := func(j job) error {
+		seed := opts.Seeds[j.si]
+		cfg := asfsim.DefaultConfig()
+		cfg.Detection = j.det
+		cfg.Cores = opts.Cores
+		cfg.Seed = seed
+		r, err := asfsim.Run(j.wl, opts.Scale, cfg)
+		if err != nil {
+			return fmt.Errorf("harness: %s/%v/seed %d: %w", j.wl, j.det, seed, err)
+		}
+		j.cell.Runs[j.si] = r
+		return nil
+	}
+
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || len(jobs) <= 1 {
+		for _, j := range jobs {
+			if err := runJob(j); err != nil {
+				return nil, err
+			}
+		}
+		return m, nil
+	}
+
+	// Worker pool. Each worker writes only its job's preassigned Runs slot
+	// and error slot, so no locking is needed beyond the channel.
+	errs := make([]error, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ji := range idx {
+				errs[ji] = runJob(jobs[ji])
+			}
+		}()
+	}
+	for ji := range jobs {
+		idx <- ji
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return m, nil
@@ -439,6 +496,48 @@ func Trace(wl string, scale workloads.Scale, seed uint64, cores int) (*stats.Run
 	cfg.TraceLines = true
 	cfg.TraceOffsets = true
 	return asfsim.Run(wl, scale, cfg)
+}
+
+// CollectTraces runs Trace for each named workload, up to parallelism at
+// a time (0 = GOMAXPROCS, 1 = serial), and returns the runs in input
+// order. Like Collect, every run is independent and deterministic, so the
+// result does not depend on the parallelism level; an error is reported
+// for the earliest failing workload.
+func CollectTraces(names []string, scale workloads.Scale, seed uint64, cores, parallelism int) ([]*stats.Run, error) {
+	runs := make([]*stats.Run, len(names))
+	errs := make([]error, len(names))
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+	if workers <= 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runs[i], errs[i] = Trace(names[i], scale, seed, cores)
+			}
+		}()
+	}
+	for i := range names {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", names[i], err)
+		}
+	}
+	return runs, nil
 }
 
 // Fig3 renders the cumulative false-conflict / started-transaction series.

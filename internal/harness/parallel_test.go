@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"encoding/json"
+	"testing"
+
+	asfsim "repro"
+	"repro/internal/workloads"
+)
+
+// renderAll concatenates every figure/table rendering plus the JSON export,
+// so a single byte comparison covers the harness's entire visible output.
+func renderAll(t *testing.T, m *Matrix) string {
+	t.Helper()
+	out := m.Fig1() + m.Fig2() + m.Fig8() + m.Fig9() + m.Fig10() +
+		m.TimeBreakdown() + m.Summary() + m.PriorWork()
+	js, err := json.Marshal(m.JSON())
+	if err != nil {
+		t.Fatalf("marshal figure JSON: %v", err)
+	}
+	return out + string(js)
+}
+
+// TestParallelMatchesSerial is the tentpole guarantee of the worker-pool
+// scheduler: collecting the full matrix — every workload, every detection
+// system, several seeds — in parallel produces byte-identical figure text
+// and per-run statistics to a strictly serial collection. Running this
+// under -race (as CI does) also exercises the pool for data races.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix comparison is slow")
+	}
+	opts := Options{
+		Scale: workloads.ScaleTiny,
+		Seeds: []uint64{1, 2},
+		Cores: 8,
+	}
+	serOpts := opts
+	serOpts.Parallelism = 1
+	serial, err := Collect(serOpts, asfsim.Detections)
+	if err != nil {
+		t.Fatalf("serial collect: %v", err)
+	}
+	parOpts := opts
+	parOpts.Parallelism = 4
+	par, err := Collect(parOpts, asfsim.Detections)
+	if err != nil {
+		t.Fatalf("parallel collect: %v", err)
+	}
+
+	// Strongest check first: every cell's full per-run statistics must be
+	// identical, run by run, seed slot by seed slot.
+	for _, wl := range serial.Opts.Workloads {
+		for _, d := range asfsim.Detections {
+			sc, pc := serial.Cell(wl, d), par.Cell(wl, d)
+			if sc == nil || pc == nil {
+				t.Fatalf("%s/%v: missing cell (serial=%v parallel=%v)", wl, d, sc != nil, pc != nil)
+			}
+			if len(sc.Runs) != len(pc.Runs) {
+				t.Fatalf("%s/%v: run count %d != %d", wl, d, len(sc.Runs), len(pc.Runs))
+			}
+			for i := range sc.Runs {
+				sj, err := json.Marshal(sc.Runs[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				pj, err := json.Marshal(pc.Runs[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(sj) != string(pj) {
+					t.Errorf("%s/%v seed[%d]: parallel run stats differ from serial", wl, d, i)
+				}
+			}
+		}
+	}
+
+	// And the user-visible rendering, byte for byte.
+	if s, p := renderAll(t, serial), renderAll(t, par); s != p {
+		t.Errorf("parallel figure text differs from serial (%d vs %d bytes)", len(s), len(p))
+	}
+}
+
+// TestCollectParallelError checks that the error surfaced by a parallel
+// collection is the earliest failing cell in matrix order — deterministic
+// regardless of worker scheduling — and matches the serial error.
+func TestCollectParallelError(t *testing.T) {
+	opts := Options{
+		Scale:     workloads.ScaleTiny,
+		Seeds:     []uint64{1},
+		Cores:     2,
+		Workloads: []string{"kmeans", "no-such-workload", "also-missing"},
+	}
+	serOpts := opts
+	serOpts.Parallelism = 1
+	_, serErr := Collect(serOpts, []asfsim.Detection{asfsim.DetectBaseline})
+	if serErr == nil {
+		t.Fatal("serial collect of unknown workload succeeded")
+	}
+	parOpts := opts
+	parOpts.Parallelism = 3
+	_, parErr := Collect(parOpts, []asfsim.Detection{asfsim.DetectBaseline})
+	if parErr == nil {
+		t.Fatal("parallel collect of unknown workload succeeded")
+	}
+	if serErr.Error() != parErr.Error() {
+		t.Errorf("parallel error %q != serial error %q", parErr, serErr)
+	}
+}
+
+// TestCollectTracesParallel checks that concurrent trace collection returns
+// the same runs, in input order, as serial collection.
+func TestCollectTracesParallel(t *testing.T) {
+	names := []string{"kmeans", "vacation", "genome"}
+	serial, err := CollectTraces(names, workloads.ScaleTiny, 1, 4, 1)
+	if err != nil {
+		t.Fatalf("serial traces: %v", err)
+	}
+	par, err := CollectTraces(names, workloads.ScaleTiny, 1, 4, 3)
+	if err != nil {
+		t.Fatalf("parallel traces: %v", err)
+	}
+	if len(serial) != len(par) {
+		t.Fatalf("run count %d != %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i].Workload != names[i] || par[i].Workload != names[i] {
+			t.Errorf("slot %d: workloads %q/%q, want %q", i, serial[i].Workload, par[i].Workload, names[i])
+		}
+		sj, _ := json.Marshal(serial[i])
+		pj, _ := json.Marshal(par[i])
+		if string(sj) != string(pj) {
+			t.Errorf("%s: parallel trace stats differ from serial", names[i])
+		}
+	}
+}

@@ -71,21 +71,31 @@ func (g Geometry) SubBlockSpan(off, size, n int) (first, last int) {
 // n must be <= 64.
 func (g Geometry) SubBlockMask(off, size, n int) uint64 {
 	first, last := g.SubBlockSpan(off, size, n)
-	var m uint64
-	for i := first; i <= last; i++ {
-		m |= 1 << uint(i)
-	}
-	return m
+	return SpanMask(first, last)
+}
+
+// SpanMask returns the bitmask with bits [first, last] set (inclusive).
+// 0 <= first <= last <= 63.
+func SpanMask(first, last int) uint64 {
+	// (1<<w)-1 written overflow-safe for w == 64.
+	return ((uint64(1)<<uint(last-first))<<1 - 1) << uint(first)
 }
 
 // SplitByLine decomposes the access [a, a+size) into per-line pieces.
 // Unaligned accesses that straddle a line boundary become two (or more)
 // pieces, exactly as a real L1 would service them.
 func (g Geometry) SplitByLine(a Addr, size int) []Access {
+	return g.SplitByLineInto(nil, a, size)
+}
+
+// SplitByLineInto is SplitByLine appending into buf[:0], so hot paths can
+// reuse one scratch slice instead of allocating per access. The returned
+// slice aliases buf when it had capacity.
+func (g Geometry) SplitByLineInto(buf []Access, a Addr, size int) []Access {
 	if size <= 0 {
 		size = 1
 	}
-	var out []Access
+	out := buf[:0]
 	for size > 0 {
 		off := g.Offset(a)
 		n := g.LineSize - off

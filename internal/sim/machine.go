@@ -117,6 +117,11 @@ type Machine struct {
 	lockAddr mem.Addr
 	lockLine mem.LineAddr
 
+	// splitBuf is the reusable SplitByLine scratch for magicCheck. The
+	// machine executes exactly one thread op at any instant and magicCheck
+	// never re-enters itself, so a single buffer is safe.
+	splitBuf []mem.Access
+
 	// Live counters for the traces.
 	run          *stats.Run
 	txStartedCum uint64
@@ -197,6 +202,14 @@ func NewMachine(cfg Config) (*Machine, error) {
 	}
 	m.alloc = mem.NewAllocator(m.geom, mem.Addr(m.geom.LineSize))
 	m.bus.SetSubBlocks(cfg.Core.Granules())
+	if cfg.Core.Mode != core.ModeSignature {
+		// Skip probe deliveries to cores that never issued a bus
+		// transaction for the line — for them Snoop is a no-op, so this
+		// is invisible to both the protocol and conflict detection. The
+		// exception is Bloom signatures, which must alias-hit on lines
+		// the core never touched (see coherence.EnableSnoopFilter).
+		m.bus.EnableSnoopFilter()
+	}
 	m.ledger = oracle.NewLedger(cfg.Cores)
 
 	if cfg.EventLog != nil {
@@ -327,7 +340,8 @@ func (m *Machine) magicCheck(requester int, a mem.Addr, size int, write bool) {
 	if m.cfg.Core.Mode != core.ModePerfect {
 		return
 	}
-	for _, p := range m.geom.SplitByLine(a, size) {
+	m.splitBuf = m.geom.SplitByLineInto(m.splitBuf, a, size)
+	for _, p := range m.splitBuf {
 		for _, e := range m.engines {
 			if e.ID() == requester {
 				continue

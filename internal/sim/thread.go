@@ -321,7 +321,7 @@ func (t *Thread) attempt(tx *Tx, body func(tx *Tx), fpLines *int) (committed, us
 	if !aborted && t.m.cfg.Core.Mode == core.ModeWAROnly && t.eng.HasUnsafe() {
 		if ab, _ := t.eng.AbortPending(); !ab {
 			t.valChecks++
-			if !tx.validateReads(t.unsafeSet()) {
+			if !tx.validateReads(t.eng.IsUnsafe) {
 				t.eng.Abort(core.ReasonValidation)
 			}
 		}
@@ -442,16 +442,6 @@ func (t *Thread) checkAbort() {
 	if ab, _ := t.eng.AbortPending(); ab {
 		panic(txAbort{})
 	}
-}
-
-// unsafeSet converts the engine's speculated-WAR line list to a set.
-func (t *Thread) unsafeSet() map[mem.LineAddr]bool {
-	ls := t.eng.UnsafeLines()
-	set := make(map[mem.LineAddr]bool, len(ls))
-	for _, l := range ls {
-		set[l] = true
-	}
-	return set
 }
 
 func (t *Thread) String() string {

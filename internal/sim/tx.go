@@ -217,15 +217,12 @@ func (tx *Tx) readValue(a mem.Addr, size int) uint64 {
 // validation. It must be called with no intervening yield before commit
 // (the simulator makes the check + commit atomic). Reports whether all
 // speculated-through reads still hold.
-func (tx *Tx) validateReads(unsafe map[mem.LineAddr]bool) bool {
-	if len(unsafe) == 0 {
-		return true
-	}
+func (tx *Tx) validateReads(unsafe func(mem.LineAddr) bool) bool {
 	g := tx.t.m.geom
 	for _, r := range tx.reads {
 		touched := false
 		for _, p := range g.SplitByLine(r.addr, r.size) {
-			if unsafe[p.Line] {
+			if unsafe(p.Line) {
 				touched = true
 				break
 			}
