@@ -98,6 +98,21 @@ func (d Detection) String() string {
 	return fmt.Sprintf("Detection(%d)", int(d))
 }
 
+// ParseDetection resolves a detection-system name ("baseline",
+// "subblock-4", "perfect", "waronly", "signature", ...) as accepted by
+// the -detect CLI flag and the asfd job API.
+func ParseDetection(s string) (Detection, error) {
+	for _, d := range AllDetections {
+		if d.String() == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("asfsim: unknown detection %q", s)
+}
+
+// ParseScale resolves a scale name ("tiny", "small", "medium").
+func ParseScale(s string) (Scale, error) { return workloads.ParseScale(s) }
+
 // SubBlocks returns the sub-block count (0 for baseline/perfect).
 func (d Detection) SubBlocks() int {
 	switch d {
@@ -204,7 +219,18 @@ type Config struct {
 	// Watchdog configures the livelock/starvation watchdog (zero Window:
 	// off). With Mitigate false it is purely observational.
 	Watchdog WatchdogConfig
+
+	// Cancel, when non-nil, aborts the simulation with ErrCanceled as soon
+	// as the channel is closed (checked between simulated operations). It
+	// is the wall-clock escape hatch the asfd service wires per-job
+	// timeouts to; the simulated-time analogue is MaxCycles. A run that is
+	// never canceled is bit-identical to one with Cancel nil.
+	Cancel <-chan struct{}
 }
+
+// ErrCanceled is returned (wrapped) by Run when Config.Cancel fires
+// before the simulation completes.
+var ErrCanceled = sim.ErrCanceled
 
 // Robustness-subsystem configuration types (see the internal packages for
 // field-level documentation).
@@ -277,6 +303,7 @@ func (c Config) simConfig() sim.Config {
 	sc.Fault = c.Fault
 	sc.Retry = c.Retry
 	sc.Watchdog = c.Watchdog
+	sc.Cancel = c.Cancel
 	sc.TraceSeries = c.TraceSeries
 	sc.TraceLines = c.TraceLines
 	sc.TraceOffsets = c.TraceOffsets

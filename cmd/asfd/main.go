@@ -1,0 +1,94 @@
+// Command asfd serves the simulator as a daemon: experiment-cell jobs
+// over HTTP, a bounded worker pool, and a content-addressed result
+// cache that makes repeat cells free (the simulator is deterministic,
+// so the cache is exact, not approximate).
+//
+// Quickstart:
+//
+//	asfd -addr :8080 -cache-snapshot /tmp/asfd.cache.json &
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	    -d '{"workload":"kmeans","detection":"subblock-4","scale":"small"}'
+//	curl -s localhost:8080/v1/jobs/job-000000
+//	curl -s 'localhost:8080/v1/matrix?workloads=kmeans,genome&detections=baseline,subblock-4&scale=tiny'
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM drain gracefully: the HTTP listener stops, queued and
+// running jobs finish (up to -drain-timeout, after which in-flight
+// simulations are canceled), and the cache snapshot is written.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue", 64, "job queue depth (backpressure bound)")
+	cacheEntries := flag.Int("cache-entries", 1024, "result cache bound (entries)")
+	snapshot := flag.String("cache-snapshot", "", "cache snapshot path (persisted on shutdown, reloaded on start)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock cap (0 = unlimited)")
+	maxSyncCells := flag.Int("max-sync-cells", 64, "largest matrix GET /v1/matrix runs synchronously")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "shutdown drain budget before in-flight jobs are canceled")
+	flag.Parse()
+
+	srv, err := service.New(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		CacheEntries: *cacheEntries,
+		SnapshotPath: *snapshot,
+		JobTimeout:   *jobTimeout,
+		MaxSyncCells: *maxSyncCells,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asfd: %v\n", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	nworkers := *workers
+	if nworkers <= 0 {
+		nworkers = runtime.GOMAXPROCS(0)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("asfd: listening on %s (workers=%d queue=%d cache=%d)",
+		*addr, nworkers, *queueDepth, *cacheEntries)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigc:
+		log.Printf("asfd: %v, draining", sig)
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "asfd: serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Stop the listener first so no new jobs arrive, then drain the
+	// service (which writes the cache snapshot last).
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("asfd: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "asfd: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("asfd: drained, bye")
+}

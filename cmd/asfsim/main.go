@@ -83,28 +83,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "asfsim: -watchdog-mitigate requires a positive -watchdog-window")
 		os.Exit(2)
 	}
-	found := false
-	for _, d := range asfsim.AllDetections {
-		if d.String() == *detect {
-			cfg.Detection = d
-			found = true
-			break
-		}
-	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "asfsim: unknown detection %q\n", *detect)
+	det, err := asfsim.ParseDetection(*detect)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asfsim: %v\n", err)
 		os.Exit(2)
 	}
-	var sc workloads.Scale
-	switch *scale {
-	case "tiny":
-		sc = workloads.ScaleTiny
-	case "small":
-		sc = workloads.ScaleSmall
-	case "medium":
-		sc = workloads.ScaleMedium
-	default:
-		fmt.Fprintf(os.Stderr, "asfsim: unknown scale %q\n", *scale)
+	cfg.Detection = det
+	sc, err := workloads.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asfsim: %v\n", err)
 		os.Exit(2)
 	}
 

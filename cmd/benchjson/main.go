@@ -12,6 +12,19 @@
 //	benchjson -o BENCH.json   # explicit output path
 //	benchjson -o -            # JSON to stdout
 //
+// Diff mode compares two trajectory files and exits non-zero on a
+// regression, which is how CI gates performance against the committed
+// baseline:
+//
+//	benchjson -diff BENCH_2026-08-06.json bench-now.json
+//	benchjson -diff -threshold 1.5 old.json new.json
+//
+// A regression is a workload whose ns/op grew beyond -threshold× the
+// baseline (noise margin; default 1.4), a workload that disappeared, or
+// any simCycles mismatch — simulated cycles are deterministic, so that
+// is a silent result change, never noise, and is gated at exactly zero
+// tolerance.
+//
 // The committed BENCH_*.json baselines are produced by exactly this
 // command; see EXPERIMENTS.md "Performance".
 package main
@@ -58,7 +71,21 @@ type File struct {
 
 func main() {
 	out := flag.String("o", "", `output path ("-" = stdout; default BENCH_<yyyy-mm-dd>.json)`)
+	diff := flag.Bool("diff", false, "compare two trajectory files (old new); exit 1 on regression")
+	threshold := flag.Float64("threshold", 1.4, "ns/op growth factor tolerated in -diff mode before failing")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		if err := diffFiles(flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	f := File{
 		Date:       time.Now().Format("2006-01-02"),
@@ -125,4 +152,77 @@ func main() {
 	if path != "-" {
 		fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", path)
 	}
+}
+
+func loadFile(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// diffFiles compares a baseline trajectory against a fresh one. ns/op
+// is wall time and therefore noisy, so it is gated with a multiplier;
+// simCycles is deterministic, so it is gated at exact equality — a
+// mismatch there means the simulator's results changed, not its speed.
+func diffFiles(oldPath, newPath string, threshold float64) error {
+	oldF, err := loadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newF, err := loadFile(newPath)
+	if err != nil {
+		return err
+	}
+	if oldF.Scale != newF.Scale || oldF.Seed != newF.Seed || oldF.Detection != newF.Detection {
+		return fmt.Errorf("configs differ (%s/%s seed %d vs %s/%s seed %d): not comparable",
+			oldF.Scale, oldF.Detection, oldF.Seed, newF.Scale, newF.Detection, newF.Seed)
+	}
+
+	newBy := make(map[string]WorkloadResult, len(newF.Workloads))
+	for _, w := range newF.Workloads {
+		newBy[w.Name] = w
+	}
+
+	var failures []string
+	for _, old := range oldF.Workloads {
+		cur, ok := newBy[old.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from %s", old.Name, newPath))
+			continue
+		}
+		delete(newBy, cur.Name)
+		if cur.SimCycles != old.SimCycles {
+			failures = append(failures, fmt.Sprintf(
+				"%s: simCycles changed %d -> %d (deterministic result change, zero tolerance)",
+				old.Name, old.SimCycles, cur.SimCycles))
+		}
+		ratio := cur.NsPerOp / old.NsPerOp
+		status := "ok"
+		if ratio > threshold {
+			status = "REGRESSION"
+			failures = append(failures, fmt.Sprintf(
+				"%s: ns/op regressed %.0f -> %.0f (%.2fx > %.2fx threshold)",
+				old.Name, old.NsPerOp, cur.NsPerOp, ratio, threshold))
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %-14s %12.0f -> %12.0f ns/op (%.2fx) %s\n",
+			old.Name, old.NsPerOp, cur.NsPerOp, ratio, status)
+	}
+	for name := range newBy {
+		fmt.Fprintf(os.Stderr, "benchjson: %-14s new workload, no baseline\n", name)
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchjson: FAIL "+f)
+		}
+		return fmt.Errorf("%d regression(s) against %s", len(failures), oldPath)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: no regressions against %s\n", oldPath)
+	return nil
 }

@@ -84,6 +84,19 @@ type ConflictChecker interface {
 	WouldConflict(p Probe) bool
 }
 
+// StateHolder is optionally implemented by snoopers that can report,
+// without side effects, whether they hold ANY per-line state for a line
+// (speculative bits, dirty marks, retained-invalid state). The snoop
+// filter's epoch compaction uses it to prove a directory entry dead: a
+// core with no coherence copy and no per-line state treats any probe of
+// the line as a complete no-op, so its filter bit can be dropped without
+// changing a single detection outcome. Snoopers that do not implement it
+// are conservatively assumed to always hold state (their entries are
+// never compacted).
+type StateHolder interface {
+	HoldsLineState(l mem.LineAddr) bool
+}
+
 // WouldConflict runs the side-effect-free pre-check against every remote
 // snooper implementing ConflictChecker.
 func (b *Bus) WouldConflict(core int, line mem.LineAddr, off, size int, invalidating bool) bool {
@@ -142,6 +155,10 @@ type Stats struct {
 	PiggybackedMasks  uint64 // replies that carried a non-zero written mask
 	PiggybackBitsSent uint64 // total mask bits transferred (N per masked reply)
 	FilteredSnoops    uint64 // per-core probe deliveries elided by the snoop filter
+
+	// Snoop-filter directory compaction (epoch-based; see CompactFilter).
+	FilterCompactions    uint64 // compaction passes run
+	FilterEntriesDropped uint64 // directory entries reclaimed by compaction
 }
 
 // Bus is the broadcast snooping interconnect plus the per-core MOESI state
@@ -164,8 +181,22 @@ type Bus struct {
 	touched  map[mem.LineAddr]uint64
 	filterOn bool
 
+	// Epoch-based directory compaction: every compactEvery bus
+	// transactions, touched entries whose lines are provably dead (no
+	// coherence copy anywhere, no snooper holding per-line state) are
+	// reclaimed, so long traces with churning working sets don't grow the
+	// directory without bound. 0 disables compaction.
+	compactEvery uint64
+	sinceCompact uint64
+
 	Stats Stats
 }
+
+// DefaultFilterCompactionInterval is the bus-transaction count between
+// snoop-filter compaction passes. Large enough that the linear directory
+// scan amortizes to noise, small enough that the directory tracks the
+// resident working set rather than the whole trace history.
+const DefaultFilterCompactionInterval = 1 << 16
 
 // NewBus creates a bus for ncores cores. Snoopers are registered afterwards
 // (the ASF engines need the bus to exist first).
@@ -205,6 +236,81 @@ func (b *Bus) EnableSnoopFilter() {
 	}
 	b.filterOn = true
 	b.touched = make(map[mem.LineAddr]uint64)
+	b.compactEvery = DefaultFilterCompactionInterval
+}
+
+// SetFilterCompactionInterval overrides the number of bus transactions
+// between snoop-filter compaction passes (0 disables compaction, which
+// restores the original grow-without-bound monotone directory). Any
+// value yields bit-identical simulation results — compaction only drops
+// entries whose probes were already no-ops — so this knob exists for
+// tests and memory tuning, not correctness.
+func (b *Bus) SetFilterCompactionInterval(n uint64) { b.compactEvery = n }
+
+// FilterDirectorySize returns the number of lines currently tracked by
+// the snoop-filter directory (0 when the filter is off).
+func (b *Bus) FilterDirectorySize() int { return len(b.touched) }
+
+// maybeCompact ticks the compaction epoch; called once per bus
+// transaction, before any probe of that transaction is delivered.
+func (b *Bus) maybeCompact() {
+	if !b.filterOn || b.compactEvery == 0 {
+		return
+	}
+	b.sinceCompact++
+	if b.sinceCompact < b.compactEvery {
+		return
+	}
+	b.sinceCompact = 0
+	b.CompactFilter()
+}
+
+// CompactFilter reclaims snoop-filter directory entries for dead lines.
+// An entry is dead when (a) no core holds a coherence copy of the line —
+// the state-table entry was released — and (b) no snooper whose filter
+// bit is set still holds per-line state for it (StateHolder). For such a
+// line every elided probe was already a complete no-op, so dropping the
+// entry changes no detection outcome and no simulated cycle; a core that
+// touches the line again simply re-registers via markTouched, exactly as
+// it did the first time. The per-line predicate is independent of every
+// other line, so the map's iteration order cannot influence anything
+// observable and determinism is preserved.
+func (b *Bus) CompactFilter() {
+	if !b.filterOn {
+		return
+	}
+	b.Stats.FilterCompactions++
+	for line, mask := range b.touched {
+		if _, live := b.states[line]; live {
+			continue
+		}
+		held := false
+		for c := 0; c < b.ncores; c++ {
+			if mask&(1<<uint(c)) == 0 {
+				continue
+			}
+			s := b.snoopers[c]
+			if s == nil {
+				// No snooper registered: probes to this core are skipped
+				// unconditionally, so its bit holds nothing alive.
+				continue
+			}
+			if h, ok := s.(StateHolder); ok {
+				if h.HoldsLineState(line) {
+					held = true
+					break
+				}
+			} else {
+				// Unknown snooper implementation: assume it cares.
+				held = true
+				break
+			}
+		}
+		if !held {
+			delete(b.touched, line)
+			b.Stats.FilterEntriesDropped++
+		}
+	}
 }
 
 // markTouched records core as a (past or present) toucher of line.
@@ -284,6 +390,7 @@ func (b *Bus) Read(core int, line mem.LineAddr, off, size int, tx, force bool) R
 		// not call Read in this case; tolerate it for robustness.
 		return ReadResult{Source: SourceLocal}
 	}
+	b.maybeCompact()
 	b.markTouched(core, line)
 	b.Stats.ProbesShared++
 	// Broadcast the probe to every other core. Snoopers run conflict
@@ -386,6 +493,7 @@ func (b *Bus) Write(core int, line mem.LineAddr, off, size int, tx bool) WriteRe
 		b.Stats.SilentStores++
 		return WriteResult{Source: SourceLocal, SilentUpgrade: true}
 	}
+	b.maybeCompact()
 	b.markTouched(core, line)
 	b.Stats.ProbesInvalidate++
 	targets := b.snoopTargets(line)

@@ -219,6 +219,20 @@ func (e *Engine) Retained(l mem.LineAddr) bool {
 	return ls != nil && ls.retained
 }
 
+// HoldsLineState implements coherence.StateHolder for the snoop filter's
+// epoch compaction: it reports whether this engine keeps ANY per-line
+// state for l — speculative bits, dirty marks or retained-invalid state.
+// When it returns false (and the core also has no coherence copy), a
+// probe of l is a complete no-op in every mode except signatures, which
+// never use the filter: no conflict can fire, no piggyback mask can be
+// replied, and the invalidation housekeeping finds nothing to do.
+// Deliberately bypasses the lookup cache so compaction leaves the hot
+// path's cache state untouched.
+func (e *Engine) HoldsLineState(l mem.LineAddr) bool {
+	_, ok := e.lines[l]
+	return ok
+}
+
 // ---------------------------------------------------------------------------
 // Transaction lifecycle
 // ---------------------------------------------------------------------------

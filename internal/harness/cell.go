@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"fmt"
+
+	asfsim "repro"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// CellSpec identifies one experiment cell — one (workload, detection,
+// scale, seed) simulation plus the robustness knobs — in a form that is
+// canonicalizable: Normalize folds every defaulted field to its explicit
+// value, so two specs that mean the same run compare (and hash) equal.
+// It is the programmatic unit the asfd service queues, runs and caches.
+type CellSpec struct {
+	Workload   string
+	Detection  asfsim.Detection
+	Scale      workloads.Scale
+	Seed       uint64
+	Cores      int
+	MaxRetries int
+	MaxCycles  int64
+
+	Fault    asfsim.FaultConfig
+	Retry    asfsim.RetryConfig
+	Watchdog asfsim.WatchdogConfig
+}
+
+// Normalize returns the spec with every defaulted field made explicit,
+// mirroring the defaulting the simulator itself applies (asfsim.Config /
+// sim.NewMachine). Cache keys MUST be computed from normalized specs:
+// {Seed: 0} and {Seed: 1} are the same run and must share a key.
+func (s CellSpec) Normalize() CellSpec {
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Cores <= 0 {
+		s.Cores = 8
+	}
+	if s.MaxRetries <= 0 {
+		s.MaxRetries = 64
+	}
+	return s
+}
+
+// Validate checks the spec against the same validation paths the CLIs
+// use: known workload, positive geometry, and the fault/retry/watchdog
+// configs' own validators.
+func (s CellSpec) Validate() error {
+	if s.Workload == "" {
+		return fmt.Errorf("harness: cell spec has no workload")
+	}
+	if !workloads.Known(s.Workload) {
+		return fmt.Errorf("workloads: unknown workload %q", s.Workload)
+	}
+	if s.Scale < workloads.ScaleTiny || s.Scale > workloads.ScaleMedium {
+		return fmt.Errorf("harness: invalid scale %d", int(s.Scale))
+	}
+	if s.Cores < 0 {
+		return fmt.Errorf("harness: negative cores %d", s.Cores)
+	}
+	if s.MaxCycles < 0 {
+		return fmt.Errorf("harness: negative max cycles %d", s.MaxCycles)
+	}
+	if err := s.Fault.Validate(); err != nil {
+		return err
+	}
+	if err := s.Retry.Validate(); err != nil {
+		return err
+	}
+	if err := s.Watchdog.Validate(); err != nil {
+		return err
+	}
+	if s.Watchdog.Mitigate && s.Watchdog.Window <= 0 {
+		return fmt.Errorf("harness: watchdog mitigation requires a positive window")
+	}
+	return nil
+}
+
+// Config assembles the asfsim run configuration for the cell.
+func (s CellSpec) Config() asfsim.Config {
+	s = s.Normalize()
+	cfg := asfsim.DefaultConfig()
+	cfg.Detection = s.Detection
+	cfg.Cores = s.Cores
+	cfg.Seed = s.Seed
+	cfg.MaxRetries = s.MaxRetries
+	cfg.MaxCycles = s.MaxCycles
+	cfg.Fault = s.Fault
+	cfg.Retry = s.Retry
+	cfg.Watchdog = s.Watchdog
+	return cfg
+}
+
+// RunCell executes one experiment cell. cancel, when non-nil, abandons
+// the simulation as soon as it is closed (the error then satisfies
+// errors.Is(err, asfsim.ErrCanceled)); it is how the asfd service
+// enforces per-job wall-clock timeouts. Determinism contract: the result
+// is a pure function of the normalized spec, so equal specs always
+// return bit-identical runs — which is what makes content-addressed
+// caching of cell results exact rather than approximate.
+func RunCell(s CellSpec, cancel <-chan struct{}) (*stats.Run, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := s.Config()
+	cfg.Cancel = cancel
+	r, err := asfsim.Run(s.Workload, s.Scale, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s/%v/seed %d: %w", s.Workload, s.Detection, cfg.Seed, err)
+	}
+	return r, nil
+}

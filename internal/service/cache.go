@@ -1,0 +1,181 @@
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// CacheEntry is one cached cell result: the canonical record JSON bytes
+// under the cell's content address. Results are stored and served as raw
+// bytes — never re-decoded — so a cache hit is byte-identical to the
+// response that was computed, which the end-to-end determinism test
+// asserts with a plain bytes.Equal.
+type CacheEntry struct {
+	Key       string          `json:"key"`
+	Workload  string          `json:"workload"`
+	SimCycles int64           `json:"simCycles"`
+	Result    json.RawMessage `json:"result"`
+}
+
+// Cache is a bounded LRU of cell results, safe for concurrent use, with
+// JSON snapshot persistence (written on daemon shutdown, reloaded on
+// start) so a restarted asfd keeps its accumulated sweep results.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used; values are *CacheEntry
+	byKey map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+// NewCache returns a cache bounded to max entries (max <= 0 means 1024).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = 1024
+	}
+	return &Cache{
+		max:   max,
+		ll:    list.New(),
+		byKey: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for key, marking it most recently used.
+func (c *Cache) Get(key string) (*CacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*CacheEntry), true
+}
+
+// peek returns the entry for key without touching the hit/miss counters
+// or recency order. The worker uses it after Put to serve the bytes the
+// cache actually retained, without that internal read inflating the
+// user-visible hit counter.
+func (c *Cache) peek(key string) (*CacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*CacheEntry), true
+}
+
+// Put stores a result under its key, evicting the least recently used
+// entry when full. A duplicate key refreshes recency but keeps the FIRST
+// stored bytes: results are deterministic, so a second computation of
+// the same cell is bit-identical by contract, and keeping the original
+// makes that contract observable (tests compare served bytes across
+// submissions).
+func (c *Cache) Put(e *CacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[e.Key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[e.Key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*CacheEntry).Key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Counters returns the hit/miss/eviction totals.
+func (c *Cache) Counters() (hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// snapshotFile is the on-disk schema. Entries are ordered least to most
+// recently used so a reload rebuilds the same LRU order.
+type snapshotFile struct {
+	SchemaVersion int          `json:"schemaVersion"`
+	Entries       []CacheEntry `json:"entries"`
+}
+
+// WriteSnapshot serializes the cache contents to w.
+func (c *Cache) WriteSnapshot(w io.Writer) error {
+	c.mu.Lock()
+	f := snapshotFile{SchemaVersion: keySchemaVersion}
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		f.Entries = append(f.Entries, *el.Value.(*CacheEntry))
+	}
+	c.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}
+
+// ReadSnapshot loads entries from a snapshot produced by WriteSnapshot,
+// subject to the current size bound. A snapshot written under a
+// different key schema is ignored wholesale: its addresses no longer
+// name the same computations.
+func (c *Cache) ReadSnapshot(r io.Reader) error {
+	var f snapshotFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return fmt.Errorf("service: corrupt cache snapshot: %w", err)
+	}
+	if f.SchemaVersion != keySchemaVersion {
+		return nil
+	}
+	for i := range f.Entries {
+		e := f.Entries[i]
+		c.Put(&e)
+	}
+	return nil
+}
+
+// SaveFile writes the snapshot atomically (temp file + rename) to path.
+func (c *Cache) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a snapshot from path; a missing file is not an error
+// (first boot).
+func (c *Cache) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	return c.ReadSnapshot(f)
+}

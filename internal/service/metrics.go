@@ -1,0 +1,130 @@
+package service
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Metrics is the daemon's live counter set, rendered expvar-style as one
+// JSON document at GET /metrics. All counters are monotone except the
+// gauges (queueDepth, jobsRunning, cacheSize).
+type Metrics struct {
+	mu sync.Mutex
+
+	jobsSubmitted uint64 // accepted into the system (including cache hits)
+	jobsCompleted uint64 // finished successfully (computed or from cache)
+	jobsFailed    uint64 // finished with a simulation/validation error
+	jobsCanceled  uint64 // abandoned: per-job timeout or daemon shutdown
+	jobsRejected  uint64 // refused with 429 (queue full) or 503 (draining)
+
+	runsExecuted      uint64 // simulations actually run (cache misses)
+	simCyclesExecuted uint64 // total simulated cycles across executed runs
+
+	// latencyMs holds one wall-clock latency histogram per workload, in
+	// milliseconds, for executed runs only (cache hits are ~0 and would
+	// drown the signal the histogram exists for).
+	latencyMs map[string]*stats.Histogram
+}
+
+// NewMetrics returns an empty counter set.
+func NewMetrics() *Metrics {
+	return &Metrics{latencyMs: make(map[string]*stats.Histogram)}
+}
+
+func (m *Metrics) incSubmitted() { m.mu.Lock(); m.jobsSubmitted++; m.mu.Unlock() }
+func (m *Metrics) incCompleted() { m.mu.Lock(); m.jobsCompleted++; m.mu.Unlock() }
+func (m *Metrics) incFailed()    { m.mu.Lock(); m.jobsFailed++; m.mu.Unlock() }
+func (m *Metrics) incCanceled()  { m.mu.Lock(); m.jobsCanceled++; m.mu.Unlock() }
+func (m *Metrics) incRejected()  { m.mu.Lock(); m.jobsRejected++; m.mu.Unlock() }
+
+// noteRun records one executed (non-cached) simulation: its simulated
+// cycle count and its wall-clock latency.
+func (m *Metrics) noteRun(workload string, simCycles int64, wallMs int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.runsExecuted++
+	if simCycles > 0 {
+		m.simCyclesExecuted += uint64(simCycles)
+	}
+	h, ok := m.latencyMs[workload]
+	if !ok {
+		h = stats.NewHistogram()
+		m.latencyMs[workload] = h
+	}
+	h.Add(int(wallMs))
+}
+
+// SimCyclesExecuted returns the total simulated cycles across executed
+// runs — the counter the cache-correctness test watches to prove a
+// repeat submission re-simulated nothing.
+func (m *Metrics) SimCyclesExecuted() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.simCyclesExecuted
+}
+
+// MetricsSnapshot is the GET /metrics document (schema documented in
+// EXPERIMENTS.md "Serving").
+type MetricsSnapshot struct {
+	JobsSubmitted uint64 `json:"jobsSubmitted"`
+	JobsCompleted uint64 `json:"jobsCompleted"`
+	JobsFailed    uint64 `json:"jobsFailed"`
+	JobsCanceled  uint64 `json:"jobsCanceled"`
+	JobsRejected  uint64 `json:"jobsRejected"`
+	QueueDepth    int    `json:"queueDepth"`
+	JobsRunning   int    `json:"jobsRunning"`
+
+	CacheHits      uint64 `json:"cacheHits"`
+	CacheMisses    uint64 `json:"cacheMisses"`
+	CacheEvictions uint64 `json:"cacheEvictions"`
+	CacheSize      int    `json:"cacheSize"`
+
+	RunsExecuted      uint64 `json:"runsExecuted"`
+	SimCyclesExecuted uint64 `json:"simCyclesExecuted"`
+
+	// LatencyMsByWorkload summarizes executed-run wall latency per
+	// workload (n, mean, max, p50, p95 — milliseconds).
+	LatencyMsByWorkload map[string]stats.HistSummary `json:"latencyMsByWorkload"`
+}
+
+// snapshot assembles the document; queue/cache gauges are passed in by
+// the server, which owns those structures.
+func (m *Metrics) snapshot(queueDepth, running int, cache *Cache) MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := MetricsSnapshot{
+		JobsSubmitted:       m.jobsSubmitted,
+		JobsCompleted:       m.jobsCompleted,
+		JobsFailed:          m.jobsFailed,
+		JobsCanceled:        m.jobsCanceled,
+		JobsRejected:        m.jobsRejected,
+		QueueDepth:          queueDepth,
+		JobsRunning:         running,
+		RunsExecuted:        m.runsExecuted,
+		SimCyclesExecuted:   m.simCyclesExecuted,
+		LatencyMsByWorkload: make(map[string]stats.HistSummary, len(m.latencyMs)),
+	}
+	// Deterministic assembly order (map ranges are random); the JSON
+	// encoder sorts map keys anyway, but keeping the iteration sorted
+	// makes the code's output independent of it.
+	names := make([]string, 0, len(m.latencyMs))
+	for n := range m.latencyMs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s.LatencyMsByWorkload[n] = m.latencyMs[n].Summary()
+	}
+	s.CacheHits, s.CacheMisses, s.CacheEvictions = cache.Counters()
+	s.CacheSize = cache.Len()
+	return s
+}
+
+// renderJSON encodes the snapshot.
+func (s MetricsSnapshot) renderJSON() []byte {
+	b, _ := json.MarshalIndent(s, "", "  ")
+	return b
+}

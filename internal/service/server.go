@@ -1,0 +1,426 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	asfsim "repro"
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+// Config holds the daemon's tunables. The zero value is usable: every
+// field has a default chosen for an interactive single-host deployment.
+type Config struct {
+	// Workers is the number of simulation worker goroutines (default
+	// GOMAXPROCS). Each worker runs one cell at a time.
+	Workers int
+
+	// QueueDepth bounds the job queue (default 64). Submissions beyond
+	// queue capacity are rejected with ErrQueueFull (HTTP 429) rather
+	// than buffered without bound — backpressure, not latency.
+	QueueDepth int
+
+	// CacheEntries bounds the result cache (default 1024 entries).
+	CacheEntries int
+
+	// SnapshotPath, when set, persists the cache as JSON on Shutdown and
+	// reloads it in New, so a restarted daemon keeps its sweep results.
+	SnapshotPath string
+
+	// JobTimeout caps each job's wall-clock run time (0 = unlimited). A
+	// timed-out job ends in state "canceled" via the simulator's
+	// cancellation hook.
+	JobTimeout time.Duration
+
+	// MaxSyncCells caps the matrix size GET /v1/matrix will run
+	// synchronously (default 64 cells); larger sweeps must go through
+	// the async POST /v1/jobs path.
+	MaxSyncCells int
+
+	// JobRetention bounds the completed-job table (default 4096).
+	// Oldest finished jobs are forgotten first; queued and running jobs
+	// are never evicted.
+	JobRetention int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.MaxSyncCells <= 0 {
+		c.MaxSyncCells = 64
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 4096
+	}
+	return c
+}
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+func (s JobState) terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// Job is one queued experiment cell. All mutable fields are guarded by
+// the server mutex; Done is closed exactly once when the job reaches a
+// terminal state, after which Result/Err are immutable.
+type Job struct {
+	ID   string
+	Key  string
+	Spec harness.CellSpec
+
+	State    JobState
+	CacheHit bool
+	Err      string
+	Result   json.RawMessage
+
+	// Done is closed when the job reaches a terminal state.
+	Done chan struct{}
+}
+
+// Sentinel errors Submit maps to HTTP statuses.
+var (
+	// ErrQueueFull reports that the bounded job queue is at capacity
+	// (HTTP 429): retry after in-flight jobs drain.
+	ErrQueueFull = errors.New("service: job queue full")
+
+	// ErrDraining reports that the daemon is shutting down and accepts
+	// no new work (HTTP 503).
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+)
+
+// Server is the simulation-as-a-service engine: a bounded worker pool
+// over the deterministic harness, fronted by a content-addressed result
+// cache. It is transport-agnostic; Handler adapts it to HTTP.
+type Server struct {
+	cfg     Config
+	cache   *Cache
+	metrics *Metrics
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	// kill is closed when a shutdown deadline expires; it cancels every
+	// in-flight simulation through the per-job cancel channel.
+	kill     chan struct{}
+	killOnce sync.Once
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // job IDs oldest-first, for retention eviction
+	nextID   uint64
+	running  int
+	draining bool
+}
+
+// New builds a server, reloads the cache snapshot if configured, and
+// starts the worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheEntries),
+		metrics: NewMetrics(),
+		queue:   make(chan *Job, cfg.QueueDepth),
+		kill:    make(chan struct{}),
+		jobs:    make(map[string]*Job),
+	}
+	if cfg.SnapshotPath != "" {
+		if err := s.cache.LoadFile(cfg.SnapshotPath); err != nil {
+			return nil, fmt.Errorf("service: loading cache snapshot: %w", err)
+		}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Metrics exposes the live counter set (used by tests and /metrics).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Cache exposes the result cache (used by tests and /metrics).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Submit validates and enqueues one cell. Cache hits complete
+// immediately without touching the queue. The returned job is live: wait
+// on Done, then read the terminal state via Lookup or MatrixCell
+// assembly under the server's accessors.
+func (s *Server) Submit(spec harness.CellSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	key := Key(spec)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.metrics.incRejected()
+		return nil, ErrDraining
+	}
+	job := &Job{
+		ID:   fmt.Sprintf("job-%06d", s.nextID),
+		Key:  key,
+		Spec: spec.Normalize(),
+		Done: make(chan struct{}),
+	}
+	s.nextID++
+
+	if e, ok := s.cache.Get(key); ok {
+		job.State = JobDone
+		job.CacheHit = true
+		job.Result = e.Result
+		close(job.Done)
+		s.registerLocked(job)
+		s.metrics.incSubmitted()
+		s.metrics.incCompleted()
+		return job, nil
+	}
+
+	job.State = JobQueued
+	select {
+	case s.queue <- job:
+	default:
+		s.metrics.incRejected()
+		return nil, ErrQueueFull
+	}
+	s.registerLocked(job)
+	s.metrics.incSubmitted()
+	return job, nil
+}
+
+// registerLocked records the job and enforces the retention bound.
+// Caller holds s.mu.
+func (s *Server) registerLocked(job *Job) {
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	for len(s.order) > s.cfg.JobRetention {
+		evicted := false
+		for i, id := range s.order {
+			if j, ok := s.jobs[id]; ok && j.State.terminal() {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			// Everything retained is still queued or running; a live job
+			// is never forgotten, so tolerate exceeding the bound.
+			break
+		}
+	}
+}
+
+// Lookup returns a point-in-time view of a job by ID.
+func (s *Server) Lookup(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return s.viewLocked(job), true
+}
+
+// JobView is the wire form of a job's state.
+type JobView struct {
+	ID        string          `json:"id"`
+	Key       string          `json:"key"`
+	State     JobState        `json:"state"`
+	Workload  string          `json:"workload"`
+	Detection string          `json:"detection"`
+	Scale     string          `json:"scale"`
+	Seed      uint64          `json:"seed"`
+	CacheHit  bool            `json:"cacheHit"`
+	Error     string          `json:"error,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+}
+
+func (s *Server) viewLocked(job *Job) JobView {
+	return JobView{
+		ID:        job.ID,
+		Key:       job.Key,
+		State:     job.State,
+		Workload:  job.Spec.Workload,
+		Detection: job.Spec.Detection.String(),
+		Scale:     job.Spec.Scale.String(),
+		Seed:      job.Spec.Seed,
+		CacheHit:  job.CacheHit,
+		Error:     job.Err,
+		Result:    job.Result,
+	}
+}
+
+// worker drains the queue until it is closed, running one cell at a
+// time. Dequeued jobs re-check the cache first: an identical cell may
+// have completed while this one waited, and serving the stored bytes
+// keeps the duplicate byte-identical without re-simulating.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+func (s *Server) runJob(job *Job) {
+	s.mu.Lock()
+	job.State = JobRunning
+	s.running++
+	s.mu.Unlock()
+
+	// peek, not Get: the user-facing hit/miss counters belong to the
+	// Submit path; this internal re-check (a racing duplicate may have
+	// completed while we sat in the queue) must not double-count.
+	if e, ok := s.cache.peek(job.Key); ok {
+		s.finish(job, JobDone, true, e.Result, "")
+		s.metrics.incCompleted()
+		return
+	}
+
+	// Per-job cancel channel, closed by whichever fires first: the job
+	// timeout or a forced shutdown (s.kill).
+	cancel := make(chan struct{})
+	var cancelOnce sync.Once
+	doCancel := func() { cancelOnce.Do(func() { close(cancel) }) }
+	var timer *time.Timer
+	if s.cfg.JobTimeout > 0 {
+		timer = time.AfterFunc(s.cfg.JobTimeout, doCancel)
+	}
+	watcherDone := make(chan struct{})
+	go func() {
+		select {
+		case <-s.kill:
+			doCancel()
+		case <-watcherDone:
+		}
+	}()
+
+	start := time.Now()
+	r, err := harness.RunCell(job.Spec, cancel)
+	wall := time.Since(start)
+	close(watcherDone)
+	if timer != nil {
+		timer.Stop()
+	}
+
+	switch {
+	case err == nil:
+		rec := stats.NewRecord(r)
+		data, mErr := json.Marshal(rec)
+		if mErr != nil {
+			s.finish(job, JobFailed, false, nil, "encoding result: "+mErr.Error())
+			s.metrics.incFailed()
+			return
+		}
+		s.cache.Put(&CacheEntry{
+			Key:       job.Key,
+			Workload:  job.Spec.Workload,
+			SimCycles: r.Cycles,
+			Result:    data,
+		})
+		// Serve the bytes the cache actually retained: if a racing
+		// duplicate stored first, its (bit-identical by the determinism
+		// contract) bytes are the canonical copy for this key.
+		if stored, ok := s.cache.peek(job.Key); ok {
+			data = stored.Result
+		}
+		s.metrics.noteRun(job.Spec.Workload, r.Cycles, wall.Milliseconds())
+		s.finish(job, JobDone, false, data, "")
+		s.metrics.incCompleted()
+	case errors.Is(err, asfsim.ErrCanceled):
+		s.finish(job, JobCanceled, false, nil, err.Error())
+		s.metrics.incCanceled()
+	default:
+		s.finish(job, JobFailed, false, nil, err.Error())
+		s.metrics.incFailed()
+	}
+}
+
+func (s *Server) finish(job *Job, st JobState, hit bool, result json.RawMessage, errMsg string) {
+	s.mu.Lock()
+	job.State = st
+	job.CacheHit = hit
+	job.Result = result
+	job.Err = errMsg
+	s.running--
+	s.mu.Unlock()
+	close(job.Done)
+}
+
+// QueueDepth returns the number of jobs waiting in the queue.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// Running returns the number of jobs currently executing.
+func (s *Server) Running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
+// Shutdown drains the daemon gracefully: it stops accepting jobs,
+// closes the queue, and waits for queued and running work to finish. If
+// ctx expires first, every in-flight simulation is canceled through the
+// sim-level cancellation hook and Shutdown waits for the (now prompt)
+// worker exit. The cache snapshot, when configured, is written last so
+// it includes every result the drain produced.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	// Safe to close under the lock: Submit only sends while holding it.
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.killOnce.Do(func() { close(s.kill) })
+		<-done
+	}
+
+	if s.cfg.SnapshotPath != "" {
+		if err := s.cache.SaveFile(s.cfg.SnapshotPath); err != nil {
+			return fmt.Errorf("service: writing cache snapshot: %w", err)
+		}
+	}
+	return nil
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// runCounterCompaction runs the counter workload with the snoop-filter
+// compaction interval overridden (set=false leaves the default), and
+// returns the run together with the machine for bus-stat assertions.
+func runCounterCompaction(t *testing.T, cfg Config, n int, interval uint64, set bool) (*stats.Run, *Machine) {
+	t.Helper()
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set {
+		m.bus.SetFilterCompactionInterval(interval)
+	}
+	r, err := m.Execute(&counterWorkload{n: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+	return r, m
+}
+
+// TestFilterCompactionIsBitIdentical: the epoch compaction of the
+// snoop-filter directory must be invisible to simulation results — it
+// only drops entries whose elided probes were already complete no-ops.
+// Run the same seeded workload with compaction disabled, at the default
+// epoch, and at the pathological every-transaction epoch, and require
+// the full result record to be byte-identical across all three.
+func TestFilterCompactionIsBitIdentical(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeBaseline, core.ModeSubBlock} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := testConfig(mode)
+			cfg.Seed = 42
+
+			off, _ := runCounterCompaction(t, cfg, 40, 0, true)   // monotone directory
+			def, _ := runCounterCompaction(t, cfg, 40, 0, false)  // default epoch
+			every, m := runCounterCompaction(t, cfg, 40, 1, true) // compact on every transaction
+
+			enc := func(r *stats.Run) string {
+				b, err := json.Marshal(stats.NewRecord(r))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return string(b)
+			}
+			if a, b := enc(off), enc(def); a != b {
+				t.Fatalf("default-epoch compaction changed results:\noff: %s\ndef: %s", a, b)
+			}
+			if a, b := enc(off), enc(every); a != b {
+				t.Fatalf("every-transaction compaction changed results:\noff: %s\nevery: %s", a, b)
+			}
+			// The aggressive run must actually have compacted — otherwise
+			// this test proves nothing.
+			if m.bus.Stats.FilterCompactions == 0 {
+				t.Fatal("every-transaction run performed no compaction passes")
+			}
+		})
+	}
+}
+
+// TestFilterCompactionBoundsDirectory: on a churn-heavy footprint the
+// compacted directory stays below the monotone one — the reason the
+// epoch pass exists.
+func TestFilterCompactionBoundsDirectory(t *testing.T) {
+	cfg := testConfig(core.ModeSubBlock)
+	cfg.Seed = 7
+
+	_, mono := runCounterCompaction(t, cfg, 60, 0, true)
+	_, compacted := runCounterCompaction(t, cfg, 60, 1, true)
+
+	if compacted.bus.Stats.FilterEntriesDropped == 0 {
+		t.Skip("workload footprint never released a line; nothing to reclaim")
+	}
+	if compacted.bus.FilterDirectorySize() > mono.bus.FilterDirectorySize() {
+		t.Fatalf("compacted directory (%d) larger than monotone (%d)",
+			compacted.bus.FilterDirectorySize(), mono.bus.FilterDirectorySize())
+	}
+}

@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -55,6 +56,15 @@ type Config struct {
 	// it — a watchdog against workload bugs that spin forever (0 = off).
 	MaxCycles int64
 
+	// Cancel, when non-nil, aborts the simulation with ErrCanceled once
+	// the channel is closed. The scheduler polls it between simulated
+	// operations, so cancellation is prompt (each op is microseconds of
+	// wall time) but never lands mid-operation — the machine's state stays
+	// consistent, it is simply abandoned. A run that is never canceled is
+	// bit-identical to one with Cancel nil: the check draws no randomness
+	// and charges no simulated time.
+	Cancel <-chan struct{}
+
 	// CommitCycles is the fixed cost charged for a successful commit
 	// (gang-clearing the speculative bits); AbortCycles likewise for the
 	// discard on abort.
@@ -96,6 +106,10 @@ func DefaultConfig() Config {
 		AbortCycles:  30,
 	}
 }
+
+// ErrCanceled reports that a run was abandoned because Config.Cancel
+// fired. Callers distinguish it from workload failures with errors.Is.
+var ErrCanceled = errors.New("sim: run canceled")
 
 // Machine is one fully assembled simulated system.
 type Machine struct {
@@ -482,6 +496,17 @@ func (m *Machine) schedule() error {
 			for next.wake >= m.wd.windowEnd {
 				m.watchdogTick(m.wd.windowEnd)
 				m.wd.windowEnd += w
+			}
+		}
+		if m.cfg.Cancel != nil {
+			select {
+			case <-m.cfg.Cancel:
+				// Same deal as the MaxCycles path below: worker goroutines
+				// stay parked on their resume channels; the machine is
+				// single-use and about to be discarded.
+				return fmt.Errorf("%w at cycle %d with %d threads still running",
+					ErrCanceled, m.now, active)
+			default:
 			}
 		}
 		if m.cfg.MaxCycles > 0 && next.wake > m.cfg.MaxCycles {

@@ -1,0 +1,165 @@
+package stats
+
+import "repro/internal/oracle"
+
+// HistSummary is the serializable summary of a Histogram: unlike the
+// histogram itself it round-trips through JSON unchanged, which is what
+// the asfd result cache needs (a cached record must re-encode to the
+// byte-identical payload it was stored as).
+type HistSummary struct {
+	N    uint64  `json:"n"`
+	Mean float64 `json:"mean"`
+	Max  int     `json:"max"`
+	P50  int     `json:"p50"`
+	P95  int     `json:"p95"`
+}
+
+// Summary returns the histogram's serializable summary.
+func (h *Histogram) Summary() HistSummary {
+	return HistSummary{
+		N:    h.N(),
+		Mean: h.Mean(),
+		Max:  h.Max(),
+		P50:  h.Percentile(0.50),
+		P95:  h.Percentile(0.95),
+	}
+}
+
+// Record is the wire form of a Run: every scalar counter plus histogram
+// summaries and the headline derived rates, all in plain serializable
+// fields. Encoding a Record with encoding/json is deterministic (struct
+// field order), so equal runs produce byte-identical payloads — the
+// property the asfd content-addressed cache serves results by.
+type Record struct {
+	Workload  string `json:"workload"`
+	Mode      string `json:"mode"`
+	SubBlocks int    `json:"subBlocks"`
+	Threads   int    `json:"threads"`
+	Seed      uint64 `json:"seed"`
+
+	Cycles          int64 `json:"cycles"`
+	CyclesInTx      int64 `json:"cyclesInTx"`
+	CyclesInBackoff int64 `json:"cyclesInBackoff"`
+	CyclesNonTx     int64 `json:"cyclesNonTx"`
+
+	TxStarted    uint64    `json:"txStarted"`
+	TxLaunched   uint64    `json:"txLaunched"`
+	TxCommitted  uint64    `json:"txCommitted"`
+	TxAborted    uint64    `json:"txAborted"`
+	AbortsBy     [7]uint64 `json:"abortsBy"`
+	Retries      uint64    `json:"retries"`
+	MaxRetrySeen int       `json:"maxRetrySeen"`
+	Fallbacks    uint64    `json:"fallbacks"`
+
+	RetryPolicy       string    `json:"retryPolicy"`
+	BlocksCommitted   uint64    `json:"blocksCommitted"`
+	BlocksUserAborted uint64    `json:"blocksUserAborted"`
+	SpuriousAborts    uint64    `json:"spuriousAborts"`
+	SpuriousBy        [3]uint64 `json:"spuriousBy"`
+	FallbacksEarly    uint64    `json:"fallbacksEarly"`
+	LivelockWindows   uint64    `json:"livelockWindows"`
+	StarvationAlerts  uint64    `json:"starvationAlerts"`
+	WatchdogBoosts    uint64    `json:"watchdogBoosts"`
+	StarvationIndex   float64   `json:"starvationIndex"`
+
+	Conflicts      uint64                          `json:"conflicts"`
+	FalseConflicts uint64                          `json:"falseConflicts"`
+	ByType         [oracle.NumConflictTypes]uint64 `json:"byType"`
+	FalseByType    [oracle.NumConflictTypes]uint64 `json:"falseByType"`
+
+	DirtyMarks     uint64 `json:"dirtyMarks"`
+	DirtyRereq     uint64 `json:"dirtyRereq"`
+	RetainedCaught uint64 `json:"retainedCaught"`
+	Nacks          uint64 `json:"nacks"`
+
+	SpeculatedWARs   uint64 `json:"speculatedWARs"`
+	ValidationChecks uint64 `json:"validationChecks"`
+	SigAliasFalse    uint64 `json:"sigAliasFalse"`
+
+	AvoidableBy [4]uint64 `json:"avoidableBy"`
+
+	SpecLoads  uint64 `json:"specLoads"`
+	SpecStores uint64 `json:"specStores"`
+
+	ProbesShared     uint64 `json:"probesShared"`
+	ProbesInvalidate uint64 `json:"probesInvalidate"`
+	DataFromRemote   uint64 `json:"dataFromRemote"`
+	DataFromMemory   uint64 `json:"dataFromMemory"`
+	PiggybackMasks   uint64 `json:"piggybackMasks"`
+
+	FootprintLines HistSummary `json:"footprintLines"`
+	RetryChains    HistSummary `json:"retryChains"`
+
+	// Derived headline rates, precomputed so consumers of the JSON need
+	// no knowledge of the rate definitions.
+	FalseConflictRate float64 `json:"falseConflictRate"`
+	TxFraction        float64 `json:"txFraction"`
+	BackoffFraction   float64 `json:"backoffFraction"`
+	AbortRate         float64 `json:"abortRate"`
+}
+
+// NewRecord flattens a Run into its serializable Record. The optional
+// traces (Series, Lines, Offsets, WatchedOffsets) are deliberately not
+// carried: they are per-invocation instruments, not cell results, and
+// the asfd cache keys do not include the trace toggles.
+func NewRecord(r *Run) *Record {
+	rec := &Record{
+		Workload:          r.Workload,
+		Mode:              r.Mode,
+		SubBlocks:         r.SubBlocks,
+		Threads:           r.Threads,
+		Seed:              r.Seed,
+		Cycles:            r.Cycles,
+		CyclesInTx:        r.CyclesInTx,
+		CyclesInBackoff:   r.CyclesInBackoff,
+		CyclesNonTx:       r.CyclesNonTx,
+		TxStarted:         r.TxStarted,
+		TxLaunched:        r.TxLaunched,
+		TxCommitted:       r.TxCommitted,
+		TxAborted:         r.TxAborted,
+		AbortsBy:          r.AbortsBy,
+		Retries:           r.Retries,
+		MaxRetrySeen:      r.MaxRetrySeen,
+		Fallbacks:         r.Fallbacks,
+		RetryPolicy:       r.RetryPolicy,
+		BlocksCommitted:   r.BlocksCommitted,
+		BlocksUserAborted: r.BlocksUserAborted,
+		SpuriousAborts:    r.SpuriousAborts,
+		SpuriousBy:        r.SpuriousBy,
+		FallbacksEarly:    r.FallbacksEarly,
+		LivelockWindows:   r.LivelockWindows,
+		StarvationAlerts:  r.StarvationAlerts,
+		WatchdogBoosts:    r.WatchdogBoosts,
+		StarvationIndex:   r.StarvationIndex,
+		Conflicts:         r.Conflicts,
+		FalseConflicts:    r.FalseConflicts,
+		ByType:            r.ByType,
+		FalseByType:       r.FalseByType,
+		DirtyMarks:        r.DirtyMarks,
+		DirtyRereq:        r.DirtyRereq,
+		RetainedCaught:    r.RetainedCaught,
+		Nacks:             r.Nacks,
+		SpeculatedWARs:    r.SpeculatedWARs,
+		ValidationChecks:  r.ValidationChecks,
+		SigAliasFalse:     r.SigAliasFalse,
+		AvoidableBy:       r.AvoidableBy,
+		SpecLoads:         r.SpecLoads,
+		SpecStores:        r.SpecStores,
+		ProbesShared:      r.ProbesShared,
+		ProbesInvalidate:  r.ProbesInvalidate,
+		DataFromRemote:    r.DataFromRemote,
+		DataFromMemory:    r.DataFromMemory,
+		PiggybackMasks:    r.PiggybackMasks,
+		FalseConflictRate: r.FalseConflictRate(),
+		TxFraction:        r.TxFraction(),
+		BackoffFraction:   r.BackoffFraction(),
+		AbortRate:         r.AbortRate(),
+	}
+	if r.FootprintLines != nil {
+		rec.FootprintLines = r.FootprintLines.Summary()
+	}
+	if r.RetryChains != nil {
+		rec.RetryChains = r.RetryChains.Summary()
+	}
+	return rec
+}

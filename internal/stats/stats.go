@@ -246,13 +246,7 @@ func (h *Histogram) Percentile(frac float64) int {
 // MarshalJSON renders the histogram as its summary statistics, so the
 // machine-readable Run output (asfsim -json) stays compact.
 func (h *Histogram) MarshalJSON() ([]byte, error) {
-	return json.Marshal(map[string]any{
-		"n":    h.N(),
-		"mean": h.Mean(),
-		"max":  h.Max(),
-		"p50":  h.Percentile(0.50),
-		"p95":  h.Percentile(0.95),
-	})
+	return json.Marshal(h.Summary())
 }
 
 // AtLeast returns the fraction of observations >= v.

@@ -44,6 +44,20 @@ func (s Scale) String() string {
 	return fmt.Sprintf("Scale(%d)", int(s))
 }
 
+// ParseScale resolves a scale name ("tiny", "small", "medium") as
+// accepted by the -scale CLI flags and the asfd job API.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "tiny":
+		return ScaleTiny, nil
+	case "small":
+		return ScaleSmall, nil
+	case "medium":
+		return ScaleMedium, nil
+	}
+	return 0, fmt.Errorf("workloads: unknown scale %q (want tiny, small or medium)", s)
+}
+
 // pick returns the value for the scale from (tiny, small, medium).
 func (s Scale) pick(tiny, small, medium int) int {
 	switch s {
@@ -113,6 +127,13 @@ func ExtraNames() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Known reports whether name is a registered workload (evaluated or
+// extra), without constructing an instance.
+func Known(name string) bool {
+	_, ok := registry[name]
+	return ok
 }
 
 // New builds a fresh instance of the named workload.
