@@ -1,0 +1,315 @@
+// Package client is the typed Go client for the asfd daemon: submit
+// experiment cells, poll jobs, and collect whole figure matrices over
+// HTTP, with the resilience the crash-safe daemon calls for — per-request
+// timeouts, jittered exponential backoff on 429/5xx and transport
+// errors, and idempotent resubmission when a restarted daemon has
+// forgotten a job ID. Resubmission is safe by construction: cells are
+// content-addressed and the simulator is deterministic, so re-running a
+// cell produces byte-identical results, served from the daemon's cache
+// when it already has them.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/rng"
+	"repro/internal/service"
+	"repro/internal/stats"
+)
+
+// Options tunes the client. The zero value is usable.
+type Options struct {
+	// HTTPClient overrides the transport (default http.DefaultClient —
+	// per-request timeouts come from RequestTimeout, not the transport).
+	HTTPClient *http.Client
+
+	// RequestTimeout bounds each individual HTTP attempt (default 30s).
+	RequestTimeout time.Duration
+
+	// MaxAttempts bounds the attempts per logical request, first try
+	// included (default 8). Only transport errors, 429 and 5xx are
+	// retried; 4xx responses are the caller's problem.
+	MaxAttempts int
+
+	// Backoff shapes the retry delays; BaseCycles/MaxCycles are read as
+	// MILLISECONDS here (the manager itself is unit-agnostic). Default:
+	// 50ms doubling to a 5s ceiling with 50% jitter.
+	Backoff backoff.Config
+
+	// PollInterval is the job-poll cadence for Wait (default 50ms).
+	PollInterval time.Duration
+
+	// Seed seeds the jitter source; 0 draws from the wall clock. Tests
+	// pin it for reproducible retry timing.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.HTTPClient == nil {
+		o.HTTPClient = http.DefaultClient
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 8
+	}
+	if o.Backoff.BaseCycles == 0 && o.Backoff.MaxCycles == 0 {
+		o.Backoff = backoff.Config{BaseCycles: 50, MaxCycles: 5000, Jitter: 0.5}
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 50 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = uint64(time.Now().UnixNano())
+	}
+	return o
+}
+
+// APIError is a non-2xx response from the daemon.
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("asfd: HTTP %d: %s", e.Status, e.Msg)
+}
+
+// ErrUnknownJob reports that the daemon does not know the polled job ID
+// — typically because it crashed and its restarted incarnation
+// compacted the job away. RunCell reacts by resubmitting the cell,
+// which is idempotent under content addressing.
+var ErrUnknownJob = errors.New("client: job unknown to the daemon")
+
+// Client talks to one asfd daemon. Safe for concurrent use.
+type Client struct {
+	base string
+	opts Options
+
+	mu sync.Mutex
+	bo *backoff.Manager
+}
+
+// New builds a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8023").
+func New(baseURL string, opts Options) *Client {
+	opts = opts.withDefaults()
+	return &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		opts: opts,
+		bo:   backoff.New(opts.Backoff, rng.New(opts.Seed)),
+	}
+}
+
+// delay computes the jittered backoff before retry attempt n (1-based),
+// serialized because the jitter rng is stateful.
+func (c *Client) delay(n int) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Duration(c.bo.Delay(n)) * time.Millisecond
+}
+
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// do performs one logical request with per-attempt timeouts and
+// jittered exponential backoff on transport errors, 429 and 5xx. A 2xx
+// body is decoded into out (when non-nil); any other final status comes
+// back as *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(c.delay(attempt)):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		status, data, err := c.once(ctx, method, path, body)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err // transport error: retry
+		case status >= 200 && status < 300:
+			if out == nil {
+				return nil
+			}
+			return json.Unmarshal(data, out)
+		default:
+			var er struct {
+				Error string `json:"error"`
+			}
+			json.Unmarshal(data, &er)
+			if er.Error == "" {
+				er.Error = strings.TrimSpace(string(data))
+			}
+			lastErr = &APIError{Status: status, Msg: er.Error}
+			if !retryableStatus(status) {
+				return lastErr
+			}
+		}
+	}
+	return fmt.Errorf("client: %s %s failed after %d attempts: %w", method, path, c.opts.MaxAttempts, lastErr)
+}
+
+func (c *Client) once(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+	actx, cancel := context.WithTimeout(ctx, c.opts.RequestTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.opts.HTTPClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+// Submit submits one cell and returns its accepted job view (state
+// "queued", or "done" immediately on a cache hit). Queue-full responses
+// are retried with backoff; validation errors and breaker rejections
+// (422) are returned as *APIError.
+func (c *Client) Submit(ctx context.Context, req service.JobRequest) (service.JobView, error) {
+	body, err := json.Marshal(service.SubmitRequest{JobRequest: req})
+	if err != nil {
+		return service.JobView{}, err
+	}
+	var resp service.SubmitResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", body, &resp); err != nil {
+		return service.JobView{}, err
+	}
+	if len(resp.Jobs) != 1 {
+		return service.JobView{}, fmt.Errorf("client: daemon accepted %d jobs for one cell", len(resp.Jobs))
+	}
+	return resp.Jobs[0], nil
+}
+
+// Job fetches one job's current view. An unknown ID is ErrUnknownJob.
+func (c *Client) Job(ctx context.Context, id string) (service.JobView, error) {
+	var view service.JobView
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &view)
+	var ae *APIError
+	if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
+		return view, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return view, err
+}
+
+// Jobs lists the daemon's retained jobs, optionally filtered by state
+// (results are omitted from listings; poll the job for its record).
+func (c *Client) Jobs(ctx context.Context, state service.JobState) ([]service.JobView, error) {
+	path := "/v1/jobs"
+	if state != "" {
+		path += "?state=" + string(state)
+	}
+	var resp service.JobListResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Jobs, nil
+}
+
+// Cancel aborts a queued or running job and returns its resulting view.
+func (c *Client) Cancel(ctx context.Context, id string) (service.JobView, error) {
+	var view service.JobView
+	err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/cancel", nil, &view)
+	return view, err
+}
+
+// Metrics fetches the daemon's counter document.
+func (c *Client) Metrics(ctx context.Context) (service.MetricsSnapshot, error) {
+	var snap service.MetricsSnapshot
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &snap)
+	return snap, err
+}
+
+// Health fetches the liveness document (draining/degraded flags).
+func (c *Client) Health(ctx context.Context) (service.Health, error) {
+	var h service.Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// Wait polls a job until it reaches a terminal state. ErrUnknownJob
+// surfaces immediately so the caller can resubmit.
+func (c *Client) Wait(ctx context.Context, id string) (service.JobView, error) {
+	for {
+		view, err := c.Job(ctx, id)
+		if err != nil {
+			return view, err
+		}
+		switch view.State {
+		case service.JobDone, service.JobFailed, service.JobCanceled:
+			return view, nil
+		}
+		select {
+		case <-time.After(c.opts.PollInterval):
+		case <-ctx.Done():
+			return view, ctx.Err()
+		}
+	}
+}
+
+// RunCell runs one cell to completion: submit, wait, decode. If the
+// daemon forgets the job mid-wait (crash + restart compacted it away)
+// the cell is resubmitted — idempotent under content addressing — up to
+// MaxAttempts times. A job that ends "failed" or "canceled" is an
+// error carrying the daemon's structured error string.
+func (c *Client) RunCell(ctx context.Context, req service.JobRequest) (*stats.Record, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		view, err := c.Submit(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		view, err = c.Wait(ctx, view.ID)
+		if errors.Is(err, ErrUnknownJob) {
+			lastErr = err
+			continue // daemon restarted underneath us; resubmit
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch view.State {
+		case service.JobDone:
+			var rec stats.Record
+			if err := json.Unmarshal(view.Result, &rec); err != nil {
+				return nil, fmt.Errorf("client: decoding result for %s: %w", view.ID, err)
+			}
+			return &rec, nil
+		case service.JobCanceled:
+			return nil, fmt.Errorf("client: job %s canceled: %s", view.ID, view.Error)
+		default:
+			return nil, fmt.Errorf("client: job %s failed (%s): %s", view.ID, view.ErrorKind, view.Error)
+		}
+	}
+	return nil, fmt.Errorf("client: cell never completed after %d submissions: %w", c.opts.MaxAttempts, lastErr)
+}

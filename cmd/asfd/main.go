@@ -15,6 +15,13 @@
 // SIGINT/SIGTERM drain gracefully: the HTTP listener stops, queued and
 // running jobs finish (up to -drain-timeout, after which in-flight
 // simulations are canceled), and the cache snapshot is written.
+//
+// With -journal the daemon is crash-safe: every accepted job is written
+// to an fsync'd append-only journal before it is acknowledged, and on
+// restart the journal is replayed — completed cells are served from the
+// reloaded snapshot, unfinished ones are re-enqueued. Disk-write
+// failures degrade the daemon to memory-only operation (visible on
+// /healthz) instead of crashing it.
 package main
 
 import (
@@ -39,22 +46,32 @@ func main() {
 	queueDepth := flag.Int("queue", 64, "job queue depth (backpressure bound)")
 	cacheEntries := flag.Int("cache-entries", 1024, "result cache bound (entries)")
 	snapshot := flag.String("cache-snapshot", "", "cache snapshot path (persisted on shutdown, reloaded on start)")
+	snapshotInterval := flag.Duration("snapshot-interval", 0, "periodic cache-snapshot flush (0 = only on shutdown); needs -cache-snapshot")
+	journal := flag.String("journal", "", "job journal path (crash-safe: accepted jobs are fsync'd and replayed on restart)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive failures of one cell before resubmissions get 422 (0 = default 3, negative disables)")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock cap (0 = unlimited)")
 	maxSyncCells := flag.Int("max-sync-cells", 64, "largest matrix GET /v1/matrix runs synchronously")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "shutdown drain budget before in-flight jobs are canceled")
 	flag.Parse()
 
 	srv, err := service.New(service.Config{
-		Workers:      *workers,
-		QueueDepth:   *queueDepth,
-		CacheEntries: *cacheEntries,
-		SnapshotPath: *snapshot,
-		JobTimeout:   *jobTimeout,
-		MaxSyncCells: *maxSyncCells,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		CacheEntries:     *cacheEntries,
+		SnapshotPath:     *snapshot,
+		SnapshotInterval: *snapshotInterval,
+		JournalPath:      *journal,
+		BreakerThreshold: *breakerThreshold,
+		JobTimeout:       *jobTimeout,
+		MaxSyncCells:     *maxSyncCells,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asfd: %v\n", err)
 		os.Exit(1)
+	}
+	if rec := srv.Recovery(); rec.Replayed > 0 || rec.Torn > 0 {
+		log.Printf("asfd: journal replay: %d jobs (%d re-enqueued, %d from cache, %d terminal), %d torn record(s) tolerated",
+			rec.Replayed, rec.Reenqueued, rec.FromCache, rec.Terminal, rec.Torn)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -86,9 +103,14 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("asfd: http shutdown: %v", err)
 	}
+	// A failed final persist is logged, not fatal: the drain itself
+	// succeeded, and the journal (when enabled) still covers anything
+	// the snapshot missed.
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(os.Stderr, "asfd: %v\n", err)
-		os.Exit(1)
+		log.Printf("asfd: shutdown persist: %v", err)
+	}
+	if degraded, reason := srv.Degraded(); degraded {
+		log.Printf("asfd: exited degraded (memory-only): %s", reason)
 	}
 	log.Printf("asfd: drained, bye")
 }

@@ -13,13 +13,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	asfsim "repro"
+	"repro/client"
 	"repro/internal/oracle"
+	"repro/internal/service"
 	"repro/internal/workloads"
 )
 
@@ -35,6 +38,7 @@ func main() {
 		record  = flag.String("record", "", "record the workload's op stream to this trace file")
 		replay  = flag.String("replay", "", "replay a recorded trace file instead of running a workload")
 		sigBits = flag.Int("sigbits", 0, "signature size in bits for -detect signature (0 = 1024)")
+		server  = flag.String("server", "", "run the cell on an asfd daemon at this base URL (e.g. http://127.0.0.1:8080) instead of in-process")
 
 		faultInterrupt = flag.Float64("fault-interrupt-rate", 0, "spurious interrupt aborts per in-transaction cycle (0..1)")
 		faultTLB       = flag.Float64("fault-tlb-rate", 0, "spurious TLB-miss aborts per transactional access (0..1)")
@@ -93,6 +97,28 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asfsim: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *server != "" {
+		if *replay != "" || *record != "" || *sigBits != 0 {
+			fmt.Fprintln(os.Stderr, "asfsim: -server cells do not support -replay, -record or -sigbits")
+			os.Exit(2)
+		}
+		runRemote(*server, service.JobRequest{
+			Workload:              *wl,
+			Detection:             *detect,
+			Scale:                 *scale,
+			Seed:                  *seed,
+			Cores:                 *cores,
+			FaultInterruptRate:    *faultInterrupt,
+			FaultTLBRate:          *faultTLB,
+			FaultCapacityRate:     *faultCapacity,
+			RetryPolicy:           *retryPolicy,
+			WatchdogWindow:        *wdWindow,
+			WatchdogMitigate:      *wdMitigate,
+			WatchdogStarveWindows: 0,
+		}, *asJSON)
+		return
 	}
 
 	var r *asfsim.Result
@@ -177,5 +203,75 @@ func main() {
 	if *wdWindow > 0 {
 		fmt.Printf("watchdog        livelock windows %-6d starvation alerts %-6d boosts %-6d starvation index %.2f\n",
 			r.LivelockWindows, r.StarvationAlerts, r.WatchdogBoosts, r.StarvationIndex)
+	}
+}
+
+// runRemote runs one cell on an asfd daemon and prints the served
+// record. The daemon computes (or cache-serves) the exact same
+// deterministic result a local run would, so the numbers are identical;
+// only the per-invocation trace instruments (-record, -sigbits) are
+// unavailable remotely.
+func runRemote(base string, req service.JobRequest, asJSON bool) {
+	c := client.New(base, client.Options{})
+	rec, err := c.RunCell(context.Background(), req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asfsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rec); err != nil {
+			fmt.Fprintf(os.Stderr, "asfsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	desc := asfsim.DescribeWorkload(rec.Workload)
+	if desc == "" {
+		desc = "served cell"
+	}
+	fmt.Printf("workload        %s (%s)   [served by %s]\n", rec.Workload, desc, base)
+	fmt.Printf("system          %s   threads %d   seed %d\n", rec.Mode, rec.Threads, rec.Seed)
+	fmt.Printf("execution time  %d cycles\n", rec.Cycles)
+	fmt.Println()
+	fmt.Printf("transactions    launched %-8d attempts %-8d committed %-8d fallbacks %d\n",
+		rec.TxLaunched, rec.TxStarted, rec.TxCommitted, rec.Fallbacks)
+	fmt.Printf("aborts          total %-8d conflict %-8d capacity %-6d user %-6d lock %-4d validation %-4d spurious %d\n",
+		rec.TxAborted, rec.AbortsBy[1], rec.AbortsBy[2], rec.AbortsBy[3], rec.AbortsBy[4], rec.AbortsBy[5], rec.AbortsBy[6])
+	fmt.Printf("retries         total %-8d max chain %-4d mean attempts/block %.2f\n",
+		rec.Retries, rec.MaxRetrySeen, rec.RetryChains.Mean)
+	fmt.Printf("time breakdown  tx %.1f%%   backoff %.1f%%   non-tx %.1f%%\n",
+		rec.TxFraction*100, rec.BackoffFraction*100,
+		100-(rec.TxFraction+rec.BackoffFraction)*100)
+	fmt.Printf("tx footprint    mean %.1f lines   p95 %d   max %d\n",
+		rec.FootprintLines.Mean, rec.FootprintLines.P95, rec.FootprintLines.Max)
+	fmt.Println()
+	fmt.Printf("conflicts       total %-8d false %-8d rate %.1f%%\n",
+		rec.Conflicts, rec.FalseConflicts, rec.FalseConflictRate*100)
+	fmt.Printf("conflict types  WAR %-8d RAW %-8d WAW %d\n",
+		rec.ByType[oracle.WAR], rec.ByType[oracle.RAW], rec.ByType[oracle.WAW])
+	fmt.Printf("false by type   WAR %-8d RAW %-8d WAW %d\n",
+		rec.FalseByType[oracle.WAR], rec.FalseByType[oracle.RAW], rec.FalseByType[oracle.WAW])
+	fmt.Println()
+	fmt.Printf("speculative ops loads %-8d stores %d\n", rec.SpecLoads, rec.SpecStores)
+	fmt.Printf("sub-blocking    dirty marks %-6d dirty re-requests %-6d retained-line hits %d\n",
+		rec.DirtyMarks, rec.DirtyRereq, rec.RetainedCaught)
+	fmt.Printf("coherence       GetS %-8d GetX %-8d c2c %-8d mem %-8d piggyback %d\n",
+		rec.ProbesShared, rec.ProbesInvalidate, rec.DataFromRemote, rec.DataFromMemory, rec.PiggybackMasks)
+	if rec.SpeculatedWARs > 0 || rec.ValidationChecks > 0 || rec.SigAliasFalse > 0 {
+		fmt.Printf("comparators     speculated WARs %-6d validations %-6d signature aliases %d\n",
+			rec.SpeculatedWARs, rec.ValidationChecks, rec.SigAliasFalse)
+	}
+	if rec.SpuriousAborts > 0 || rec.RetryPolicy != "exponential" || rec.FallbacksEarly > 0 {
+		fmt.Printf("robustness      policy %-12s spurious %d (interrupt %d tlb %d capacity %d)   early fallbacks %d\n",
+			rec.RetryPolicy, rec.SpuriousAborts, rec.SpuriousBy[0], rec.SpuriousBy[1], rec.SpuriousBy[2],
+			rec.FallbacksEarly)
+	}
+	if rec.LivelockWindows > 0 || rec.WatchdogBoosts > 0 || rec.StarvationAlerts > 0 {
+		fmt.Printf("watchdog        livelock windows %-6d starvation alerts %-6d boosts %-6d starvation index %.2f\n",
+			rec.LivelockWindows, rec.StarvationAlerts, rec.WatchdogBoosts, rec.StarvationIndex)
 	}
 }

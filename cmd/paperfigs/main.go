@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,6 +22,7 @@ import (
 	"strings"
 
 	asfsim "repro"
+	"repro/client"
 	"repro/internal/harness"
 	"repro/internal/workloads"
 )
@@ -39,6 +41,7 @@ func main() {
 		cores    = flag.Int("cores", 8, "simulated cores")
 		wls      = flag.String("workloads", "", "comma-separated workload subset (default: all)")
 		parallel = flag.Int("parallel", 0, "matrix cells simulated concurrently (0 = GOMAXPROCS, 1 = serial); output is identical either way")
+		server   = flag.String("server", "", "collect the matrix from an asfd daemon at this base URL instead of simulating in-process; repeat runs are served from its cache")
 	)
 	flag.Parse()
 
@@ -100,7 +103,16 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "paperfigs: running %d workloads × %d systems × %d seeds at scale %v...\n",
 		len(opts.Workloads), len(dets), len(opts.Seeds), opts.Scale)
-	m, err := harness.Collect(opts, dets)
+	var m *harness.Matrix
+	var err error
+	if *server != "" {
+		// Served matrices are bit-identical to local ones: the daemon
+		// runs the same deterministic cells and caches them by content
+		// address, so a repeat collection costs no simulation at all.
+		m, err = client.New(*server, client.Options{}).CollectMatrix(context.Background(), opts, dets)
+	} else {
+		m, err = harness.Collect(opts, dets)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
 		os.Exit(1)

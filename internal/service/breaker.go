@@ -1,0 +1,65 @@
+package service
+
+import "sync"
+
+// breaker is the per-content-address circuit breaker: a cell that keeps
+// failing (simulation error or worker panic) trips after `threshold`
+// consecutive failures, and further submissions of the same address are
+// rejected with ErrKeyPoisoned (HTTP 422) instead of burning the worker
+// pool on a job that is deterministically doomed — the simulator is a
+// pure function of the spec, so a repeat of a failing cell fails again.
+// Cancellations are not failures. A success (possible after a code or
+// environment change under a restarted daemon) resets the key.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int // consecutive failures to trip; <=0 means disabled
+	fails     map[string]int
+}
+
+// breakerMaxKeys bounds the failure table; failing keys are rare, so
+// hitting the bound at all means something is systemically wrong and
+// dropping an arbitrary entry (slightly loosening that key's breaker)
+// is the safe direction.
+const breakerMaxKeys = 4096
+
+func newBreaker(threshold int) *breaker {
+	return &breaker{threshold: threshold, fails: make(map[string]int)}
+}
+
+// allow reports whether submissions of key are still accepted.
+func (b *breaker) allow(key string) bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fails[key] < b.threshold
+}
+
+// failure records one failed run of key and reports whether this
+// failure tripped the breaker (the transition, not the state).
+func (b *breaker) failure(key string) bool {
+	if b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.fails[key]; !ok && len(b.fails) >= breakerMaxKeys {
+		for k := range b.fails {
+			delete(b.fails, k)
+			break
+		}
+	}
+	b.fails[key]++
+	return b.fails[key] == b.threshold
+}
+
+// success clears key's failure streak.
+func (b *breaker) success(key string) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	delete(b.fails, key)
+	b.mu.Unlock()
+}

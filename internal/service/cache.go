@@ -3,11 +3,18 @@ package service
 import (
 	"container/list"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sync"
 )
+
+// ErrCorruptSnapshot reports that a snapshot file exists but does not
+// decode. The server quarantines such a file (rename to
+// <path>.corrupt-<timestamp>) and starts with an empty cache rather
+// than refusing to boot.
+var ErrCorruptSnapshot = errors.New("service: corrupt cache snapshot")
 
 // CacheEntry is one cached cell result: the canonical record JSON bytes
 // under the cell's content address. Results are stored and served as raw
@@ -135,7 +142,7 @@ func (c *Cache) WriteSnapshot(w io.Writer) error {
 func (c *Cache) ReadSnapshot(r io.Reader) error {
 	var f snapshotFile
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
-		return fmt.Errorf("service: corrupt cache snapshot: %w", err)
+		return fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
 	}
 	if f.SchemaVersion != keySchemaVersion {
 		return nil
@@ -148,28 +155,45 @@ func (c *Cache) ReadSnapshot(r io.Reader) error {
 }
 
 // SaveFile writes the snapshot atomically (temp file + rename) to path.
-func (c *Cache) SaveFile(path string) error {
+func (c *Cache) SaveFile(path string) error { return c.SaveFileFS(OSFS{}, path) }
+
+// SaveFileFS is SaveFile over an explicit filesystem (the server passes
+// its configured FS so the chaos harness can inject write failures).
+// The temp file is fsync'd before the rename, so a crash straddling the
+// save leaves either the previous snapshot or the new one, never a
+// truncated file.
+func (c *Cache) SaveFileFS(fsys FS, path string) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if err := c.WriteSnapshot(f); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	return fsys.Rename(tmp, path)
 }
 
 // LoadFile reads a snapshot from path; a missing file is not an error
 // (first boot).
-func (c *Cache) LoadFile(path string) error {
-	f, err := os.Open(path)
+func (c *Cache) LoadFile(path string) error { return c.LoadFileFS(OSFS{}, path) }
+
+// LoadFileFS is LoadFile over an explicit filesystem. A decode failure
+// is reported as (a wrap of) ErrCorruptSnapshot so the caller can
+// quarantine the file.
+func (c *Cache) LoadFileFS(fsys FS, path string) error {
+	f, err := fsys.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil

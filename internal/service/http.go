@@ -160,15 +160,19 @@ type errorResponse struct {
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST /v1/jobs      submit one cell or a matrix sweep (async, 202)
-//	GET  /v1/jobs/{id} poll one job; includes the result when done
-//	GET  /v1/matrix    run a small sweep synchronously
-//	GET  /metrics      live counters, JSON
-//	GET  /healthz      liveness + draining flag
+//	POST /v1/jobs             submit one cell or a matrix sweep (async, 202)
+//	GET  /v1/jobs             list retained jobs (?state= filters; results omitted)
+//	GET  /v1/jobs/{id}        poll one job; includes the result when done
+//	POST /v1/jobs/{id}/cancel abort a queued or running job
+//	GET  /v1/matrix           run a small sweep synchronously
+//	GET  /metrics             live counters, JSON
+//	GET  /healthz             liveness + draining/degraded flags
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /v1/matrix", s.handleMatrix)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -229,9 +233,39 @@ func submitErrorStatus(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrKeyPoisoned):
+		return http.StatusUnprocessableEntity
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// JobListResponse is the GET /v1/jobs document.
+type JobListResponse struct {
+	Jobs []JobView `json:"jobs"`
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	state, err := ParseJobState(r.URL.Query().Get("state"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, JobListResponse{Jobs: s.Jobs(state)})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Lookup(id); !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + id})
+		return
+	}
+	// Cancel returning false here just means the job already reached a
+	// terminal state — from the client's point of view that is success
+	// (the job is not running), so report the current view either way.
+	s.Cancel(id)
+	view, _ := s.Lookup(id)
+	writeJSON(w, http.StatusOK, view)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -331,15 +365,13 @@ func splitList(s string) []string {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.metrics.snapshot(s.QueueDepth(), s.Running(), s.cache)
+	degraded, _ := s.Degraded()
+	snap := s.metrics.snapshot(s.QueueDepth(), s.Running(), s.cache, s.journalRecords(), degraded)
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(snap.renderJSON())
 	w.Write([]byte("\n"))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"draining": s.Draining(),
-	})
+	writeJSON(w, http.StatusOK, s.Health())
 }

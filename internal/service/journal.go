@@ -1,0 +1,257 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// journalSchemaVersion guards the journal's record encoding the same way
+// keySchemaVersion guards the cache: a journal written under a different
+// schema is ignored wholesale on replay (its specs may no longer name
+// the same computations), never misinterpreted.
+const journalSchemaVersion = 1
+
+// journalOp is one job lifecycle transition.
+type journalOp string
+
+const (
+	opSubmitted journalOp = "submitted"
+	opStarted   journalOp = "started"
+	opDone      journalOp = "done"
+	opFailed    journalOp = "failed"
+	opCanceled  journalOp = "canceled"
+)
+
+func (op journalOp) terminal() bool {
+	return op == opDone || op == opFailed || op == opCanceled
+}
+
+// journalRecord is one line of the append-only job journal: a lifecycle
+// transition keyed by job ID and content address. Submitted records
+// carry the full canonical cell so a recovering daemon can re-enqueue
+// the job without any other state; terminal records carry the outcome.
+type journalRecord struct {
+	Schema int            `json:"schema"`
+	Op     journalOp      `json:"op"`
+	ID     string         `json:"id"`
+	Key    string         `json:"key,omitempty"`
+	Cell   *canonicalCell `json:"cell,omitempty"`
+	Error  string         `json:"error,omitempty"`
+	Kind   string         `json:"kind,omitempty"` // failure kind ("panic"/"error") on failed records
+}
+
+// Journal is the daemon's write-ahead log of job lifecycle records: an
+// append-only file of JSON lines, fsync'd after every append, rotated
+// atomically (temp file + rename) when its completed records have been
+// compacted into the cache snapshot. Appends are serialized by the
+// journal's own mutex; the fsync happens inside the critical section so
+// the on-disk record order matches the append order.
+type Journal struct {
+	mu   sync.Mutex
+	fs   FS
+	path string
+	f    File
+
+	records uint64 // appends since open (monotone; metrics reads it)
+}
+
+// OpenJournal opens (creating if absent) the journal at path for
+// appending. Replay the existing contents first with ReplayJournal:
+// opening is cheap and does not read the file.
+func OpenJournal(fsys FS, path string) (*Journal, error) {
+	f, err := fsys.Append(path)
+	if err != nil {
+		return nil, fmt.Errorf("service: opening journal: %w", err)
+	}
+	return &Journal{fs: fsys, path: path, f: f}, nil
+}
+
+// Append durably writes one record: marshal, write one line, fsync. An
+// error means the record may not be on stable storage — the server
+// reacts by degrading to memory-only mode rather than crashing.
+func (j *Journal) Append(rec journalRecord) error {
+	rec.Schema = journalSchemaVersion
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("service: encoding journal record: %w", err)
+	}
+	line = append(line, '\n')
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("service: journal is closed")
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("service: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("service: journal fsync: %w", err)
+	}
+	j.records++
+	return nil
+}
+
+// Records returns the number of records appended since the journal was
+// opened (replayed records are not counted).
+func (j *Journal) Records() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.records
+}
+
+// Rotate atomically replaces the journal with one containing only the
+// given live records — called right after the cache snapshot is written,
+// at which point every completed job's result is snapshot-covered and
+// its records are dead weight. The new journal is written to a temp
+// file, fsync'd, and renamed over the old one; a crash at any point
+// leaves either the old journal or the new one, never a torn mix.
+func (j *Journal) Rotate(live []journalRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("service: journal is closed")
+	}
+
+	tmp := j.path + ".tmp"
+	f, err := j.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("service: journal rotate: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, rec := range live {
+		rec.Schema = journalSchemaVersion
+		line, err := json.Marshal(rec)
+		if err != nil {
+			f.Close()
+			j.fs.Remove(tmp)
+			return fmt.Errorf("service: journal rotate: %w", err)
+		}
+		line = append(line, '\n')
+		if _, err := w.Write(line); err != nil {
+			f.Close()
+			j.fs.Remove(tmp)
+			return fmt.Errorf("service: journal rotate: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		j.fs.Remove(tmp)
+		return fmt.Errorf("service: journal rotate: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		j.fs.Remove(tmp)
+		return fmt.Errorf("service: journal rotate: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		j.fs.Remove(tmp)
+		return fmt.Errorf("service: journal rotate: %w", err)
+	}
+	if err := j.fs.Rename(tmp, j.path); err != nil {
+		j.fs.Remove(tmp)
+		return fmt.Errorf("service: journal rotate: %w", err)
+	}
+
+	// The old handle now points at the unlinked inode; reopen on the
+	// fresh file so subsequent appends land in the rotated journal.
+	j.f.Close()
+	nf, err := j.fs.Append(j.path)
+	if err != nil {
+		j.f = nil
+		return fmt.Errorf("service: journal reopen after rotate: %w", err)
+	}
+	j.f = nf
+	return nil
+}
+
+// Close releases the journal file. Further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// replayedJob is the folded state of one job after reading the journal:
+// its latest lifecycle op plus the spec-bearing fields from whichever
+// records carried them.
+type replayedJob struct {
+	ID    string
+	Key   string
+	Cell  *canonicalCell
+	Op    journalOp
+	Error string
+	Kind  string
+}
+
+// ReplayJournal reads the journal at path and folds its records into
+// per-job states, in first-submission order. A missing file is an empty
+// journal (first boot). A torn final line — the signature of a crash
+// mid-append — is tolerated and counted; a torn line anywhere else, or
+// a record under a different schema version, discards the journal
+// wholesale (it cannot be trusted record-by-record).
+func ReplayJournal(fsys FS, path string) (jobs []*replayedJob, torn int, err error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("service: opening journal for replay: %w", err)
+	}
+	defer f.Close()
+
+	byID := make(map[string]*replayedJob)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	bad := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if jerr := json.Unmarshal(line, &rec); jerr != nil {
+			bad++
+			continue
+		}
+		if bad > 0 {
+			// A decodable record AFTER an undecodable one means the tear
+			// was not a crash-truncated tail: the file is corrupt.
+			return nil, 0, fmt.Errorf("service: journal %s is corrupt mid-file", path)
+		}
+		if rec.Schema != journalSchemaVersion {
+			return nil, 0, nil // stale schema: ignore wholesale, like the snapshot
+		}
+		j, ok := byID[rec.ID]
+		if !ok {
+			j = &replayedJob{ID: rec.ID}
+			byID[rec.ID] = j
+			jobs = append(jobs, j)
+		}
+		j.Op = rec.Op
+		if rec.Key != "" {
+			j.Key = rec.Key
+		}
+		if rec.Cell != nil {
+			j.Cell = rec.Cell
+		}
+		if rec.Error != "" {
+			j.Error = rec.Error
+		}
+		if rec.Kind != "" {
+			j.Kind = rec.Kind
+		}
+	}
+	if serr := sc.Err(); serr != nil {
+		return nil, 0, fmt.Errorf("service: reading journal: %w", serr)
+	}
+	return jobs, bad, nil
+}

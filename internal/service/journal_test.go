@@ -1,0 +1,158 @@
+package service
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/workloads"
+)
+
+func testCell(t *testing.T, seed uint64) (harness.CellSpec, canonicalCell) {
+	t.Helper()
+	spec := harness.CellSpec{
+		Workload: workloads.Names()[0],
+		Scale:    workloads.ScaleTiny,
+		Seed:     seed,
+	}.Normalize()
+	return spec, encodeCell(spec)
+}
+
+func TestJournalAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, err := OpenJournal(OSFS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cell1 := testCell(t, 1)
+	_, cell2 := testCell(t, 2)
+	recs := []journalRecord{
+		{Op: opSubmitted, ID: "job-000000", Key: "k1", Cell: &cell1},
+		{Op: opSubmitted, ID: "job-000001", Key: "k2", Cell: &cell2},
+		{Op: opStarted, ID: "job-000000", Key: "k1"},
+		{Op: opDone, ID: "job-000000", Key: "k1"},
+		{Op: opFailed, ID: "job-000001", Key: "k2", Error: "boom", Kind: "panic"},
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := j.Records(); got != uint64(len(recs)) {
+		t.Fatalf("Records() = %d, want %d", got, len(recs))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs, torn, err := ReplayJournal(OSFS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn != 0 {
+		t.Fatalf("torn = %d, want 0", torn)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(jobs))
+	}
+	// First-submission order, latest op, fields folded across records.
+	if jobs[0].ID != "job-000000" || jobs[0].Op != opDone || jobs[0].Cell == nil || jobs[0].Key != "k1" {
+		t.Fatalf("job 0 folded wrong: %+v", jobs[0])
+	}
+	if jobs[1].Op != opFailed || jobs[1].Error != "boom" || jobs[1].Kind != "panic" {
+		t.Fatalf("job 1 folded wrong: %+v", jobs[1])
+	}
+
+	// The folded cell decodes back to the spec it encoded.
+	spec1, _ := testCell(t, 1)
+	got, err := jobs[0].Cell.spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Normalize() != spec1 {
+		t.Fatalf("cell round-trip: got %+v want %+v", got.Normalize(), spec1)
+	}
+}
+
+func TestJournalMissingFileIsEmpty(t *testing.T) {
+	jobs, torn, err := ReplayJournal(OSFS{}, filepath.Join(t.TempDir(), "nope.wal"))
+	if err != nil || torn != 0 || len(jobs) != 0 {
+		t.Fatalf("missing journal: jobs=%d torn=%d err=%v", len(jobs), torn, err)
+	}
+}
+
+func TestJournalTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	_, cell := testCell(t, 1)
+	line, _ := json.Marshal(journalRecord{Schema: journalSchemaVersion, Op: opSubmitted, ID: "job-000000", Key: "k1", Cell: &cell})
+	// A complete record followed by a crash-truncated half line.
+	if err := os.WriteFile(path, append(append(line, '\n'), []byte(`{"schema":1,"op":"done","i`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jobs, torn, err := ReplayJournal(OSFS{}, path)
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated, got %v", err)
+	}
+	if torn != 1 || len(jobs) != 1 || jobs[0].Op != opSubmitted {
+		t.Fatalf("jobs=%d torn=%d", len(jobs), torn)
+	}
+}
+
+func TestJournalCorruptMidFileRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	line, _ := json.Marshal(journalRecord{Schema: journalSchemaVersion, Op: opSubmitted, ID: "job-000000"})
+	content := append([]byte("not json at all\n"), append(line, '\n')...)
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReplayJournal(OSFS{}, path); err == nil {
+		t.Fatal("mid-file corruption should be an error, not silently skipped")
+	}
+}
+
+func TestJournalSchemaMismatchIgnoredWholesale(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	line, _ := json.Marshal(journalRecord{Schema: journalSchemaVersion + 1, Op: opSubmitted, ID: "job-000000"})
+	if err := os.WriteFile(path, append(line, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jobs, torn, err := ReplayJournal(OSFS{}, path)
+	if err != nil || torn != 0 || len(jobs) != 0 {
+		t.Fatalf("stale schema: jobs=%d torn=%d err=%v (want all zero)", len(jobs), torn, err)
+	}
+}
+
+func TestJournalRotate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, err := OpenJournal(OSFS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	_, cell := testCell(t, 1)
+	for i, op := range []journalOp{opSubmitted, opStarted, opDone} {
+		if err := j.Append(journalRecord{Op: op, ID: "job-000000", Key: "k1", Cell: &cell}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+
+	live := []journalRecord{{Op: opSubmitted, ID: "job-000007", Key: "k7", Cell: &cell}}
+	if err := j.Rotate(live); err != nil {
+		t.Fatal(err)
+	}
+	// Appends after rotation land in the rotated file.
+	if err := j.Append(journalRecord{Op: opStarted, ID: "job-000007", Key: "k7"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	jobs, torn, err := ReplayJournal(OSFS{}, path)
+	if err != nil || torn != 0 {
+		t.Fatalf("replay after rotate: torn=%d err=%v", torn, err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != "job-000007" || jobs[0].Op != opStarted {
+		t.Fatalf("rotated journal replay wrong: %+v", jobs)
+	}
+}

@@ -12,7 +12,9 @@ import (
 	"encoding/hex"
 	"encoding/json"
 
+	asfsim "repro"
 	"repro/internal/harness"
+	"repro/internal/workloads"
 )
 
 // keySchemaVersion is bumped whenever the canonical cell encoding below
@@ -63,13 +65,12 @@ type canonicalCell struct {
 	WatchdogStarveWindows int64 `json:"watchdogStarveWindows"`
 }
 
-// Key returns the content address of a cell: the hex SHA-256 of the
-// canonical encoding of the normalized spec. Two specs get the same key
-// iff the simulator is guaranteed to produce bit-identical results for
-// them, which is what makes serving from the cache exact.
-func Key(spec harness.CellSpec) string {
+// encodeCell renders a spec in its canonical wire form — the encoding
+// the content address is hashed from, and (since the journal stores it
+// verbatim) the encoding a recovering daemon re-enqueues jobs from.
+func encodeCell(spec harness.CellSpec) canonicalCell {
 	s := spec.Normalize()
-	c := canonicalCell{
+	return canonicalCell{
 		V:         keySchemaVersion,
 		Workload:  s.Workload,
 		Detection: s.Detection.String(),
@@ -97,6 +98,61 @@ func Key(spec harness.CellSpec) string {
 		WatchdogMitigate:      s.Watchdog.Mitigate,
 		WatchdogStarveWindows: s.Watchdog.StarveWindows,
 	}
+}
+
+// spec decodes a canonical cell back into a harness spec — the inverse
+// of encodeCell, used when replaying the job journal. Enumerations go
+// back through the same parsers the HTTP API and CLIs use, so a record
+// naming an enum this build no longer knows fails loudly instead of
+// silently running a different system.
+func (c canonicalCell) spec() (harness.CellSpec, error) {
+	var spec harness.CellSpec
+	spec.Workload = c.Workload
+	d, err := asfsim.ParseDetection(c.Detection)
+	if err != nil {
+		return spec, err
+	}
+	spec.Detection = d
+	sc, err := workloads.ParseScale(c.Scale)
+	if err != nil {
+		return spec, err
+	}
+	spec.Scale = sc
+	spec.Seed = c.Seed
+	spec.Cores = c.Cores
+	spec.MaxRetries = c.MaxRetries
+	spec.MaxCycles = c.MaxCycles
+	spec.Fault = asfsim.FaultConfig{
+		InterruptRate:     c.FaultInterruptRate,
+		TLBRate:           c.FaultTLBRate,
+		CapacityNoiseRate: c.FaultCapacityRate,
+	}
+	kind, err := asfsim.ParseRetryPolicy(c.RetryPolicy)
+	if err != nil {
+		return spec, err
+	}
+	spec.Retry.Kind = kind
+	spec.Retry.MaxRetries = c.RetryMaxRetries
+	spec.Retry.Backoff.BaseCycles = c.BackoffBase
+	spec.Retry.Backoff.MaxCycles = c.BackoffMax
+	spec.Retry.Backoff.Jitter = c.BackoffJitter
+	spec.Retry.SerializeAfter = c.SerializeAfter
+	spec.Retry.DemoteAbortRate = c.DemoteAbortRate
+	spec.Retry.DemoteMinAttempts = c.DemoteMinAttempts
+	spec.Watchdog = asfsim.WatchdogConfig{
+		Window:        c.WatchdogWindow,
+		Mitigate:      c.WatchdogMitigate,
+		StarveWindows: c.WatchdogStarveWindows,
+	}
+	return spec, spec.Validate()
+}
+
+// Key returns the content address of a cell: the hex SHA-256 of the
+// canonical encoding of the normalized spec. Two specs get the same key
+// iff the simulator is guaranteed to produce bit-identical results for
+// them, which is what makes serving from the cache exact.
+func Key(spec harness.CellSpec) string {
+	c := encodeCell(spec)
 	raw, err := json.Marshal(c)
 	if err != nil {
 		// canonicalCell contains only plain scalar fields; Marshal cannot

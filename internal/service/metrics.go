@@ -23,6 +23,18 @@ type Metrics struct {
 	runsExecuted      uint64 // simulations actually run (cache misses)
 	simCyclesExecuted uint64 // total simulated cycles across executed runs
 
+	workerPanics    uint64 // cell executions that panicked (recovered; job failed)
+	breakerTripped  uint64 // content addresses whose failure streak tripped the breaker
+	breakerRejected uint64 // submissions refused with 422 (poisoned content address)
+
+	journalRotations    uint64 // journal compactions (startup + each snapshot flush)
+	recoveredReenqueued uint64 // journaled jobs re-enqueued on startup (never reached done)
+	recoveredFromCache  uint64 // journaled done jobs served from the reloaded snapshot
+	recoveredTerminal   uint64 // journaled failed/canceled jobs re-registered terminal
+	journalTornRecords  uint64 // torn tail lines tolerated during replay (crash mid-append)
+	snapshotWrites      uint64 // cache snapshots written (periodic flush + shutdown)
+	snapshotQuarantines uint64 // corrupt snapshots renamed aside at startup
+
 	// latencyMs holds one wall-clock latency histogram per workload, in
 	// milliseconds, for executed runs only (cache hits are ~0 and would
 	// drown the signal the histogram exists for).
@@ -39,6 +51,31 @@ func (m *Metrics) incCompleted() { m.mu.Lock(); m.jobsCompleted++; m.mu.Unlock()
 func (m *Metrics) incFailed()    { m.mu.Lock(); m.jobsFailed++; m.mu.Unlock() }
 func (m *Metrics) incCanceled()  { m.mu.Lock(); m.jobsCanceled++; m.mu.Unlock() }
 func (m *Metrics) incRejected()  { m.mu.Lock(); m.jobsRejected++; m.mu.Unlock() }
+
+func (m *Metrics) incPanics()          { m.mu.Lock(); m.workerPanics++; m.mu.Unlock() }
+func (m *Metrics) incBreakerTripped()  { m.mu.Lock(); m.breakerTripped++; m.mu.Unlock() }
+func (m *Metrics) incBreakerRejected() { m.mu.Lock(); m.breakerRejected++; m.mu.Unlock() }
+func (m *Metrics) incRotations()       { m.mu.Lock(); m.journalRotations++; m.mu.Unlock() }
+func (m *Metrics) incSnapshotWrites()  { m.mu.Lock(); m.snapshotWrites++; m.mu.Unlock() }
+func (m *Metrics) incQuarantines()     { m.mu.Lock(); m.snapshotQuarantines++; m.mu.Unlock() }
+
+// noteRecovery records the outcome of a journal replay.
+func (m *Metrics) noteRecovery(reenqueued, fromCache, terminal, torn int) {
+	m.mu.Lock()
+	m.recoveredReenqueued += uint64(reenqueued)
+	m.recoveredFromCache += uint64(fromCache)
+	m.recoveredTerminal += uint64(terminal)
+	m.journalTornRecords += uint64(torn)
+	m.mu.Unlock()
+}
+
+// WorkerPanics returns the recovered-panic count (used by the chaos
+// harness to prove injection actually happened).
+func (m *Metrics) WorkerPanics() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.workerPanics
+}
 
 // noteRun records one executed (non-cached) simulation: its simulated
 // cycle count and its wall-clock latency.
@@ -85,14 +122,31 @@ type MetricsSnapshot struct {
 	RunsExecuted      uint64 `json:"runsExecuted"`
 	SimCyclesExecuted uint64 `json:"simCyclesExecuted"`
 
+	WorkerPanics    uint64 `json:"workerPanics"`
+	BreakerTripped  uint64 `json:"breakerTripped"`
+	BreakerRejected uint64 `json:"breakerRejected"`
+
+	JournalRecords      uint64 `json:"journalRecords"`
+	JournalRotations    uint64 `json:"journalRotations"`
+	JournalTornRecords  uint64 `json:"journalTornRecords"`
+	RecoveredReenqueued uint64 `json:"recoveredReenqueued"`
+	RecoveredFromCache  uint64 `json:"recoveredFromCache"`
+	RecoveredTerminal   uint64 `json:"recoveredTerminal"`
+	SnapshotWrites      uint64 `json:"snapshotWrites"`
+	SnapshotQuarantines uint64 `json:"snapshotQuarantines"`
+
+	// Degraded mirrors /healthz: true once a journal or snapshot write
+	// has failed and the daemon fell back to memory-only operation.
+	Degraded bool `json:"degraded"`
+
 	// LatencyMsByWorkload summarizes executed-run wall latency per
 	// workload (n, mean, max, p50, p95 — milliseconds).
 	LatencyMsByWorkload map[string]stats.HistSummary `json:"latencyMsByWorkload"`
 }
 
-// snapshot assembles the document; queue/cache gauges are passed in by
-// the server, which owns those structures.
-func (m *Metrics) snapshot(queueDepth, running int, cache *Cache) MetricsSnapshot {
+// snapshot assembles the document; queue/cache/journal gauges are
+// passed in by the server, which owns those structures.
+func (m *Metrics) snapshot(queueDepth, running int, cache *Cache, journalRecords uint64, degraded bool) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := MetricsSnapshot{
@@ -105,6 +159,18 @@ func (m *Metrics) snapshot(queueDepth, running int, cache *Cache) MetricsSnapsho
 		JobsRunning:         running,
 		RunsExecuted:        m.runsExecuted,
 		SimCyclesExecuted:   m.simCyclesExecuted,
+		WorkerPanics:        m.workerPanics,
+		BreakerTripped:      m.breakerTripped,
+		BreakerRejected:     m.breakerRejected,
+		JournalRecords:      journalRecords,
+		JournalRotations:    m.journalRotations,
+		JournalTornRecords:  m.journalTornRecords,
+		RecoveredReenqueued: m.recoveredReenqueued,
+		RecoveredFromCache:  m.recoveredFromCache,
+		RecoveredTerminal:   m.recoveredTerminal,
+		SnapshotWrites:      m.snapshotWrites,
+		SnapshotQuarantines: m.snapshotQuarantines,
+		Degraded:            degraded,
 		LatencyMsByWorkload: make(map[string]stats.HistSummary, len(m.latencyMs)),
 	}
 	// Deterministic assembly order (map ranges are random); the JSON

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -23,15 +24,41 @@ type Config struct {
 
 	// QueueDepth bounds the job queue (default 64). Submissions beyond
 	// queue capacity are rejected with ErrQueueFull (HTTP 429) rather
-	// than buffered without bound — backpressure, not latency.
+	// than buffered without bound — backpressure, not latency. Jobs
+	// re-enqueued by journal recovery do not count against the bound (a
+	// recovering daemon must never reject its own past acceptances).
 	QueueDepth int
 
 	// CacheEntries bounds the result cache (default 1024 entries).
 	CacheEntries int
 
-	// SnapshotPath, when set, persists the cache as JSON on Shutdown and
-	// reloads it in New, so a restarted daemon keeps its sweep results.
+	// SnapshotPath, when set, persists the cache as JSON on Shutdown,
+	// every SnapshotInterval, and on journal compaction, and reloads it
+	// in New, so a restarted daemon keeps its sweep results. A corrupt
+	// snapshot is quarantined (renamed aside) rather than failing boot.
 	SnapshotPath string
+
+	// SnapshotInterval, when positive and SnapshotPath is set, flushes
+	// the cache snapshot periodically (and compacts the journal against
+	// it), so a crash loses at most one interval of cache entries. Zero
+	// keeps the PR 3 behavior: snapshot only on graceful shutdown.
+	SnapshotInterval time.Duration
+
+	// JournalPath, when set, enables the durable job journal: an
+	// append-only, fsync'd log of job lifecycle records. On startup the
+	// journal is replayed — jobs that never reached "done" are
+	// re-enqueued, completed ones are served from the reloaded cache —
+	// so a crash loses no accepted work. Empty disables journaling
+	// entirely (byte-for-byte the pre-journal service behavior).
+	JournalPath string
+
+	// BreakerThreshold is the per-content-address circuit breaker: after
+	// this many consecutive failures (simulation errors or worker
+	// panics) of the same cell, resubmissions are rejected with
+	// ErrKeyPoisoned (HTTP 422) instead of burning the pool — the
+	// simulator is deterministic, so a failing cell fails every time.
+	// 0 means the default (3); negative disables the breaker.
+	BreakerThreshold int
 
 	// JobTimeout caps each job's wall-clock run time (0 = unlimited). A
 	// timed-out job ends in state "canceled" via the simulator's
@@ -47,6 +74,17 @@ type Config struct {
 	// Oldest finished jobs are forgotten first; queued and running jobs
 	// are never evicted.
 	JobRetention int
+
+	// FS is the filesystem behind the journal and snapshot (default the
+	// real one). The chaos harness injects write/sync/rename failures
+	// through it to prove the daemon degrades instead of crashing.
+	FS FS
+
+	// BeforeRun, when set, is called by the worker immediately before
+	// each cell executes, inside the worker's recover barrier. It exists
+	// for the chaos harness (seeded panic injection) and tests; leave
+	// nil in production.
+	BeforeRun func(spec harness.CellSpec)
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +102,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobRetention <= 0 {
 		c.JobRetention = 4096
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.FS == nil {
+		c.FS = OSFS{}
 	}
 	return c
 }
@@ -83,6 +127,16 @@ func (s JobState) terminal() bool {
 	return s == JobDone || s == JobFailed || s == JobCanceled
 }
 
+// ParseJobState validates a state filter string ("" means no filter).
+func ParseJobState(s string) (JobState, error) {
+	switch st := JobState(s); st {
+	case "", JobQueued, JobRunning, JobDone, JobFailed, JobCanceled:
+		return st, nil
+	default:
+		return "", fmt.Errorf("service: unknown job state %q", s)
+	}
+}
+
 // Job is one queued experiment cell. All mutable fields are guarded by
 // the server mutex; Done is closed exactly once when the job reaches a
 // terminal state, after which Result/Err are immutable.
@@ -94,11 +148,19 @@ type Job struct {
 	State    JobState
 	CacheHit bool
 	Err      string
+	ErrKind  string // "panic" for recovered worker panics, "error" otherwise
 	Result   json.RawMessage
 
 	// Done is closed when the job reaches a terminal state.
-	Done chan struct{}
+	Done     chan struct{}
+	doneOnce sync.Once
+
+	// cancelRun, set while the job is running, aborts its simulation
+	// through the sim-level cancellation hook.
+	cancelRun func()
 }
+
+func (j *Job) closeDone() { j.doneOnce.Do(func() { close(j.Done) }) }
 
 // Sentinel errors Submit maps to HTTP statuses.
 var (
@@ -109,61 +171,330 @@ var (
 	// ErrDraining reports that the daemon is shutting down and accepts
 	// no new work (HTTP 503).
 	ErrDraining = errors.New("service: draining, not accepting jobs")
+
+	// ErrKeyPoisoned reports that this cell's content address has
+	// tripped the failure circuit breaker (HTTP 422): the same spec has
+	// failed repeatedly, and the simulator is deterministic, so running
+	// it again would fail again.
+	ErrKeyPoisoned = errors.New("service: content address tripped the failure circuit breaker")
 )
+
+// PanicError is the structured record of a worker panic: the recovered
+// value plus the goroutine stack at the point of recovery. It fails
+// only the panicking job — the worker and the daemon keep running.
+type PanicError struct {
+	Value string
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic during cell execution: %s", e.Value)
+}
+
+// RecoveryStats summarizes a startup journal replay.
+type RecoveryStats struct {
+	Replayed   int // journaled jobs seen
+	Reenqueued int // re-enqueued (never reached done, or done but evicted from cache)
+	FromCache  int // done jobs served from the reloaded snapshot
+	Terminal   int // failed/canceled jobs re-registered terminal
+	Torn       int // torn tail records tolerated (crash mid-append)
+}
+
+// Health is the GET /healthz document.
+type Health struct {
+	Status         string `json:"status"`
+	Draining       bool   `json:"draining"`
+	Degraded       bool   `json:"degraded"`
+	DegradedReason string `json:"degradedReason,omitempty"`
+}
 
 // Server is the simulation-as-a-service engine: a bounded worker pool
 // over the deterministic harness, fronted by a content-addressed result
-// cache. It is transport-agnostic; Handler adapts it to HTTP.
+// cache, with an optional write-ahead job journal that makes accepted
+// work crash-durable. It is transport-agnostic; Handler adapts it to
+// HTTP.
 type Server struct {
 	cfg     Config
 	cache   *Cache
 	metrics *Metrics
+	breaker *breaker
 
 	queue chan *Job
 	wg    sync.WaitGroup
 
-	// kill is closed when a shutdown deadline expires; it cancels every
-	// in-flight simulation through the per-job cancel channel.
+	// kill is closed when a shutdown deadline expires (or Kill crashes
+	// the daemon in-process); it cancels every in-flight simulation
+	// through the per-job cancel channel.
 	kill     chan struct{}
 	killOnce sync.Once
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	order    []string // job IDs oldest-first, for retention eviction
-	nextID   uint64
-	running  int
-	draining bool
+	// flushStop ends the periodic snapshot flusher; flushDone is closed
+	// when it has exited.
+	flushStop chan struct{}
+	flushOnce sync.Once
+	flushDone chan struct{}
+
+	recovery RecoveryStats
+
+	mu             sync.Mutex
+	journal        *Journal // nil = journaling disabled or detached (degraded/killed)
+	jobs           map[string]*Job
+	order          []string // job IDs oldest-first, for retention eviction
+	nextID         uint64
+	running        int
+	draining       bool
+	killed         bool
+	degraded       bool
+	degradedReason string
 }
 
-// New builds a server, reloads the cache snapshot if configured, and
-// starts the worker pool.
+// New builds a server, reloads the cache snapshot if configured,
+// replays the job journal (re-enqueueing unfinished work), and starts
+// the worker pool.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		cache:   NewCache(cfg.CacheEntries),
-		metrics: NewMetrics(),
-		queue:   make(chan *Job, cfg.QueueDepth),
-		kill:    make(chan struct{}),
-		jobs:    make(map[string]*Job),
+		cfg:       cfg,
+		cache:     NewCache(cfg.CacheEntries),
+		metrics:   NewMetrics(),
+		breaker:   newBreaker(cfg.BreakerThreshold),
+		kill:      make(chan struct{}),
+		flushStop: make(chan struct{}),
+		flushDone: make(chan struct{}),
+		jobs:      make(map[string]*Job),
 	}
+
 	if cfg.SnapshotPath != "" {
-		if err := s.cache.LoadFile(cfg.SnapshotPath); err != nil {
-			return nil, fmt.Errorf("service: loading cache snapshot: %w", err)
+		if err := s.loadSnapshot(); err != nil {
+			return nil, err
 		}
 	}
+
+	reenqueue, err := s.replayJournal()
+	if err != nil {
+		return nil, err
+	}
+
+	// The queue must hold every recovered job up front (workers are not
+	// running yet); Submit enforces the configured bound itself.
+	qcap := cfg.QueueDepth
+	if len(reenqueue) > qcap {
+		qcap = len(reenqueue)
+	}
+	s.queue = make(chan *Job, qcap)
+	for _, job := range reenqueue {
+		s.queue <- job
+	}
+
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+
+	if cfg.SnapshotInterval > 0 && cfg.SnapshotPath != "" {
+		go s.flushLoop(cfg.SnapshotInterval)
+	} else {
+		close(s.flushDone)
+	}
 	return s, nil
 }
+
+// loadSnapshot reloads the cache snapshot, quarantining a corrupt file
+// (rename to <path>.corrupt-<timestamp>) instead of failing startup.
+func (s *Server) loadSnapshot() error {
+	err := s.cache.LoadFileFS(s.cfg.FS, s.cfg.SnapshotPath)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrCorruptSnapshot) {
+		quarantine := fmt.Sprintf("%s.corrupt-%d", s.cfg.SnapshotPath, time.Now().Unix())
+		if rerr := s.cfg.FS.Rename(s.cfg.SnapshotPath, quarantine); rerr != nil {
+			return fmt.Errorf("service: quarantining corrupt snapshot: %w", rerr)
+		}
+		s.metrics.incQuarantines()
+		return nil
+	}
+	return fmt.Errorf("service: loading cache snapshot: %w", err)
+}
+
+// replayJournal replays the configured journal, registering completed
+// jobs and returning the ones to re-enqueue, then opens the journal for
+// appending and compacts it down to the still-live records.
+func (s *Server) replayJournal() ([]*Job, error) {
+	if s.cfg.JournalPath == "" {
+		return nil, nil
+	}
+	replayed, torn, err := ReplayJournal(s.cfg.FS, s.cfg.JournalPath)
+	if err != nil {
+		// A mid-file corrupt journal cannot be trusted record-by-record;
+		// quarantine it and boot empty, like a corrupt snapshot.
+		quarantine := fmt.Sprintf("%s.corrupt-%d", s.cfg.JournalPath, time.Now().Unix())
+		if rerr := s.cfg.FS.Rename(s.cfg.JournalPath, quarantine); rerr != nil {
+			return nil, fmt.Errorf("service: quarantining corrupt journal: %w", rerr)
+		}
+		s.metrics.incQuarantines()
+		replayed, torn = nil, 0
+	}
+
+	var reenqueue []*Job
+	var fromCache, terminal int
+	var maxID uint64
+	for _, rj := range replayed {
+		var n uint64
+		if _, serr := fmt.Sscanf(rj.ID, "job-%d", &n); serr == nil && n >= maxID {
+			maxID = n + 1
+		}
+		if rj.Cell == nil {
+			continue // spec never made it to disk; nothing to recover
+		}
+		spec, serr := rj.Cell.spec()
+		if serr != nil {
+			continue // journaled under an enum this build no longer knows
+		}
+		job := &Job{
+			ID:   rj.ID,
+			Key:  rj.Key,
+			Spec: spec.Normalize(),
+			Done: make(chan struct{}),
+		}
+		if job.Key == "" {
+			job.Key = Key(spec)
+		}
+		switch {
+		case rj.Op == opDone:
+			if e, ok := s.cache.peek(job.Key); ok {
+				job.State = JobDone
+				job.CacheHit = true
+				job.Result = e.Result
+				job.closeDone()
+				fromCache++
+			} else {
+				// Completed, but its result fell out of the cache (or was
+				// never snapshotted). Re-run: the simulator is
+				// deterministic, so the recomputation is bit-identical.
+				job.State = JobQueued
+				reenqueue = append(reenqueue, job)
+			}
+		case rj.Op == opFailed || rj.Op == opCanceled:
+			if rj.Op == opFailed {
+				job.State = JobFailed
+			} else {
+				job.State = JobCanceled
+			}
+			job.Err = rj.Error
+			job.ErrKind = rj.Kind
+			job.closeDone()
+			terminal++
+		default: // submitted or started: never finished
+			job.State = JobQueued
+			reenqueue = append(reenqueue, job)
+		}
+		s.registerLocked(job)
+	}
+	s.nextID = maxID
+	s.recovery = RecoveryStats{
+		Replayed:   len(replayed),
+		Reenqueued: len(reenqueue),
+		FromCache:  fromCache,
+		Terminal:   terminal,
+		Torn:       torn,
+	}
+	s.metrics.noteRecovery(len(reenqueue), fromCache, terminal, torn)
+
+	j, err := OpenJournal(s.cfg.FS, s.cfg.JournalPath)
+	if err != nil {
+		return nil, err
+	}
+	s.journal = j
+
+	// Startup compaction: everything terminal is covered by the cache /
+	// already reported; rewrite the journal down to the live set.
+	live := make([]journalRecord, 0, len(reenqueue))
+	for _, job := range reenqueue {
+		cell := encodeCell(job.Spec)
+		live = append(live, journalRecord{Op: opSubmitted, ID: job.ID, Key: job.Key, Cell: &cell})
+	}
+	if rerr := j.Rotate(live); rerr != nil {
+		s.degrade("journal compaction", rerr)
+	} else {
+		s.metrics.incRotations()
+	}
+	return reenqueue, nil
+}
+
+// Recovery returns the startup journal-replay summary.
+func (s *Server) Recovery() RecoveryStats { return s.recovery }
 
 // Metrics exposes the live counter set (used by tests and /metrics).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Cache exposes the result cache (used by tests and /metrics).
 func (s *Server) Cache() *Cache { return s.cache }
+
+// degrade switches the daemon to memory-only mode after a disk-write
+// failure: journaling and snapshotting stop, everything else keeps
+// serving, and /healthz reports degraded. First reason wins.
+func (s *Server) degrade(what string, err error) {
+	s.mu.Lock()
+	if !s.degraded {
+		s.degraded = true
+		s.degradedReason = what + ": " + err.Error()
+	}
+	j := s.journal
+	s.journal = nil
+	s.mu.Unlock()
+	if j != nil {
+		j.Close()
+	}
+}
+
+// Degraded reports whether the daemon has fallen back to memory-only
+// mode, and why.
+func (s *Server) Degraded() (bool, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded, s.degradedReason
+}
+
+// Health assembles the /healthz document.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := Health{Status: "ok", Draining: s.draining, Degraded: s.degraded, DegradedReason: s.degradedReason}
+	switch {
+	case s.draining:
+		h.Status = "draining"
+	case s.degraded:
+		h.Status = "degraded"
+	}
+	return h
+}
+
+// journalAppend appends one lifecycle record; a write failure degrades
+// the daemon (memory-only) instead of surfacing to the job.
+func (s *Server) journalAppend(rec journalRecord) {
+	s.mu.Lock()
+	j := s.journal
+	s.mu.Unlock()
+	if j == nil {
+		return
+	}
+	if err := j.Append(rec); err != nil {
+		s.degrade("journal append", err)
+	}
+}
+
+// journalRecords returns the live journal's append count (0 when
+// journaling is off or detached).
+func (s *Server) journalRecords() uint64 {
+	s.mu.Lock()
+	j := s.journal
+	s.mu.Unlock()
+	if j == nil {
+		return 0
+	}
+	return j.Records()
+}
 
 // Submit validates and enqueues one cell. Cache hits complete
 // immediately without touching the queue. The returned job is live: wait
@@ -174,6 +505,11 @@ func (s *Server) Submit(spec harness.CellSpec) (*Job, error) {
 		return nil, err
 	}
 	key := Key(spec)
+
+	if !s.breaker.allow(key) {
+		s.metrics.incBreakerRejected()
+		return nil, fmt.Errorf("%w (key %s)", ErrKeyPoisoned, key)
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -187,29 +523,66 @@ func (s *Server) Submit(spec harness.CellSpec) (*Job, error) {
 		Spec: spec.Normalize(),
 		Done: make(chan struct{}),
 	}
-	s.nextID++
 
 	if e, ok := s.cache.Get(key); ok {
+		s.nextID++
 		job.State = JobDone
 		job.CacheHit = true
 		job.Result = e.Result
-		close(job.Done)
+		job.closeDone()
 		s.registerLocked(job)
 		s.metrics.incSubmitted()
 		s.metrics.incCompleted()
+		// One combined record: the job was accepted AND completed. Replay
+		// serves it straight from the snapshot.
+		cell := encodeCell(job.Spec)
+		s.appendLocked(journalRecord{Op: opDone, ID: job.ID, Key: key, Cell: &cell})
 		return job, nil
 	}
 
+	// Backpressure against the configured bound, not the channel
+	// capacity: recovery may have sized the channel larger.
+	if len(s.queue) >= s.cfg.QueueDepth {
+		s.metrics.incRejected()
+		return nil, ErrQueueFull
+	}
+	s.nextID++
 	job.State = JobQueued
+	// Write-ahead: the acceptance is durable before it is acknowledged
+	// (and before the worker can race ahead to its started record).
+	cell := encodeCell(job.Spec)
+	s.appendLocked(journalRecord{Op: opSubmitted, ID: job.ID, Key: key, Cell: &cell})
 	select {
 	case s.queue <- job:
 	default:
+		// Only possible if recovery shrank headroom mid-race; treat as
+		// overflow. The stray submitted record replays as a re-enqueue,
+		// which is idempotent.
 		s.metrics.incRejected()
 		return nil, ErrQueueFull
 	}
 	s.registerLocked(job)
 	s.metrics.incSubmitted()
 	return job, nil
+}
+
+// appendLocked journals a record while holding s.mu — the fsync rides
+// inside the submission critical section so acceptance order and
+// journal order agree. Failures degrade (journal detaches); the inline
+// detach avoids re-locking.
+func (s *Server) appendLocked(rec journalRecord) {
+	j := s.journal
+	if j == nil {
+		return
+	}
+	if err := j.Append(rec); err != nil {
+		if !s.degraded {
+			s.degraded = true
+			s.degradedReason = "journal append: " + err.Error()
+		}
+		s.journal = nil
+		go j.Close()
+	}
 }
 
 // registerLocked records the job and enforces the retention bound.
@@ -246,6 +619,54 @@ func (s *Server) Lookup(id string) (JobView, bool) {
 	return s.viewLocked(job), true
 }
 
+// Jobs returns point-in-time views of every retained job, oldest first,
+// optionally filtered by state (empty = all). Results are omitted from
+// the views — a listing of a large sweep must stay cheap; poll the job
+// itself for its record.
+func (s *Server) Jobs(state JobState) []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		job, ok := s.jobs[id]
+		if !ok || (state != "" && job.State != state) {
+			continue
+		}
+		v := s.viewLocked(job)
+		v.Result = nil
+		out = append(out, v)
+	}
+	return out
+}
+
+// Cancel aborts a queued or running job: queued jobs go straight to
+// "canceled"; running ones are interrupted through the sim-level
+// cancellation hook and finish via the normal worker path. Returns
+// false if the job is unknown or already terminal.
+func (s *Server) Cancel(id string) bool {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	if !ok || job.State.terminal() {
+		s.mu.Unlock()
+		return false
+	}
+	if job.State == JobQueued {
+		job.State = JobCanceled
+		job.Err = "canceled before start"
+		job.closeDone()
+		s.appendLocked(journalRecord{Op: opCanceled, ID: job.ID, Key: job.Key, Error: job.Err})
+		s.metrics.incCanceled()
+		s.mu.Unlock()
+		return true
+	}
+	cancel := job.cancelRun
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}
+
 // JobView is the wire form of a job's state.
 type JobView struct {
 	ID        string          `json:"id"`
@@ -257,6 +678,7 @@ type JobView struct {
 	Seed      uint64          `json:"seed"`
 	CacheHit  bool            `json:"cacheHit"`
 	Error     string          `json:"error,omitempty"`
+	ErrorKind string          `json:"errorKind,omitempty"`
 	Result    json.RawMessage `json:"result,omitempty"`
 }
 
@@ -271,6 +693,7 @@ func (s *Server) viewLocked(job *Job) JobView {
 		Seed:      job.Spec.Seed,
 		CacheHit:  job.CacheHit,
 		Error:     job.Err,
+		ErrorKind: job.ErrKind,
 		Result:    job.Result,
 	}
 }
@@ -286,26 +709,53 @@ func (s *Server) worker() {
 	}
 }
 
+// runGuarded executes the cell behind the panic barrier: a panic —
+// whether from the simulator, a workload, or the injected chaos hook —
+// fails only this job, as a structured PanicError, and the worker (and
+// daemon) live on.
+func (s *Server) runGuarded(job *Job, cancel <-chan struct{}) (r *stats.Run, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.metrics.incPanics()
+			err = &PanicError{Value: fmt.Sprint(p), Stack: string(debug.Stack())}
+		}
+	}()
+	if hook := s.cfg.BeforeRun; hook != nil {
+		hook(job.Spec)
+	}
+	return harness.RunCell(job.Spec, cancel)
+}
+
 func (s *Server) runJob(job *Job) {
 	s.mu.Lock()
+	if job.State.terminal() {
+		// Canceled while queued; nothing to run.
+		s.mu.Unlock()
+		return
+	}
 	job.State = JobRunning
 	s.running++
+
+	// Per-job cancel channel, closed by whichever fires first: the job
+	// timeout, an explicit Cancel, or a forced shutdown (s.kill).
+	cancel := make(chan struct{})
+	var cancelOnce sync.Once
+	doCancel := func() { cancelOnce.Do(func() { close(cancel) }) }
+	job.cancelRun = doCancel
 	s.mu.Unlock()
+
+	s.journalAppend(journalRecord{Op: opStarted, ID: job.ID, Key: job.Key})
 
 	// peek, not Get: the user-facing hit/miss counters belong to the
 	// Submit path; this internal re-check (a racing duplicate may have
 	// completed while we sat in the queue) must not double-count.
 	if e, ok := s.cache.peek(job.Key); ok {
-		s.finish(job, JobDone, true, e.Result, "")
+		s.journalAppend(journalRecord{Op: opDone, ID: job.ID, Key: job.Key})
+		s.finish(job, JobDone, true, e.Result, "", "")
 		s.metrics.incCompleted()
 		return
 	}
 
-	// Per-job cancel channel, closed by whichever fires first: the job
-	// timeout or a forced shutdown (s.kill).
-	cancel := make(chan struct{})
-	var cancelOnce sync.Once
-	doCancel := func() { cancelOnce.Do(func() { close(cancel) }) }
 	var timer *time.Timer
 	if s.cfg.JobTimeout > 0 {
 		timer = time.AfterFunc(s.cfg.JobTimeout, doCancel)
@@ -320,20 +770,20 @@ func (s *Server) runJob(job *Job) {
 	}()
 
 	start := time.Now()
-	r, err := harness.RunCell(job.Spec, cancel)
+	r, err := s.runGuarded(job, cancel)
 	wall := time.Since(start)
 	close(watcherDone)
 	if timer != nil {
 		timer.Stop()
 	}
 
+	var pe *PanicError
 	switch {
 	case err == nil:
 		rec := stats.NewRecord(r)
 		data, mErr := json.Marshal(rec)
 		if mErr != nil {
-			s.finish(job, JobFailed, false, nil, "encoding result: "+mErr.Error())
-			s.metrics.incFailed()
+			s.failJob(job, "encoding result: "+mErr.Error(), "error")
 			return
 		}
 		s.cache.Put(&CacheEntry{
@@ -348,27 +798,44 @@ func (s *Server) runJob(job *Job) {
 		if stored, ok := s.cache.peek(job.Key); ok {
 			data = stored.Result
 		}
+		s.breaker.success(job.Key)
 		s.metrics.noteRun(job.Spec.Workload, r.Cycles, wall.Milliseconds())
-		s.finish(job, JobDone, false, data, "")
+		s.journalAppend(journalRecord{Op: opDone, ID: job.ID, Key: job.Key})
+		s.finish(job, JobDone, false, data, "", "")
 		s.metrics.incCompleted()
 	case errors.Is(err, asfsim.ErrCanceled):
-		s.finish(job, JobCanceled, false, nil, err.Error())
+		s.journalAppend(journalRecord{Op: opCanceled, ID: job.ID, Key: job.Key, Error: err.Error()})
+		s.finish(job, JobCanceled, false, nil, err.Error(), "")
 		s.metrics.incCanceled()
+	case errors.As(err, &pe):
+		s.failJob(job, pe.Error(), "panic")
 	default:
-		s.finish(job, JobFailed, false, nil, err.Error())
-		s.metrics.incFailed()
+		s.failJob(job, err.Error(), "error")
 	}
 }
 
-func (s *Server) finish(job *Job, st JobState, hit bool, result json.RawMessage, errMsg string) {
+// failJob finishes a job in state "failed", journals the outcome, and
+// feeds the per-key circuit breaker.
+func (s *Server) failJob(job *Job, msg, kind string) {
+	if s.breaker.failure(job.Key) {
+		s.metrics.incBreakerTripped()
+	}
+	s.journalAppend(journalRecord{Op: opFailed, ID: job.ID, Key: job.Key, Error: msg, Kind: kind})
+	s.finish(job, JobFailed, false, nil, msg, kind)
+	s.metrics.incFailed()
+}
+
+func (s *Server) finish(job *Job, st JobState, hit bool, result json.RawMessage, errMsg, errKind string) {
 	s.mu.Lock()
 	job.State = st
 	job.CacheHit = hit
 	job.Result = result
 	job.Err = errMsg
+	job.ErrKind = errKind
+	job.cancelRun = nil
 	s.running--
 	s.mu.Unlock()
-	close(job.Done)
+	job.closeDone()
 }
 
 // QueueDepth returns the number of jobs waiting in the queue.
@@ -381,12 +848,82 @@ func (s *Server) Running() int {
 	return s.running
 }
 
+// flushLoop writes the cache snapshot (and compacts the journal) every
+// interval, so a crash loses at most one interval of cache entries.
+func (s *Server) flushLoop(interval time.Duration) {
+	defer close(s.flushDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.Persist()
+		case <-s.flushStop:
+			return
+		}
+	}
+}
+
+func (s *Server) stopFlush() {
+	s.flushOnce.Do(func() { close(s.flushStop) })
+	<-s.flushDone
+}
+
+// Persist writes the cache snapshot now (atomic temp-file+rename) and
+// compacts the journal against it: every terminal job's records are
+// dropped — its result lives in the snapshot — leaving only the live
+// (queued/running) set. Disk failures degrade to memory-only mode. Safe
+// to call at any time; the flush ticker and Shutdown use it.
+func (s *Server) Persist() error {
+	s.mu.Lock()
+	disabled := s.degraded || s.killed
+	s.mu.Unlock()
+	if disabled {
+		return nil
+	}
+
+	if s.cfg.SnapshotPath != "" {
+		if err := s.cache.SaveFileFS(s.cfg.FS, s.cfg.SnapshotPath); err != nil {
+			s.degrade("snapshot write", err)
+			return fmt.Errorf("service: writing cache snapshot: %w", err)
+		}
+		s.metrics.incSnapshotWrites()
+	}
+
+	// Gather the live set, then rotate. A job finishing between the two
+	// steps merely stays listed one rotation longer; its replay re-runs
+	// a completed cell, which is idempotent by determinism.
+	s.mu.Lock()
+	j := s.journal
+	var live []journalRecord
+	if j != nil {
+		for _, id := range s.order {
+			job, ok := s.jobs[id]
+			if !ok || job.State.terminal() {
+				continue
+			}
+			cell := encodeCell(job.Spec)
+			live = append(live, journalRecord{Op: opSubmitted, ID: job.ID, Key: job.Key, Cell: &cell})
+		}
+	}
+	s.mu.Unlock()
+	if j != nil {
+		if err := j.Rotate(live); err != nil {
+			s.degrade("journal rotation", err)
+			return fmt.Errorf("service: rotating journal: %w", err)
+		}
+		s.metrics.incRotations()
+	}
+	return nil
+}
+
 // Shutdown drains the daemon gracefully: it stops accepting jobs,
 // closes the queue, and waits for queued and running work to finish. If
 // ctx expires first, every in-flight simulation is canceled through the
 // sim-level cancellation hook and Shutdown waits for the (now prompt)
 // worker exit. The cache snapshot, when configured, is written last so
-// it includes every result the drain produced.
+// it includes every result the drain produced, and the journal is
+// compacted against it.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.draining {
@@ -397,6 +934,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// Safe to close under the lock: Submit only sends while holding it.
 	close(s.queue)
 	s.mu.Unlock()
+
+	s.stopFlush()
 
 	done := make(chan struct{})
 	go func() {
@@ -410,12 +949,44 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 
-	if s.cfg.SnapshotPath != "" {
-		if err := s.cache.SaveFile(s.cfg.SnapshotPath); err != nil {
-			return fmt.Errorf("service: writing cache snapshot: %w", err)
-		}
+	err := s.Persist()
+
+	s.mu.Lock()
+	j := s.journal
+	s.journal = nil
+	s.mu.Unlock()
+	if j != nil {
+		j.Close()
 	}
-	return nil
+	return err
+}
+
+// Kill crashes the daemon in-process: no drain, no final snapshot, no
+// further journal records — exactly what power loss would leave behind.
+// In-flight simulations are aborted; queued jobs die on the floor. The
+// journal and the last flushed snapshot on disk are the only survivors,
+// which is the whole point: restart a Server against the same paths and
+// recovery re-enqueues everything that never reached "done". Test and
+// chaos-harness hook; production crashes don't ask first.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	s.killed = true
+	j := s.journal
+	s.journal = nil // sever the WAL first: a dead process writes nothing
+	close(s.queue)
+	s.mu.Unlock()
+
+	if j != nil {
+		j.Close()
+	}
+	s.stopFlush()
+	s.killOnce.Do(func() { close(s.kill) })
+	s.wg.Wait()
 }
 
 // Draining reports whether Shutdown has begun.

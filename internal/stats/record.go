@@ -163,3 +163,63 @@ func NewRecord(r *Run) *Record {
 	}
 	return rec
 }
+
+// Run inflates the record back into a Run, for consumers that feed
+// served results into the same aggregation and figure pipeline as
+// locally executed ones (paperfigs -server). Every scalar counter and
+// precomputed rate round-trips exactly; the two distribution
+// instruments do not — a Record carries only their summaries — so
+// FootprintLines and RetryChains come back nil, exactly as on a Run
+// whose instruments were disabled. The figure renderers consume only
+// scalar fields, so figures built from inflated runs match figures
+// built from local runs.
+func (rec *Record) Run() *Run {
+	return &Run{
+		Workload:          rec.Workload,
+		Mode:              rec.Mode,
+		SubBlocks:         rec.SubBlocks,
+		Threads:           rec.Threads,
+		Seed:              rec.Seed,
+		Cycles:            rec.Cycles,
+		CyclesInTx:        rec.CyclesInTx,
+		CyclesInBackoff:   rec.CyclesInBackoff,
+		CyclesNonTx:       rec.CyclesNonTx,
+		TxStarted:         rec.TxStarted,
+		TxLaunched:        rec.TxLaunched,
+		TxCommitted:       rec.TxCommitted,
+		TxAborted:         rec.TxAborted,
+		AbortsBy:          rec.AbortsBy,
+		Retries:           rec.Retries,
+		MaxRetrySeen:      rec.MaxRetrySeen,
+		Fallbacks:         rec.Fallbacks,
+		RetryPolicy:       rec.RetryPolicy,
+		BlocksCommitted:   rec.BlocksCommitted,
+		BlocksUserAborted: rec.BlocksUserAborted,
+		SpuriousAborts:    rec.SpuriousAborts,
+		SpuriousBy:        rec.SpuriousBy,
+		FallbacksEarly:    rec.FallbacksEarly,
+		LivelockWindows:   rec.LivelockWindows,
+		StarvationAlerts:  rec.StarvationAlerts,
+		WatchdogBoosts:    rec.WatchdogBoosts,
+		StarvationIndex:   rec.StarvationIndex,
+		Conflicts:         rec.Conflicts,
+		FalseConflicts:    rec.FalseConflicts,
+		ByType:            rec.ByType,
+		FalseByType:       rec.FalseByType,
+		DirtyMarks:        rec.DirtyMarks,
+		DirtyRereq:        rec.DirtyRereq,
+		RetainedCaught:    rec.RetainedCaught,
+		Nacks:             rec.Nacks,
+		SpeculatedWARs:    rec.SpeculatedWARs,
+		ValidationChecks:  rec.ValidationChecks,
+		SigAliasFalse:     rec.SigAliasFalse,
+		AvoidableBy:       rec.AvoidableBy,
+		SpecLoads:         rec.SpecLoads,
+		SpecStores:        rec.SpecStores,
+		ProbesShared:      rec.ProbesShared,
+		ProbesInvalidate:  rec.ProbesInvalidate,
+		DataFromRemote:    rec.DataFromRemote,
+		DataFromMemory:    rec.DataFromMemory,
+		PiggybackMasks:    rec.PiggybackMasks,
+	}
+}
