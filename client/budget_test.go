@@ -1,0 +1,176 @@
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	asfsim "repro"
+	"repro/internal/harness"
+	"repro/internal/service"
+	"repro/internal/workloads"
+)
+
+// fakeClock is a hand-advanced clock for pinning budget refill and
+// ejection timing.
+type fakeClock struct {
+	mu  atomic.Int64 // nanoseconds since the epoch below
+	t0  time.Time
+	now func() time.Time
+}
+
+func newFakeClock() *fakeClock {
+	c := &fakeClock{t0: time.Unix(1_700_000_000, 0)}
+	c.now = func() time.Time { return c.t0.Add(time.Duration(c.mu.Load())) }
+	return c
+}
+
+func (c *fakeClock) advance(d time.Duration) { c.mu.Add(int64(d)) }
+
+// TestRetryBudgetTokens: the token bucket spends, refuses when empty,
+// and refills with the clock.
+func TestRetryBudgetTokens(t *testing.T) {
+	clock := newFakeClock()
+	b := newRetryBudget(2, 1, clock.now)
+	if !b.take() || !b.take() {
+		t.Fatal("a full budget refused a token")
+	}
+	if b.take() {
+		t.Fatal("an empty budget granted a token")
+	}
+	clock.advance(time.Second)
+	if !b.take() {
+		t.Fatal("refill did not restore a token")
+	}
+	if b.take() {
+		t.Fatal("refill restored more than rate × elapsed")
+	}
+	clock.advance(time.Hour)
+	if !b.take() || !b.take() {
+		t.Fatal("refill did not reach capacity")
+	}
+	if b.take() {
+		t.Fatal("refill exceeded capacity")
+	}
+}
+
+// TestRetryBudgetExhausted: against a persistently failing server, the
+// client spends exactly its retry budget and then fails fast with
+// ErrRetryBudgetExhausted — it does not grind through MaxAttempts.
+func TestRetryBudgetExhausted(t *testing.T) {
+	var posts atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		posts.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprint(w, `{"error":"injected outage"}`)
+	}))
+	defer ts.Close()
+
+	clock := newFakeClock() // frozen: no refill mid-test
+	opts := fastOpts()
+	opts.MaxAttempts = 8
+	opts.RetryBudget = 3
+	opts.now = clock.now
+	c := New(ts.URL, opts)
+
+	_, err := c.Submit(testCtx(t), service.JobRequest{Workload: "kmeans"})
+	if !errors.Is(err, ErrRetryBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrRetryBudgetExhausted", err)
+	}
+	if got := posts.Load(); got != 4 { // 1 free first attempt + 3 budgeted retries
+		t.Fatalf("server saw %d attempts, want 4 (budget 3 + free first try)", got)
+	}
+	st := c.Stats()
+	if st.RetriesSpent != 3 || st.RetryBudgetExhausted != 1 {
+		t.Fatalf("stats = %+v, want retriesSpent 3, retryBudgetExhausted 1", st)
+	}
+	if st.EndpointEjections == 0 {
+		t.Fatalf("stats = %+v: a 4-failure streak never ejected the endpoint", st)
+	}
+}
+
+// TestCollectMatrixFlappingServerExactlyOnce is the idempotent
+// resubmission contract under -race: a concurrent CollectMatrix against
+// a daemon whose front door fails every fifth request must still settle
+// every cell exactly once — figures identical to an in-process
+// harness.Collect, no cell simulated twice (content addressing +
+// server-side single-flight absorb every retry and resubmission), and
+// the retries it took stay within the client's budget.
+func TestCollectMatrixFlappingServerExactlyOnce(t *testing.T) {
+	s, err := service.New(service.Config{Workers: 4, QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := s.Handler()
+	var reqs, flaps atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if reqs.Add(1)%5 == 0 {
+			flaps.Add(1)
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprint(w, `{"error":"injected flap"}`)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	defer s.Kill()
+
+	opts := harness.Options{
+		Scale:       workloads.ScaleTiny,
+		Seeds:       []uint64{1, 2},
+		Cores:       8,
+		Workloads:   []string{"kmeans", "genome"},
+		Parallelism: 4,
+	}
+	dets := []asfsim.Detection{asfsim.DetectBaseline, asfsim.DetectSubBlock4}
+	cells := len(opts.Workloads) * len(dets) * len(opts.Seeds)
+
+	local, err := harness.Collect(opts, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clock := newFakeClock() // frozen: RetriesSpent is bounded by capacity alone
+	copts := fastOpts()
+	copts.RetryBudget = 64
+	copts.now = clock.now
+	c := New(ts.URL, copts)
+
+	served, err := c.CollectMatrix(testCtx(t), opts, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := served.Fig1(), local.Fig1(); got != want {
+		t.Fatalf("served Fig1 differs from local:\n--- served ---\n%s\n--- local ---\n%s", got, want)
+	}
+
+	var raw json.RawMessage
+	if _, err := c.request(testCtx(t), http.MethodGet, "/metrics", nil, &raw, target{}); err != nil {
+		t.Fatal(err)
+	}
+	var snap service.MetricsSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if int(snap.RunsExecuted) != cells {
+		t.Fatalf("runsExecuted = %d, want exactly %d: a retry or resubmission double-executed a cell",
+			snap.RunsExecuted, cells)
+	}
+
+	st := c.Stats()
+	if flaps.Load() == 0 || st.RetriesSpent == 0 {
+		t.Fatalf("flaps=%d stats=%+v: the flap injector never exercised the retry path", flaps.Load(), st)
+	}
+	if st.RetriesSpent > uint64(copts.RetryBudget) {
+		t.Fatalf("retriesSpent %d exceeded the budget capacity %d under a frozen clock",
+			st.RetriesSpent, copts.RetryBudget)
+	}
+	if st.RetryBudgetExhausted != 0 {
+		t.Fatalf("stats = %+v: budget exhausted during a mild flap", st)
+	}
+}

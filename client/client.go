@@ -1,12 +1,19 @@
-// Package client is the typed Go client for the asfd daemon: submit
-// experiment cells, poll jobs, and collect whole figure matrices over
-// HTTP, with the resilience the crash-safe daemon calls for — per-request
-// timeouts, jittered exponential backoff on 429/5xx and transport
-// errors, and idempotent resubmission when a restarted daemon has
-// forgotten a job ID. Resubmission is safe by construction: cells are
-// content-addressed and the simulator is deterministic, so re-running a
-// cell produces byte-identical results, served from the daemon's cache
-// when it already has them.
+// Package client is the typed Go client for the asfd daemon — and for
+// fleets of them: submit experiment cells, poll jobs, and collect whole
+// figure matrices over HTTP, with the resilience the crash-safe daemon
+// calls for. One client can front several endpoints (comma-separated
+// base URLs): submissions are routed by rendezvous hashing on the
+// cell's content so repeat submissions find the server whose cache
+// already holds the result, polls stay sticky to the accepting server
+// (job IDs are server-local), and connect/5xx failures fail over to the
+// next endpoint, ejecting repeat offenders until a probe re-admits
+// them. Retries draw from a client-wide token budget so a fleet outage
+// cannot amplify into a retry storm, idempotent GETs can be hedged
+// against tail latency, and submissions propagate the caller's context
+// deadline so servers shed work nobody is waiting for. Resubmission is
+// safe by construction: cells are content-addressed and the simulator
+// is deterministic, so re-running a cell produces byte-identical
+// results, served from the daemon's cache when it already has them.
 package client
 
 import (
@@ -43,7 +50,8 @@ type Options struct {
 
 	// Backoff shapes the retry delays; BaseCycles/MaxCycles are read as
 	// MILLISECONDS here (the manager itself is unit-agnostic). Default:
-	// 50ms doubling to a 5s ceiling with 50% jitter.
+	// 50ms doubling to a 5s ceiling with 50% jitter. A Retry-After hint
+	// from the server overrides the computed delay when larger.
 	Backoff backoff.Config
 
 	// PollInterval is the job-poll cadence for Wait (default 50ms).
@@ -52,6 +60,32 @@ type Options struct {
 	// Seed seeds the jitter source; 0 draws from the wall clock. Tests
 	// pin it for reproducible retry timing.
 	Seed uint64
+
+	// HedgeDelay, when positive, arms hedged GETs: if an idempotent GET
+	// has not answered after this long, a second copy is launched and
+	// the first response wins. Default off — hedging doubles load under
+	// pathological latency and must be opted into.
+	HedgeDelay time.Duration
+
+	// RetryBudget is the capacity of the client-wide retry token bucket
+	// (default 64; first attempts are free, each retry costs a token).
+	// RetryBudgetRefillPerSec restores tokens over time (default 8).
+	RetryBudget             int
+	RetryBudgetRefillPerSec float64
+
+	// EjectAfter ejects an endpoint after this many consecutive
+	// connect/5xx failures (default 3); ProbeAfter is how long it sits
+	// out before one request is routed its way as a probe (default 2s).
+	EjectAfter int
+	ProbeAfter time.Duration
+
+	// Priority is sent as X-ASF-Priority on submissions ("interactive"
+	// or "batch"); empty means the server default (interactive).
+	Priority string
+
+	// now is the clock used for budget refill, latency EWMAs and
+	// ejection timing; tests pin it. Nil means time.Now.
+	now func() time.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -73,6 +107,21 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = uint64(time.Now().UnixNano())
 	}
+	if o.RetryBudget <= 0 {
+		o.RetryBudget = 64
+	}
+	if o.RetryBudgetRefillPerSec <= 0 {
+		o.RetryBudgetRefillPerSec = 8
+	}
+	if o.EjectAfter <= 0 {
+		o.EjectAfter = 3
+	}
+	if o.ProbeAfter <= 0 {
+		o.ProbeAfter = 2 * time.Second
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
 	return o
 }
 
@@ -80,6 +129,9 @@ func (o Options) withDefaults() Options {
 type APIError struct {
 	Status int
 	Msg    string
+
+	// RetryAfter is the server's backpressure hint (zero when absent).
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -92,24 +144,52 @@ func (e *APIError) Error() string {
 // which is idempotent under content addressing.
 var ErrUnknownJob = errors.New("client: job unknown to the daemon")
 
-// Client talks to one asfd daemon. Safe for concurrent use.
+// ErrNoEndpoints reports a client constructed with an empty URL list.
+var ErrNoEndpoints = errors.New("client: no endpoints configured")
+
+// Client talks to one asfd daemon or a fleet of them. Safe for
+// concurrent use.
 type Client struct {
-	base string
-	opts Options
+	endpoints []*endpoint
+	opts      Options
+	budget    *retryBudget
+	stats     statsCounters
 
 	mu sync.Mutex
 	bo *backoff.Manager
 }
 
-// New builds a client for the daemon at baseURL (e.g.
-// "http://127.0.0.1:8023").
+// New builds a client for the daemon(s) at baseURL — a single base like
+// "http://127.0.0.1:8023", or several separated by commas to front a
+// fleet.
 func New(baseURL string, opts Options) *Client {
 	opts = opts.withDefaults()
-	return &Client{
-		base: strings.TrimRight(baseURL, "/"),
-		opts: opts,
-		bo:   backoff.New(opts.Backoff, rng.New(opts.Seed)),
+	var eps []*endpoint
+	for _, raw := range strings.Split(baseURL, ",") {
+		base := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if base == "" {
+			continue
+		}
+		eps = append(eps, &endpoint{base: base})
 	}
+	return &Client{
+		endpoints: eps,
+		opts:      opts,
+		budget:    newRetryBudget(opts.RetryBudget, opts.RetryBudgetRefillPerSec, opts.now),
+		bo:        backoff.New(opts.Backoff, rng.New(opts.Seed)),
+	}
+}
+
+// Stats returns a snapshot of the client-side resilience counters.
+func (c *Client) Stats() Stats { return c.stats.snapshot() }
+
+// Endpoints returns the configured base URLs, in construction order.
+func (c *Client) Endpoints() []string {
+	out := make([]string, len(c.endpoints))
+	for i, ep := range c.endpoints {
+		out[i] = ep.base
+	}
+	return out
 }
 
 // delay computes the jittered backoff before retry attempt n (1-based),
@@ -124,62 +204,243 @@ func retryableStatus(code int) bool {
 	return code == http.StatusTooManyRequests || code >= 500
 }
 
-// do performs one logical request with per-attempt timeouts and
-// jittered exponential backoff on transport errors, 429 and 5xx. A 2xx
-// body is decoded into out (when non-nil); any other final status comes
-// back as *APIError.
-func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
-	var lastErr error
-	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
-		if attempt > 0 {
-			select {
-			case <-time.After(c.delay(attempt)):
-			case <-ctx.Done():
-				return ctx.Err()
-			}
+// target selects how a request is routed. A non-nil ep pins the request
+// to one endpoint with no failover (polls: job IDs are server-local, so
+// asking a different server is guaranteed nonsense). Otherwise key, when
+// set, orders endpoints by rendezvous hash (submissions: land the cell
+// where its cached result lives); empty key uses the same stable order
+// for all keyless requests.
+type target struct {
+	ep  *endpoint
+	key string
+}
+
+// candidates returns the endpoint preference order for a request.
+func (c *Client) candidates(tgt target) []*endpoint {
+	if tgt.ep != nil {
+		return []*endpoint{tgt.ep}
+	}
+	return rank(c.endpoints, tgt.key)
+}
+
+// pick chooses the attempt's endpoint: the first candidate that is
+// available and has not already failed this request. Skipping the
+// preferred candidate counts as a failover. With everything failed or
+// ejected the request still goes somewhere — the first candidate not
+// failed this request, else the preferred one — because a guess beats
+// a guaranteed local error.
+func (c *Client) pick(candidates []*endpoint, failed map[*endpoint]bool) *endpoint {
+	now := c.opts.now()
+	chosen := candidates[0]
+	found := false
+	for _, ep := range candidates {
+		if !failed[ep] && ep.available(now) {
+			chosen, found = ep, true
+			break
 		}
-		status, data, err := c.once(ctx, method, path, body)
-		switch {
-		case err != nil:
-			if ctx.Err() != nil {
-				return ctx.Err()
-			}
-			lastErr = err // transport error: retry
-		case status >= 200 && status < 300:
-			if out == nil {
-				return nil
-			}
-			return json.Unmarshal(data, out)
-		default:
-			var er struct {
-				Error string `json:"error"`
-			}
-			json.Unmarshal(data, &er)
-			if er.Error == "" {
-				er.Error = strings.TrimSpace(string(data))
-			}
-			lastErr = &APIError{Status: status, Msg: er.Error}
-			if !retryableStatus(status) {
-				return lastErr
+	}
+	if !found {
+		for _, ep := range candidates {
+			if !failed[ep] {
+				chosen = ep
+				break
 			}
 		}
 	}
-	return fmt.Errorf("client: %s %s failed after %d attempts: %w", method, path, c.opts.MaxAttempts, lastErr)
+	if chosen != candidates[0] {
+		c.stats.add(func(s *Stats) { s.Failovers++ })
+	}
+	return chosen
 }
 
-func (c *Client) once(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+// request performs one logical request against the pool: per-attempt
+// timeouts, budgeted retries with jittered backoff (stretched to any
+// Retry-After hint), failover across endpoints on transport/5xx
+// failures, and hedging for GETs when armed. A 2xx body is decoded into
+// out (when non-nil); any other final status comes back as *APIError.
+// Returns the endpoint that served the successful response so callers
+// can stay sticky to it.
+func (c *Client) request(ctx context.Context, method, path string, body []byte, out any, tgt target) (*endpoint, error) {
+	if len(c.endpoints) == 0 {
+		return nil, ErrNoEndpoints
+	}
+	candidates := c.candidates(tgt)
+	failed := make(map[*endpoint]bool)
+	var lastErr error
+	var hint time.Duration
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if !c.budget.take() {
+				c.stats.add(func(s *Stats) { s.RetryBudgetExhausted++ })
+				return nil, fmt.Errorf("%w: %s %s: last error: %v", ErrRetryBudgetExhausted, method, path, lastErr)
+			}
+			c.stats.add(func(s *Stats) { s.RetriesSpent++ })
+			delay := c.delay(attempt)
+			if hint > delay {
+				delay = hint
+			}
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		hint = 0
+		ep := c.pick(candidates, failed)
+		start := c.opts.now()
+		var status int
+		var data []byte
+		var err error
+		if method == http.MethodGet {
+			status, data, err = c.hedgedGet(ctx, ep, path)
+		} else {
+			status, data, err = c.once(ctx, method, ep, path, body)
+		}
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err
+			failed[ep] = true
+			if ep.noteFailure(c.opts.now(), c.opts.EjectAfter, c.opts.ProbeAfter) {
+				c.stats.add(func(s *Stats) { s.EndpointEjections++ })
+			}
+		case status >= 200 && status < 300:
+			ep.noteSuccess(c.opts.now().Sub(start))
+			if out == nil {
+				return ep, nil
+			}
+			return ep, json.Unmarshal(data, out)
+		default:
+			apiErr := decodeAPIError(status, data)
+			lastErr = apiErr
+			if status >= 500 {
+				// The server is broken; spread subsequent attempts.
+				failed[ep] = true
+				if ep.noteFailure(c.opts.now(), c.opts.EjectAfter, c.opts.ProbeAfter) {
+					c.stats.add(func(s *Stats) { s.EndpointEjections++ })
+				}
+			} else {
+				// 429 is backpressure from a healthy server: it answered,
+				// and the right reaction is to wait, not to route away.
+				ep.noteSuccess(c.opts.now().Sub(start))
+			}
+			if !retryableStatus(status) {
+				return ep, apiErr
+			}
+			hint = apiErr.RetryAfter
+		}
+	}
+	return nil, fmt.Errorf("client: %s %s failed after %d attempts: %w", method, path, c.opts.MaxAttempts, lastErr)
+}
+
+// decodeAPIError turns a non-2xx body into *APIError, reading the
+// structured envelope's error string and retryAfterSeconds hint when
+// present and falling back to the raw body when not.
+func decodeAPIError(status int, data []byte) *APIError {
+	var er struct {
+		Error             string `json:"error"`
+		RetryAfterSeconds int    `json:"retryAfterSeconds"`
+	}
+	json.Unmarshal(data, &er)
+	if er.Error == "" {
+		er.Error = strings.TrimSpace(string(data))
+	}
+	return &APIError{
+		Status:     status,
+		Msg:        er.Error,
+		RetryAfter: time.Duration(er.RetryAfterSeconds) * time.Second,
+	}
+}
+
+// hedgedGet is the GET attempt path. With hedging off it is a single
+// request. With hedging armed, a second copy launches on the same
+// endpoint if the first has not answered within HedgeDelay, and the
+// first response wins (same endpoint on purpose: job reads are
+// server-local, and the tail being hedged against is the network path,
+// which chaos testing perturbs per-connection).
+func (c *Client) hedgedGet(ctx context.Context, ep *endpoint, path string) (int, []byte, error) {
+	if c.opts.HedgeDelay <= 0 {
+		return c.once(ctx, http.MethodGet, ep, path, nil)
+	}
+	type result struct {
+		status int
+		data   []byte
+		err    error
+		hedge  bool
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan result, 2)
+	launch := func(hedge bool) {
+		go func() {
+			st, d, err := c.once(hctx, http.MethodGet, ep, path, nil)
+			ch <- result{st, d, err, hedge}
+		}()
+	}
+	launch(false)
+	timer := time.NewTimer(c.opts.HedgeDelay)
+	defer timer.Stop()
+	inFlight := 1
+	hedged := false
+	var firstErr *result
+	for {
+		select {
+		case r := <-ch:
+			inFlight--
+			if r.err == nil {
+				if r.hedge {
+					c.stats.add(func(s *Stats) { s.HedgeWins++ })
+				}
+				return r.status, r.data, nil
+			}
+			if firstErr == nil {
+				firstErr = &r
+			}
+			if inFlight == 0 {
+				if hedged {
+					return firstErr.status, firstErr.data, firstErr.err
+				}
+				// Primary failed fast, before the hedge armed: that is
+				// failover/retry territory, not tail latency.
+				return r.status, r.data, r.err
+			}
+		case <-timer.C:
+			hedged = true
+			inFlight++
+			c.stats.add(func(s *Stats) { s.HedgesLaunched++ })
+			launch(true)
+		case <-ctx.Done():
+			return 0, nil, ctx.Err()
+		}
+	}
+}
+
+// once performs a single HTTP attempt against one endpoint. The
+// caller's context deadline (read before the per-attempt timeout is
+// layered on) propagates as X-ASF-Deadline so the server can shed work
+// whose requester will have given up.
+func (c *Client) once(ctx context.Context, method string, ep *endpoint, path string, body []byte) (int, []byte, error) {
+	deadline, hasDeadline := ctx.Deadline()
 	actx, cancel := context.WithTimeout(ctx, c.opts.RequestTimeout)
 	defer cancel()
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(actx, method, ep.base+path, rd)
 	if err != nil {
 		return 0, nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if hasDeadline {
+		req.Header.Set("X-ASF-Deadline", deadline.Format(time.RFC3339Nano))
+	}
+	if c.opts.Priority != "" {
+		req.Header.Set("X-ASF-Priority", c.opts.Priority)
 	}
 	resp, err := c.opts.HTTPClient.Do(req)
 	if err != nil {
@@ -193,29 +454,50 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte) (in
 	return resp.StatusCode, data, nil
 }
 
+// affinity is the rendezvous routing key for a cell: a stable encoding
+// of the request fields that determine its content address, so every
+// client maps the same cell to the same server.
+func affinity(req service.JobRequest) string {
+	return fmt.Sprintf("%s|%s|%s|%d|%d", req.Workload, req.Detection, req.Scale, req.Seed, req.Cores)
+}
+
 // Submit submits one cell and returns its accepted job view (state
 // "queued", or "done" immediately on a cache hit). Queue-full responses
 // are retried with backoff; validation errors and breaker rejections
 // (422) are returned as *APIError.
 func (c *Client) Submit(ctx context.Context, req service.JobRequest) (service.JobView, error) {
+	view, _, err := c.submit(ctx, req)
+	return view, err
+}
+
+// submit is Submit plus the endpoint that accepted the job, which polls
+// must stay sticky to.
+func (c *Client) submit(ctx context.Context, req service.JobRequest) (service.JobView, *endpoint, error) {
 	body, err := json.Marshal(service.SubmitRequest{JobRequest: req})
 	if err != nil {
-		return service.JobView{}, err
+		return service.JobView{}, nil, err
 	}
 	var resp service.SubmitResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/jobs", body, &resp); err != nil {
-		return service.JobView{}, err
+	ep, err := c.request(ctx, http.MethodPost, "/v1/jobs", body, &resp, target{key: affinity(req)})
+	if err != nil {
+		return service.JobView{}, nil, err
 	}
 	if len(resp.Jobs) != 1 {
-		return service.JobView{}, fmt.Errorf("client: daemon accepted %d jobs for one cell", len(resp.Jobs))
+		return service.JobView{}, nil, fmt.Errorf("client: daemon accepted %d jobs for one cell", len(resp.Jobs))
 	}
-	return resp.Jobs[0], nil
+	return resp.Jobs[0], ep, nil
 }
 
 // Job fetches one job's current view. An unknown ID is ErrUnknownJob.
 func (c *Client) Job(ctx context.Context, id string) (service.JobView, error) {
+	return c.jobOn(ctx, nil, id)
+}
+
+// jobOn polls a job on a specific endpoint (nil = default routing; with
+// one endpoint the two are the same).
+func (c *Client) jobOn(ctx context.Context, ep *endpoint, id string) (service.JobView, error) {
 	var view service.JobView
-	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &view)
+	_, err := c.request(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &view, target{ep: ep})
 	var ae *APIError
 	if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
 		return view, fmt.Errorf("%w: %s", ErrUnknownJob, id)
@@ -231,7 +513,7 @@ func (c *Client) Jobs(ctx context.Context, state service.JobState) ([]service.Jo
 		path += "?state=" + string(state)
 	}
 	var resp service.JobListResponse
-	if err := c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
+	if _, err := c.request(ctx, http.MethodGet, path, nil, &resp, target{}); err != nil {
 		return nil, err
 	}
 	return resp.Jobs, nil
@@ -240,29 +522,35 @@ func (c *Client) Jobs(ctx context.Context, state service.JobState) ([]service.Jo
 // Cancel aborts a queued or running job and returns its resulting view.
 func (c *Client) Cancel(ctx context.Context, id string) (service.JobView, error) {
 	var view service.JobView
-	err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/cancel", nil, &view)
+	_, err := c.request(ctx, http.MethodPost, "/v1/jobs/"+id+"/cancel", nil, &view, target{})
 	return view, err
 }
 
-// Metrics fetches the daemon's counter document.
+// Metrics fetches a daemon's counter document.
 func (c *Client) Metrics(ctx context.Context) (service.MetricsSnapshot, error) {
 	var snap service.MetricsSnapshot
-	err := c.do(ctx, http.MethodGet, "/metrics", nil, &snap)
+	_, err := c.request(ctx, http.MethodGet, "/metrics", nil, &snap, target{})
 	return snap, err
 }
 
-// Health fetches the liveness document (draining/degraded flags).
+// Health fetches a daemon's liveness document (draining/degraded
+// flags, queue depth, in-flight count and admission limit).
 func (c *Client) Health(ctx context.Context) (service.Health, error) {
 	var h service.Health
-	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	_, err := c.request(ctx, http.MethodGet, "/healthz", nil, &h, target{})
 	return h, err
 }
 
 // Wait polls a job until it reaches a terminal state. ErrUnknownJob
 // surfaces immediately so the caller can resubmit.
 func (c *Client) Wait(ctx context.Context, id string) (service.JobView, error) {
+	return c.waitOn(ctx, nil, id)
+}
+
+// waitOn is Wait pinned to the endpoint that accepted the job.
+func (c *Client) waitOn(ctx context.Context, ep *endpoint, id string) (service.JobView, error) {
 	for {
-		view, err := c.Job(ctx, id)
+		view, err := c.jobOn(ctx, ep, id)
 		if err != nil {
 			return view, err
 		}
@@ -279,24 +567,38 @@ func (c *Client) Wait(ctx context.Context, id string) (service.JobView, error) {
 }
 
 // RunCell runs one cell to completion: submit, wait, decode. If the
-// daemon forgets the job mid-wait (crash + restart compacted it away)
-// the cell is resubmitted — idempotent under content addressing — up to
-// MaxAttempts times. A job that ends "failed" or "canceled" is an
-// error carrying the daemon's structured error string.
+// serving daemon forgets the job mid-wait (crash + restart compacted it
+// away) or stops answering entirely (killed; the poll is sticky, so
+// exhausted retries mean the server is gone, not slow), the cell is
+// resubmitted — idempotent under content addressing, and routed around
+// the dead endpoint — up to MaxAttempts times. A job that ends
+// "failed" or "canceled" is an error carrying the daemon's structured
+// error string.
 func (c *Client) RunCell(ctx context.Context, req service.JobRequest) (*stats.Record, error) {
 	var lastErr error
 	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
-		view, err := c.Submit(ctx, req)
+		if attempt > 0 {
+			c.stats.add(func(s *Stats) { s.Resubmissions++ })
+		}
+		view, ep, err := c.submit(ctx, req)
 		if err != nil {
 			return nil, err
 		}
-		view, err = c.Wait(ctx, view.ID)
+		view, err = c.waitOn(ctx, ep, view.ID)
 		if errors.Is(err, ErrUnknownJob) {
 			lastErr = err
 			continue // daemon restarted underneath us; resubmit
 		}
 		if err != nil {
-			return nil, err
+			if ctx.Err() != nil || errors.Is(err, ErrRetryBudgetExhausted) {
+				return nil, err
+			}
+			var ae *APIError
+			if errors.As(err, &ae) && !retryableStatus(ae.Status) {
+				return nil, err
+			}
+			lastErr = err
+			continue // endpoint died mid-poll; resubmit elsewhere
 		}
 		switch view.State {
 		case service.JobDone:

@@ -1,0 +1,206 @@
+package client
+
+import (
+	"errors"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrRetryBudgetExhausted reports that the client-wide retry token
+// bucket is empty: the request's first attempt failed and no retry
+// tokens remain, so the client fails fast instead of joining a retry
+// storm against an already-struggling fleet.
+var ErrRetryBudgetExhausted = errors.New("client: retry budget exhausted")
+
+// endpoint is one asfd base URL plus its health state: an EWMA of
+// observed request latency, a consecutive-failure streak, and an
+// ejection clock. Endpoints are ejected after EjectAfter consecutive
+// connect/5xx failures and re-admitted by probing: once ProbeAfter
+// elapses, the next request routed its way is the probe — success
+// clears the streak, failure re-ejects for another ProbeAfter.
+type endpoint struct {
+	base string
+
+	mu           sync.Mutex
+	ewmaMs       float64
+	fails        int
+	ejectedUntil time.Time
+}
+
+// available reports whether the endpoint may be routed to at all —
+// healthy, or ejected long enough that it has earned a probe.
+func (e *endpoint) available(now time.Time) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return !now.Before(e.ejectedUntil)
+}
+
+// latency returns the EWMA latency estimate in milliseconds (0 = no
+// observations yet).
+func (e *endpoint) latency() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ewmaMs
+}
+
+// noteSuccess records a completed request: the failure streak resets,
+// any ejection clears, and the latency EWMA absorbs the observation.
+func (e *endpoint) noteSuccess(latency time.Duration) {
+	ms := float64(latency) / float64(time.Millisecond)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.fails = 0
+	e.ejectedUntil = time.Time{}
+	if e.ewmaMs == 0 {
+		e.ewmaMs = ms
+	} else {
+		e.ewmaMs = 0.8*e.ewmaMs + 0.2*ms
+	}
+}
+
+// noteFailure records a connect/5xx failure, ejecting the endpoint once
+// the streak reaches ejectAfter (and re-ejecting on a failed probe).
+// Returns true when this failure caused an ejection event.
+func (e *endpoint) noteFailure(now time.Time, ejectAfter int, probeAfter time.Duration) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.fails++
+	if e.fails < ejectAfter {
+		return false
+	}
+	e.ejectedUntil = now.Add(probeAfter)
+	return true
+}
+
+// rank orders the pool's endpoints for a content key by rendezvous
+// (highest-random-weight) hashing: every client ranks the same key the
+// same way regardless of pool order, so repeat submissions of a cell
+// land on the same server — whose cache already has the result — and
+// keys spread evenly when an endpoint joins or leaves.
+func rank(endpoints []*endpoint, key string) []*endpoint {
+	type scored struct {
+		ep *endpoint
+		w  uint64
+	}
+	out := make([]scored, len(endpoints))
+	for i, ep := range endpoints {
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		h.Write([]byte{'|'})
+		h.Write([]byte(ep.base))
+		out[i] = scored{ep, h.Sum64()}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].w != out[j].w {
+			return out[i].w > out[j].w
+		}
+		return out[i].ep.base < out[j].ep.base
+	})
+	ranked := make([]*endpoint, len(out))
+	for i, s := range out {
+		ranked[i] = s.ep
+	}
+	return ranked
+}
+
+// retryBudget is a client-wide token bucket consumed by retry attempts
+// (first attempts are always free): capacity tokens, refilled at
+// refillPerSec. When empty, requests stop retrying and fail with
+// ErrRetryBudgetExhausted — the mechanism that keeps a fleet of
+// clients from amplifying an outage into a retry storm.
+type retryBudget struct {
+	mu           sync.Mutex
+	capacity     float64
+	tokens       float64
+	refillPerSec float64
+	last         time.Time
+	now          func() time.Time
+}
+
+func newRetryBudget(capacity int, refillPerSec float64, now func() time.Time) *retryBudget {
+	if now == nil {
+		now = time.Now
+	}
+	b := &retryBudget{
+		capacity:     float64(capacity),
+		tokens:       float64(capacity),
+		refillPerSec: refillPerSec,
+		now:          now,
+	}
+	b.last = b.now()
+	return b
+}
+
+// take consumes one retry token, refilling first; false means the
+// budget is spent.
+func (b *retryBudget) take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if el := now.Sub(b.last).Seconds(); el > 0 {
+		b.tokens += el * b.refillPerSec
+		if b.tokens > b.capacity {
+			b.tokens = b.capacity
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Stats is the client-side resilience counter set, the fleet-facing
+// mirror of the daemon's /metrics: hedging, failover, ejection and
+// retry-budget events happen inside the client — no server can observe
+// them — so the client exposes them itself. The field set is pinned by
+// TestStatsSchemaGolden the same way the server's snapshot is.
+type Stats struct {
+	// HedgesLaunched counts hedge requests actually sent (a hedge
+	// launches only when the primary is still pending after HedgeDelay);
+	// HedgeWins counts hedges whose response was used.
+	HedgesLaunched uint64 `json:"hedgesLaunched"`
+	HedgeWins      uint64 `json:"hedgeWins"`
+
+	// Failovers counts attempts routed away from the preferred endpoint
+	// because it was ejected, excluded after failing this request, or
+	// otherwise unavailable.
+	Failovers uint64 `json:"failovers"`
+
+	// EndpointEjections counts ejection events (initial ejections and
+	// failed probes both count: each puts the endpoint back on the
+	// bench).
+	EndpointEjections uint64 `json:"endpointEjections"`
+
+	// RetriesSpent counts retry attempts that consumed a budget token;
+	// RetryBudgetExhausted counts requests that failed because none
+	// remained.
+	RetriesSpent         uint64 `json:"retriesSpent"`
+	RetryBudgetExhausted uint64 `json:"retryBudgetExhausted"`
+
+	// Resubmissions counts cells RunCell submitted again after the
+	// serving daemon forgot or lost the original job (crash, restart,
+	// failover) — idempotent by content addressing.
+	Resubmissions uint64 `json:"resubmissions"`
+}
+
+// statsCounters is the mutable, mutex-guarded accumulator behind Stats.
+type statsCounters struct {
+	mu sync.Mutex
+	s  Stats
+}
+
+func (c *statsCounters) add(f func(*Stats)) {
+	c.mu.Lock()
+	f(&c.s)
+	c.mu.Unlock()
+}
+
+func (c *statsCounters) snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s
+}

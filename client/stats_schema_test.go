@@ -1,0 +1,43 @@
+package client
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestStatsSchemaGolden pins the client Stats field set the same way the
+// server pins its /metrics snapshot: these counters are the observable
+// surface of the client's resilience machinery (no server can count a
+// hedge or a failover — they happen before any server is reached), and
+// dashboards key on the JSON names. Renaming or dropping one must be a
+// conscious, test-breaking act.
+func TestStatsSchemaGolden(t *testing.T) {
+	golden := []string{
+		"hedgesLaunched",
+		"hedgeWins",
+		"failovers",
+		"endpointEjections",
+		"retriesSpent",
+		"retryBudgetExhausted",
+		"resubmissions",
+	}
+
+	raw, err := json.Marshal(Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, key := range golden {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("Stats lost the %q field", key)
+		}
+		delete(doc, key)
+	}
+	for key := range doc {
+		t.Errorf("Stats grew an unpinned field %q — add it to the golden list deliberately", key)
+	}
+}

@@ -52,18 +52,24 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock cap (0 = unlimited)")
 	maxSyncCells := flag.Int("max-sync-cells", 64, "largest matrix GET /v1/matrix runs synchronously")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "shutdown drain budget before in-flight jobs are canceled")
+	admissionTarget := flag.Duration("admission-target", 0, "adaptive admission control: target submit-to-done latency; the concurrency limit shrinks when observed latency exceeds it (0 = disabled)")
+	admissionMin := flag.Int("admission-min-limit", 0, "floor for the adaptive admission limit (0 = worker count); needs -admission-target")
+	admissionMax := flag.Int("admission-max-limit", 0, "ceiling for the adaptive admission limit (0 = workers+queue); needs -admission-target")
 	flag.Parse()
 
 	srv, err := service.New(service.Config{
-		Workers:          *workers,
-		QueueDepth:       *queueDepth,
-		CacheEntries:     *cacheEntries,
-		SnapshotPath:     *snapshot,
-		SnapshotInterval: *snapshotInterval,
-		JournalPath:      *journal,
-		BreakerThreshold: *breakerThreshold,
-		JobTimeout:       *jobTimeout,
-		MaxSyncCells:     *maxSyncCells,
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		CacheEntries:      *cacheEntries,
+		SnapshotPath:      *snapshot,
+		SnapshotInterval:  *snapshotInterval,
+		JournalPath:       *journal,
+		BreakerThreshold:  *breakerThreshold,
+		JobTimeout:        *jobTimeout,
+		MaxSyncCells:      *maxSyncCells,
+		AdmissionTarget:   *admissionTarget,
+		AdmissionMinLimit: *admissionMin,
+		AdmissionMaxLimit: *admissionMax,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asfd: %v\n", err)
@@ -84,6 +90,9 @@ func main() {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("asfd: listening on %s (workers=%d queue=%d cache=%d)",
 		*addr, nworkers, *queueDepth, *cacheEntries)
+	if *admissionTarget > 0 {
+		log.Printf("asfd: adaptive admission armed (target=%v limit=%d)", *admissionTarget, srv.AdmissionLimit())
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

@@ -38,7 +38,7 @@ func main() {
 		record  = flag.String("record", "", "record the workload's op stream to this trace file")
 		replay  = flag.String("replay", "", "replay a recorded trace file instead of running a workload")
 		sigBits = flag.Int("sigbits", 0, "signature size in bits for -detect signature (0 = 1024)")
-		server  = flag.String("server", "", "run the cell on an asfd daemon at this base URL (e.g. http://127.0.0.1:8080) instead of in-process")
+		server  = flag.String("server", "", "run the cell on an asfd daemon instead of in-process: one base URL, or a comma-separated fleet (e.g. http://h1:8080,http://h2:8080) with rendezvous routing, failover, and a shared retry budget")
 
 		faultInterrupt = flag.Float64("fault-interrupt-rate", 0, "spurious interrupt aborts per in-transaction cycle (0..1)")
 		faultTLB       = flag.Float64("fault-tlb-rate", 0, "spurious TLB-miss aborts per transactional access (0..1)")

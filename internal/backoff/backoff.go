@@ -25,6 +25,7 @@ func DefaultConfig() Config {
 type Manager struct {
 	cfg Config
 	r   *rng.Rand
+	src func() float64
 }
 
 // New returns a manager using r as its jitter source.
@@ -44,6 +45,14 @@ func New(cfg Config, r *rng.Rand) *Manager {
 	return &Manager{cfg: cfg, r: r}
 }
 
+// SetSource replaces the jitter draw with src, which must return values
+// in [0,1). It exists so callers that need reproducible *wall-clock*
+// retry timing (the asfd client's tests pin src to a constant) can do so
+// without threading a whole rng.Rand through their options. A nil src
+// restores the rng draw. Call before the manager is shared between
+// goroutines; Delay itself does not synchronize.
+func (m *Manager) SetSource(src func() float64) { m.src = src }
+
 // Delay returns the backoff, in cycles, to apply before retry number
 // `retries` (1 = first retry). The deterministic component doubles per
 // retry: base << (retries-1), clamped to MaxCycles; the jitter component
@@ -62,9 +71,13 @@ func (m *Manager) Delay(retries int) int64 {
 	if shift := uint(retries - 1); shift < 63 && m.cfg.BaseCycles <= m.cfg.MaxCycles>>shift {
 		d = m.cfg.BaseCycles << shift
 	}
-	if m.cfg.Jitter > 0 && m.r != nil {
-		j := int64(float64(d) * m.cfg.Jitter * m.r.Float64())
-		d -= j
+	if m.cfg.Jitter > 0 {
+		switch {
+		case m.src != nil:
+			d -= int64(float64(d) * m.cfg.Jitter * m.src())
+		case m.r != nil:
+			d -= int64(float64(d) * m.cfg.Jitter * m.r.Float64())
+		}
 	}
 	if d < 1 {
 		d = 1

@@ -157,3 +157,34 @@ func TestShiftOverflowGuard(t *testing.T) {
 		}
 	}
 }
+
+func TestSetSourceOverridesJitter(t *testing.T) {
+	// With the source pinned to 0 the jitter subtracts nothing: delays
+	// are the pure exponential schedule, regardless of the rng the
+	// manager was built with.
+	m := New(Config{BaseCycles: 100, MaxCycles: 1 << 20, Jitter: 0.5}, rng.New(7))
+	m.SetSource(func() float64 { return 0 })
+	for r := 1; r <= 5; r++ {
+		if got, want := m.Delay(r), int64(100<<(r-1)); got != want {
+			t.Fatalf("pinned source: Delay(%d) = %d, want %d", r, got, want)
+		}
+	}
+
+	// A source pinned just under 1 subtracts the full jitter fraction.
+	m.SetSource(func() float64 { return 0.999999 })
+	d := m.Delay(1)
+	if d < 50 || d > 51 {
+		t.Fatalf("max-jitter source: Delay(1) = %d, want ~50", d)
+	}
+
+	// Restoring a nil source falls back to the seeded rng draw, which is
+	// deterministic per seed.
+	m.SetSource(nil)
+	m2 := New(Config{BaseCycles: 100, MaxCycles: 1 << 20, Jitter: 0.5}, rng.New(99))
+	m3 := New(Config{BaseCycles: 100, MaxCycles: 1 << 20, Jitter: 0.5}, rng.New(99))
+	for r := 1; r <= 8; r++ {
+		if m2.Delay(r) != m3.Delay(r) {
+			t.Fatalf("rng fallback not deterministic at retry %d", r)
+		}
+	}
+}

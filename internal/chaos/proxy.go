@@ -1,0 +1,307 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// ProxyConfig sets per-connection fault probabilities for a chaos
+// proxy. Exactly one fate is rolled per accepted connection, in config
+// order (latency, reset, blackhole, partial); whatever probability mass
+// remains passes the connection through untouched. Zero values mean
+// "never".
+type ProxyConfig struct {
+	// LatencyRate delays the connection: the first upstream forward
+	// stalls for Latency (default 200ms) before bytes flow. This is the
+	// tail-latency fate hedged requests exist for.
+	LatencyRate float64
+	Latency     time.Duration
+
+	// ResetRate tears the connection down as soon as the client has
+	// written its first bytes, before anything reaches the server.
+	ResetRate float64
+
+	// BlackholeRate accepts the connection, swallows the request, and
+	// never answers; the connection is held open for Hold (default 2s)
+	// so the client's own request timeout is what saves it.
+	BlackholeRate float64
+
+	// PartialRate forwards the request upstream but delivers only the
+	// first half of the server's first response chunk, then closes —
+	// a torn response the client must treat as a transport error.
+	PartialRate float64
+
+	// Hold bounds how long blackholed and partitioned connections stay
+	// open (default 2s).
+	Hold time.Duration
+}
+
+// PartitionMode is an armed network partition, overriding fate rolls
+// for every connection accepted while set.
+type PartitionMode int
+
+const (
+	// PartitionOff routes connections by their rolled fate.
+	PartitionOff PartitionMode = iota
+
+	// PartitionDropAll refuses service: connections are blackholed, so
+	// the endpoint looks unreachable (requests reach no server).
+	PartitionDropAll
+
+	// PartitionOneWay is the asymmetric partition: requests reach the
+	// server and are executed, but responses never come back. The
+	// client must resubmit, and only content-addressed dedup keeps the
+	// rerun from counting twice.
+	PartitionOneWay
+)
+
+// ProxyCounts are the faults a proxy actually delivered.
+type ProxyCounts struct {
+	Conns       uint64
+	Passthrough uint64
+	Latencies   uint64
+	Resets      uint64
+	Blackholes  uint64
+	Partials    uint64
+	Partitioned uint64
+}
+
+// Proxy is a seeded TCP chaos proxy in front of one server address: the
+// fleet soak test puts one in front of each asfd instance so every
+// client connection runs a gauntlet of latency, resets, black holes,
+// torn responses and one-way partitions. Fates are drawn from the
+// repo's deterministic generator, so the sequence of faults reproduces
+// from the seed alone (which accepted connection carries which request
+// still depends on client scheduling). Safe for concurrent use.
+type Proxy struct {
+	target string
+	ln     net.Listener
+	cfg    ProxyConfig
+
+	mu        sync.Mutex
+	r         *rng.Rand
+	partition PartitionMode
+	counts    ProxyCounts
+	logw      io.Writer
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewProxy starts a chaos proxy on a fresh loopback port forwarding to
+// target ("host:port"). Events are logged one per line to logw (nil
+// discards them).
+func NewProxy(target string, seed uint64, cfg ProxyConfig, logw io.Writer) (*Proxy, error) {
+	if cfg.Latency <= 0 {
+		cfg.Latency = 200 * time.Millisecond
+	}
+	if cfg.Hold <= 0 {
+		cfg.Hold = 2 * time.Second
+	}
+	if logw == nil {
+		logw = io.Discard
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		target: target,
+		ln:     ln,
+		cfg:    cfg,
+		r:      rng.New(seed),
+		logw:   logw,
+		done:   make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address ("host:port").
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// URL returns the proxy's HTTP base URL.
+func (p *Proxy) URL() string { return "http://" + p.Addr() }
+
+// Counts returns the faults delivered so far.
+func (p *Proxy) Counts() ProxyCounts {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts
+}
+
+// SetPartition arms or clears a partition for subsequently accepted
+// connections.
+func (p *Proxy) SetPartition(mode PartitionMode) {
+	p.mu.Lock()
+	p.partition = mode
+	p.mu.Unlock()
+	p.logf("partition mode=%d", mode)
+}
+
+// Close stops accepting, releases held connections, and waits for the
+// relay goroutines to drain.
+func (p *Proxy) Close() error {
+	err := p.ln.Close()
+	close(p.done)
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) logf(format string, args ...any) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.logw, "proxy %s: "+format+"\n", append([]any{p.Addr()}, args...)...)
+}
+
+type connFate int
+
+const (
+	fateOK connFate = iota
+	fateLatency
+	fateReset
+	fateBlackhole
+	fatePartial
+	fateDropAll
+	fateOneWay
+)
+
+// roll draws one fate per connection under the lock, so the fault
+// sequence is a pure function of the seed and accept order.
+func (p *Proxy) roll() connFate {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.counts.Conns++
+	switch p.partition {
+	case PartitionDropAll:
+		p.counts.Partitioned++
+		return fateDropAll
+	case PartitionOneWay:
+		p.counts.Partitioned++
+		return fateOneWay
+	}
+	switch {
+	case p.r.Bool(p.cfg.LatencyRate):
+		p.counts.Latencies++
+		return fateLatency
+	case p.r.Bool(p.cfg.ResetRate):
+		p.counts.Resets++
+		return fateReset
+	case p.r.Bool(p.cfg.BlackholeRate):
+		p.counts.Blackholes++
+		return fateBlackhole
+	case p.r.Bool(p.cfg.PartialRate):
+		p.counts.Partials++
+		return fatePartial
+	default:
+		p.counts.Passthrough++
+		return fateOK
+	}
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		fate := p.roll()
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.handle(conn, fate)
+		}()
+	}
+}
+
+// hold keeps a doomed connection open until the configured hold expires
+// or the proxy closes, so the client twists in the wind the way it
+// would on a real black hole.
+func (p *Proxy) hold() {
+	t := time.NewTimer(p.cfg.Hold)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-p.done:
+	}
+}
+
+func (p *Proxy) handle(client net.Conn, fate connFate) {
+	defer client.Close()
+	buf := make([]byte, 32*1024)
+
+	switch fate {
+	case fateReset:
+		// Take the first request bytes, then slam the door; nothing
+		// reaches the server.
+		client.SetReadDeadline(time.Now().Add(p.cfg.Hold))
+		client.Read(buf)
+		if tc, ok := client.(*net.TCPConn); ok {
+			tc.SetLinger(0) // RST, not FIN
+		}
+		p.logf("reset connection")
+		return
+	case fateBlackhole, fateDropAll:
+		p.logf("blackhole connection (fate=%d)", fate)
+		p.hold()
+		return
+	}
+
+	server, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		p.logf("upstream dial failed: %v", err)
+		return
+	}
+	defer server.Close()
+
+	switch fate {
+	case fateLatency:
+		// Stall before any bytes flow, then behave: the request
+		// succeeds, just slowly.
+		p.logf("inject latency %v", p.cfg.Latency)
+		t := time.NewTimer(p.cfg.Latency)
+		select {
+		case <-t.C:
+		case <-p.done:
+			t.Stop()
+			return
+		}
+		p.relay(client, server)
+	case fatePartial:
+		go io.Copy(server, client)
+		n, err := server.Read(buf)
+		if err != nil || n == 0 {
+			return
+		}
+		client.Write(buf[:n/2])
+		p.logf("inject partial response (%d of %d bytes)", n/2, n)
+	case fateOneWay:
+		// Requests flow; responses vanish. The server does the work and
+		// the client never hears about it.
+		p.logf("one-way partition: forwarding request, dropping response")
+		go io.Copy(io.Discard, server)
+		go io.Copy(server, client)
+		p.hold()
+	default:
+		p.relay(client, server)
+	}
+}
+
+// relay is a plain bidirectional copy that tears both sides down when
+// either direction finishes or the proxy closes.
+func (p *Proxy) relay(client, server net.Conn) {
+	doneCopy := make(chan struct{}, 2)
+	go func() { io.Copy(server, client); doneCopy <- struct{}{} }()
+	go func() { io.Copy(client, server); doneCopy <- struct{}{} }()
+	select {
+	case <-doneCopy:
+	case <-p.done:
+	}
+}

@@ -1,0 +1,208 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// proxyBackend is a counting HTTP backend for proxy tests.
+func proxyBackend(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		fmt.Fprint(w, `{"ok":true,"padding":"0123456789012345678901234567890123456789"}`)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func proxyTarget(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	u, err := url.Parse(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Host
+}
+
+// oneShotClient makes every request a fresh connection (and so a fresh
+// fate roll) with a bounded wait.
+func oneShotClient(timeout time.Duration) *http.Client {
+	return &http.Client{
+		Timeout:   timeout,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+}
+
+func TestProxyPassthrough(t *testing.T) {
+	ts, hits := proxyBackend(t)
+	p, err := NewProxy(proxyTarget(t, ts), 1, ProxyConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	resp, err := oneShotClient(5 * time.Second).Get(p.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || len(body) == 0 {
+		t.Fatalf("status %d body %q through clean proxy", resp.StatusCode, body)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("backend saw %d requests, want 1", hits.Load())
+	}
+	if c := p.Counts(); c.Passthrough != 1 || c.Conns != 1 {
+		t.Fatalf("counts = %+v, want 1 passthrough conn", c)
+	}
+}
+
+func TestProxyReset(t *testing.T) {
+	ts, hits := proxyBackend(t)
+	p, err := NewProxy(proxyTarget(t, ts), 1, ProxyConfig{ResetRate: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if _, err := oneShotClient(5 * time.Second).Get(p.URL()); err == nil {
+		t.Fatal("reset-fated request succeeded")
+	}
+	if hits.Load() != 0 {
+		t.Fatal("reset fate leaked the request to the backend")
+	}
+	if c := p.Counts(); c.Resets != 1 {
+		t.Fatalf("counts = %+v, want 1 reset", c)
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	ts, _ := proxyBackend(t)
+	p, err := NewProxy(proxyTarget(t, ts), 1,
+		ProxyConfig{LatencyRate: 1, Latency: 150 * time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	start := time.Now()
+	resp, err := oneShotClient(5 * time.Second).Get(p.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if el := time.Since(start); el < 150*time.Millisecond {
+		t.Fatalf("latency-fated request returned in %v, want >= 150ms", el)
+	}
+	if c := p.Counts(); c.Latencies != 1 {
+		t.Fatalf("counts = %+v, want 1 latency injection", c)
+	}
+}
+
+func TestProxyPartialResponse(t *testing.T) {
+	ts, hits := proxyBackend(t)
+	p, err := NewProxy(proxyTarget(t, ts), 1, ProxyConfig{PartialRate: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	resp, err := oneShotClient(5 * time.Second).Get(p.URL())
+	if err == nil {
+		// The torn prefix may parse as headers; the body read must fail.
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatal("half a response read cleanly")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("backend saw %d requests, want 1 (request side is intact)", hits.Load())
+	}
+	if c := p.Counts(); c.Partials != 1 {
+		t.Fatalf("counts = %+v, want 1 partial", c)
+	}
+}
+
+func TestProxyPartitions(t *testing.T) {
+	ts, hits := proxyBackend(t)
+	p, err := NewProxy(proxyTarget(t, ts), 1, ProxyConfig{Hold: 150 * time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := oneShotClient(time.Second)
+
+	// Drop-all: nothing reaches the backend.
+	p.SetPartition(PartitionDropAll)
+	if _, err := c.Get(p.URL()); err == nil {
+		t.Fatal("request crossed a drop-all partition")
+	}
+	if hits.Load() != 0 {
+		t.Fatal("drop-all partition leaked a request to the backend")
+	}
+
+	// One-way: the backend executes the request, the client never hears.
+	p.SetPartition(PartitionOneWay)
+	if _, err := c.Get(p.URL()); err == nil {
+		t.Fatal("response crossed a one-way partition")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("backend saw %d requests through a one-way partition, want 1", hits.Load())
+	}
+
+	// Healed: traffic flows again.
+	p.SetPartition(PartitionOff)
+	resp, err := c.Get(p.URL())
+	if err != nil {
+		t.Fatalf("healed partition still failing: %v", err)
+	}
+	resp.Body.Close()
+	if got := p.Counts(); got.Partitioned != 2 {
+		t.Fatalf("counts = %+v, want 2 partitioned conns", got)
+	}
+}
+
+// TestProxyDeterministicFates: two proxies with the same seed and
+// config deal the same fate sequence, so a failing fleet soak replays
+// from its seed.
+func TestProxyDeterministicFates(t *testing.T) {
+	ts, _ := proxyBackend(t)
+	cfg := ProxyConfig{
+		LatencyRate: 0.2, Latency: time.Millisecond,
+		ResetRate: 0.3, PartialRate: 0.2,
+		Hold: 50 * time.Millisecond,
+	}
+	run := func(seed uint64) ProxyCounts {
+		p, err := NewProxy(proxyTarget(t, ts), seed, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		c := oneShotClient(time.Second)
+		for i := 0; i < 24; i++ { // sequential: accept order is the index
+			resp, err := c.Get(p.URL())
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		return p.Counts()
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("same seed dealt different fates:\n%+v\n%+v", a, b)
+	}
+	if a.Resets == 0 || a.Latencies == 0 || a.Partials == 0 || a.Passthrough == 0 {
+		t.Fatalf("fate mix never exercised every class: %+v", a)
+	}
+}

@@ -1,0 +1,155 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOverloaded reports that the adaptive admission controller shed this
+// submission (HTTP 429): the number of jobs in the system is at the
+// current concurrency limit, which the controller has pulled down
+// because observed submit-to-done latency is above target. Distinct
+// from ErrQueueFull — the static queue bound — so clients and metrics
+// can tell configured backpressure from adaptive overload shedding.
+var ErrOverloaded = errors.New("service: admission limit reached, overloaded")
+
+// ErrDeadlineExpired reports that the job's propagated deadline
+// (X-ASF-Deadline) had already passed at submission (HTTP 408): running
+// it would produce a result nobody is still waiting for.
+var ErrDeadlineExpired = errors.New("service: deadline already expired")
+
+// Priority is a job's admission class. Interactive jobs (the default)
+// are shed only when the system is at the full admission limit; batch
+// jobs are shed earlier, at a fraction of it, so background sweeps
+// yield headroom to interactive traffic under overload.
+type Priority string
+
+const (
+	PriorityInteractive Priority = "interactive"
+	PriorityBatch       Priority = "batch"
+)
+
+// ParsePriority validates a priority string ("" means interactive).
+func ParsePriority(s string) (Priority, error) {
+	switch p := Priority(s); p {
+	case "":
+		return PriorityInteractive, nil
+	case PriorityInteractive, PriorityBatch:
+		return p, nil
+	default:
+		return "", errors.New("service: unknown priority " + `"` + s + `" (want "interactive" or "batch")`)
+	}
+}
+
+// batchLimitFraction is the share of the admission limit batch jobs may
+// occupy: past it, batch is shed while interactive is still admitted.
+const batchLimitFraction = 0.75
+
+// admission is an AIMD concurrency limiter in front of the worker pool,
+// in the spirit of gradient/Vegas adaptive limits: the limit grows
+// additively (one slot per limit's worth of completions) while observed
+// submit-to-done latency stays at or under the target, and backs off
+// multiplicatively the moment the latency EWMA exceeds it. The target
+// ties the limit to what the operator actually cares about — how long a
+// job sits in the system — rather than to a hand-tuned queue depth that
+// is wrong for every workload mix but one.
+//
+// A nil *admission (target 0, the default) disables the controller
+// entirely; every pre-existing backpressure behavior is unchanged.
+type admission struct {
+	mu       sync.Mutex
+	targetMs float64
+	min, max float64
+	limit    float64
+	ewmaMs   float64
+	seeded   bool
+	grow     float64 // fractional additive-increase accumulator
+}
+
+// newAdmission builds a controller targeting the given submit-to-done
+// latency, with the limit clamped to [min, max]. target <= 0 returns
+// nil: admission control off.
+func newAdmission(target time.Duration, min, max int) *admission {
+	if target <= 0 {
+		return nil
+	}
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	return &admission{
+		targetMs: float64(target) / float64(time.Millisecond),
+		min:      float64(min),
+		max:      float64(max),
+		// Start at the ceiling: the first overload observation pulls the
+		// limit down; until then the static queue bound still applies.
+		limit: float64(max),
+	}
+}
+
+// Limit returns the current concurrency limit (0 when disabled).
+func (a *admission) Limit() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return int(a.limit)
+}
+
+// admit reports whether a job of the given priority may enter with
+// inSystem jobs already queued or running. Disabled controllers admit
+// everything.
+func (a *admission) admit(p Priority, inSystem int) bool {
+	if a == nil {
+		return true
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	lim := a.limit
+	if p == PriorityBatch {
+		lim = lim * batchLimitFraction
+		if lim < 1 {
+			lim = 1
+		}
+	}
+	return float64(inSystem) < lim
+}
+
+// observe feeds one completed job's submit-to-done latency into the
+// controller: EWMA the signal, then AIMD the limit.
+func (a *admission) observe(latency time.Duration) {
+	if a == nil {
+		return
+	}
+	ms := float64(latency) / float64(time.Millisecond)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.seeded {
+		a.ewmaMs, a.seeded = ms, true
+	} else {
+		a.ewmaMs = 0.8*a.ewmaMs + 0.2*ms
+	}
+	if a.ewmaMs <= a.targetMs {
+		// Additive increase: one whole slot per `limit` completions, so
+		// recovery probes gently instead of slamming back to max.
+		a.grow += 1 / a.limit
+		if a.grow >= 1 {
+			a.limit += 1
+			a.grow = 0
+		}
+	} else {
+		// Multiplicative decrease, immediately.
+		a.limit *= 0.85
+		a.grow = 0
+	}
+	if a.limit < a.min {
+		a.limit = a.min
+	}
+	if a.limit > a.max {
+		a.limit = a.max
+	}
+}

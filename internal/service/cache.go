@@ -102,6 +102,19 @@ func (c *Cache) Put(e *CacheEntry) {
 	}
 }
 
+// Keys returns the content addresses of every cached entry, most
+// recently used first. The fleet soak test diffs key sets across server
+// incarnations to account for every simulated cycle exactly.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*CacheEntry).Key)
+	}
+	return out
+}
+
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {
 	c.mu.Lock()

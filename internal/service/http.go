@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	asfsim "repro"
 	"repro/internal/harness"
@@ -36,6 +37,11 @@ type JobRequest struct {
 	WatchdogWindow        int64 `json:"watchdogWindow"`
 	WatchdogMitigate      bool  `json:"watchdogMitigate"`
 	WatchdogStarveWindows int64 `json:"watchdogStarveWindows"`
+
+	// Priority is the admission class ("interactive", the default, or
+	// "batch"). Serving metadata only: it never enters the content
+	// address, and the X-ASF-Priority header overrides it when set.
+	Priority string `json:"priority,omitempty"`
 }
 
 // Spec translates the request into a harness cell, reusing the same
@@ -148,14 +154,47 @@ type SubmitRequest struct {
 
 // SubmitResponse lists the accepted jobs. On a 429 it still carries the
 // jobs accepted before the queue filled, so a client can poll those and
-// resubmit only the remainder.
+// resubmit only the remainder — plus the same structured error envelope
+// (error + retryAfterSeconds) every other error path carries.
 type SubmitResponse struct {
-	Jobs  []JobView `json:"jobs"`
-	Error string    `json:"error,omitempty"`
+	Jobs              []JobView `json:"jobs"`
+	Error             string    `json:"error,omitempty"`
+	RetryAfterSeconds int       `json:"retryAfterSeconds,omitempty"`
 }
 
+// errorResponse is the structured error envelope every non-2xx response
+// body decodes to: a non-empty "error", plus a machine-readable
+// retry-after hint on backpressure statuses (429/503), mirroring the
+// Retry-After header.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error             string `json:"error"`
+	RetryAfterSeconds int    `json:"retryAfterSeconds,omitempty"`
+}
+
+// retryAfterHint returns the Retry-After seconds for a refusal status
+// (0 = no hint). Shed and queue-full rejections (429) clear quickly —
+// jobs complete in well under a second — while draining (503) means
+// "find another endpoint", so it hints longer.
+func retryAfterHint(status int) int {
+	switch status {
+	case http.StatusTooManyRequests:
+		return 1
+	case http.StatusServiceUnavailable:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// writeError renders the structured envelope, attaching the Retry-After
+// header and body hint on 429/503.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	resp := errorResponse{Error: msg}
+	if hint := retryAfterHint(status); hint > 0 {
+		resp.RetryAfterSeconds = hint
+		w.Header().Set("Retry-After", strconv.Itoa(hint))
+	}
+	writeJSON(w, status, resp)
 }
 
 // Handler returns the daemon's HTTP API:
@@ -187,12 +226,41 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
+// submitOpts assembles per-submission serving metadata from the request
+// headers: X-ASF-Deadline (RFC3339Nano) propagates the client's
+// deadline; X-ASF-Priority overrides the body's priority field.
+func submitOpts(r *http.Request, bodyPriority string) (SubmitOpts, error) {
+	var opts SubmitOpts
+	pri := r.Header.Get("X-ASF-Priority")
+	if pri == "" {
+		pri = bodyPriority
+	}
+	p, err := ParsePriority(pri)
+	if err != nil {
+		return opts, err
+	}
+	opts.Priority = p
+	if v := r.Header.Get("X-ASF-Deadline"); v != "" {
+		dl, err := time.Parse(time.RFC3339Nano, v)
+		if err != nil {
+			return opts, fmt.Errorf("bad X-ASF-Deadline %q: %v", v, err)
+		}
+		opts.Deadline = dl
+	}
+	return opts, nil
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decoding request: " + err.Error()})
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	opts, err := submitOpts(r, req.Priority)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 
@@ -201,13 +269,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		var err error
 		specs, err = req.Matrix.Specs()
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 	} else {
 		spec, err := req.JobRequest.Spec()
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		specs = []harness.CellSpec{spec}
@@ -215,10 +283,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	resp := SubmitResponse{Jobs: []JobView{}}
 	for _, spec := range specs {
-		job, err := s.Submit(spec)
+		job, err := s.SubmitJob(spec, opts)
 		if err != nil {
+			status := submitErrorStatus(err)
 			resp.Error = err.Error()
-			writeJSON(w, submitErrorStatus(err), resp)
+			if hint := retryAfterHint(status); hint > 0 {
+				resp.RetryAfterSeconds = hint
+				w.Header().Set("Retry-After", strconv.Itoa(hint))
+			}
+			writeJSON(w, status, resp)
 			return
 		}
 		view, _ := s.Lookup(job.ID)
@@ -229,12 +302,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 func submitErrorStatus(err error) int {
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrKeyPoisoned):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrDeadlineExpired):
+		return http.StatusRequestTimeout
 	default:
 		return http.StatusBadRequest
 	}
@@ -248,7 +323,7 @@ type JobListResponse struct {
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	state, err := ParseJobState(r.URL.Query().Get("state"))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, JobListResponse{Jobs: s.Jobs(state)})
@@ -257,7 +332,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := s.Lookup(id); !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + id})
+		writeError(w, http.StatusNotFound, "unknown job "+id)
 		return
 	}
 	// Cancel returning false here just means the job already reached a
@@ -272,7 +347,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	view, ok := s.Lookup(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + id})
+		writeError(w, http.StatusNotFound, "unknown job "+id)
 		return
 	}
 	writeJSON(w, http.StatusOK, view)
@@ -288,6 +363,11 @@ type MatrixResponse struct {
 // from comma-separated query parameters (workloads, detections, seeds)
 // plus scale and cores.
 func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	opts, err := submitOpts(r, "")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	q := r.URL.Query()
 	mr := MatrixRequest{
 		Workloads:  splitList(q.Get("workloads")),
@@ -297,7 +377,7 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 	for _, s := range splitList(q.Get("seeds")) {
 		seed, err := strconv.ParseUint(s, 10, 64)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad seed " + s})
+			writeError(w, http.StatusBadRequest, "bad seed "+s)
 			return
 		}
 		mr.Seeds = append(mr.Seeds, seed)
@@ -305,7 +385,7 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 	if c := q.Get("cores"); c != "" {
 		cores, err := strconv.Atoi(c)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad cores " + c})
+			writeError(w, http.StatusBadRequest, "bad cores "+c)
 			return
 		}
 		mr.Cores = cores
@@ -313,24 +393,23 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 
 	specs, err := mr.Specs()
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if len(specs) > s.cfg.MaxSyncCells {
-		writeJSON(w, http.StatusBadRequest, errorResponse{
-			Error: fmt.Sprintf("matrix has %d cells, over the synchronous cap of %d; submit it to POST /v1/jobs instead",
-				len(specs), s.cfg.MaxSyncCells),
-		})
+		writeError(w, http.StatusBadRequest, fmt.Sprintf(
+			"matrix has %d cells, over the synchronous cap of %d; submit it to POST /v1/jobs instead",
+			len(specs), s.cfg.MaxSyncCells))
 		return
 	}
 
 	jobs := make([]*Job, 0, len(specs))
 	for _, spec := range specs {
-		job, err := s.Submit(spec)
+		job, err := s.SubmitJob(spec, opts)
 		if err != nil {
 			// Cells already queued keep running and land in the cache, so
 			// the client's retry gets them for free.
-			writeJSON(w, submitErrorStatus(err), errorResponse{Error: err.Error()})
+			writeError(w, submitErrorStatus(err), err.Error())
 			return
 		}
 		jobs = append(jobs, job)
@@ -341,7 +420,7 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-job.Done:
 		case <-r.Context().Done():
-			writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "client gone before sweep finished"})
+			writeError(w, http.StatusGatewayTimeout, "client gone before sweep finished")
 			return
 		}
 		view, _ := s.Lookup(job.ID)
@@ -366,7 +445,7 @@ func splitList(s string) []string {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	degraded, _ := s.Degraded()
-	snap := s.metrics.snapshot(s.QueueDepth(), s.Running(), s.cache, s.journalRecords(), degraded)
+	snap := s.metrics.snapshot(s.QueueDepth(), s.Running(), s.adm.Limit(), s.cache, s.journalRecords(), degraded)
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(snap.renderJSON())
 	w.Write([]byte("\n"))

@@ -20,6 +20,9 @@ type Metrics struct {
 	jobsCanceled  uint64 // abandoned: per-job timeout or daemon shutdown
 	jobsRejected  uint64 // refused with 429 (queue full) or 503 (draining)
 
+	shedExpired  uint64 // jobs shed because their propagated deadline passed before simulation start
+	shedOverload uint64 // submissions shed by the adaptive admission limit
+
 	runsExecuted      uint64 // simulations actually run (cache misses)
 	simCyclesExecuted uint64 // total simulated cycles across executed runs
 
@@ -51,6 +54,9 @@ func (m *Metrics) incCompleted() { m.mu.Lock(); m.jobsCompleted++; m.mu.Unlock()
 func (m *Metrics) incFailed()    { m.mu.Lock(); m.jobsFailed++; m.mu.Unlock() }
 func (m *Metrics) incCanceled()  { m.mu.Lock(); m.jobsCanceled++; m.mu.Unlock() }
 func (m *Metrics) incRejected()  { m.mu.Lock(); m.jobsRejected++; m.mu.Unlock() }
+
+func (m *Metrics) incShedExpired()  { m.mu.Lock(); m.shedExpired++; m.mu.Unlock() }
+func (m *Metrics) incShedOverload() { m.mu.Lock(); m.shedOverload++; m.mu.Unlock() }
 
 func (m *Metrics) incPanics()          { m.mu.Lock(); m.workerPanics++; m.mu.Unlock() }
 func (m *Metrics) incBreakerTripped()  { m.mu.Lock(); m.breakerTripped++; m.mu.Unlock() }
@@ -114,6 +120,15 @@ type MetricsSnapshot struct {
 	QueueDepth    int    `json:"queueDepth"`
 	JobsRunning   int    `json:"jobsRunning"`
 
+	// ShedExpired counts jobs shed because their propagated deadline
+	// passed before simulation start (at submit or at dequeue);
+	// ShedOverload counts submissions refused by the adaptive admission
+	// controller; AdmissionLimit is its current concurrency limit (a
+	// gauge; 0 = admission control disabled).
+	ShedExpired    uint64 `json:"shedExpired"`
+	ShedOverload   uint64 `json:"shedOverload"`
+	AdmissionLimit int    `json:"admissionLimit"`
+
 	CacheHits      uint64 `json:"cacheHits"`
 	CacheMisses    uint64 `json:"cacheMisses"`
 	CacheEvictions uint64 `json:"cacheEvictions"`
@@ -146,7 +161,7 @@ type MetricsSnapshot struct {
 
 // snapshot assembles the document; queue/cache/journal gauges are
 // passed in by the server, which owns those structures.
-func (m *Metrics) snapshot(queueDepth, running int, cache *Cache, journalRecords uint64, degraded bool) MetricsSnapshot {
+func (m *Metrics) snapshot(queueDepth, running, admissionLimit int, cache *Cache, journalRecords uint64, degraded bool) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := MetricsSnapshot{
@@ -157,6 +172,9 @@ func (m *Metrics) snapshot(queueDepth, running int, cache *Cache, journalRecords
 		JobsRejected:        m.jobsRejected,
 		QueueDepth:          queueDepth,
 		JobsRunning:         running,
+		ShedExpired:         m.shedExpired,
+		ShedOverload:        m.shedOverload,
+		AdmissionLimit:      admissionLimit,
 		RunsExecuted:        m.runsExecuted,
 		SimCyclesExecuted:   m.simCyclesExecuted,
 		WorkerPanics:        m.workerPanics,

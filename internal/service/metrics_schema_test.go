@@ -22,6 +22,9 @@ var metricsGoldenFields = []string{
 	"jobsRejected",
 	"queueDepth",
 	"jobsRunning",
+	"shedExpired",
+	"shedOverload",
+	"admissionLimit",
 	"cacheHits",
 	"cacheMisses",
 	"cacheEvictions",

@@ -65,6 +65,22 @@ type Config struct {
 	// cancellation hook.
 	JobTimeout time.Duration
 
+	// AdmissionTarget, when positive, enables adaptive admission control:
+	// an AIMD concurrency limit on jobs in the system (queued + running),
+	// grown while observed submit-to-done latency stays at or under this
+	// target and backed off multiplicatively when it exceeds it.
+	// Submissions past the limit are shed with ErrOverloaded (HTTP 429,
+	// with a Retry-After hint); batch-priority jobs are shed first, at a
+	// fraction of the limit. Zero (the default) disables the controller —
+	// only the static QueueDepth backpressure applies.
+	AdmissionTarget time.Duration
+
+	// AdmissionMinLimit / AdmissionMaxLimit clamp the adaptive limit
+	// (defaults: Workers and Workers+QueueDepth). Only consulted when
+	// AdmissionTarget is set.
+	AdmissionMinLimit int
+	AdmissionMaxLimit int
+
 	// MaxSyncCells caps the matrix size GET /v1/matrix will run
 	// synchronously (default 64 cells); larger sweeps must go through
 	// the async POST /v1/jobs path.
@@ -106,6 +122,12 @@ func (c Config) withDefaults() Config {
 	if c.BreakerThreshold == 0 {
 		c.BreakerThreshold = 3
 	}
+	if c.AdmissionMinLimit <= 0 {
+		c.AdmissionMinLimit = c.Workers
+	}
+	if c.AdmissionMaxLimit <= 0 {
+		c.AdmissionMaxLimit = c.Workers + c.QueueDepth
+	}
 	if c.FS == nil {
 		c.FS = OSFS{}
 	}
@@ -145,11 +167,21 @@ type Job struct {
 	Key  string
 	Spec harness.CellSpec
 
+	// Priority is the admission class the job was accepted under;
+	// Deadline, when nonzero, is the propagated client deadline — the
+	// job is shed before start, or canceled mid-run, once it passes.
+	Priority Priority
+	Deadline time.Time
+
 	State    JobState
 	CacheHit bool
 	Err      string
 	ErrKind  string // "panic" for recovered worker panics, "error" otherwise
 	Result   json.RawMessage
+
+	// submittedAt feeds the admission controller's submit-to-done
+	// latency signal.
+	submittedAt time.Time
 
 	// Done is closed when the job reaches a terminal state.
 	Done     chan struct{}
@@ -200,12 +232,18 @@ type RecoveryStats struct {
 	Torn       int // torn tail records tolerated (crash mid-append)
 }
 
-// Health is the GET /healthz document.
+// Health is the GET /healthz document. Beyond liveness flags it carries
+// the load signals a load balancer (or the client's endpoint health
+// checker) needs: queue depth, in-flight count, and the current
+// adaptive admission limit (0 when admission control is off).
 type Health struct {
 	Status         string `json:"status"`
 	Draining       bool   `json:"draining"`
 	Degraded       bool   `json:"degraded"`
 	DegradedReason string `json:"degradedReason,omitempty"`
+	QueueDepth     int    `json:"queueDepth"`
+	InFlight       int    `json:"inFlight"`
+	AdmissionLimit int    `json:"admissionLimit"`
 }
 
 // Server is the simulation-as-a-service engine: a bounded worker pool
@@ -218,6 +256,7 @@ type Server struct {
 	cache   *Cache
 	metrics *Metrics
 	breaker *breaker
+	adm     *admission // nil = admission control disabled
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -239,7 +278,8 @@ type Server struct {
 	mu             sync.Mutex
 	journal        *Journal // nil = journaling disabled or detached (degraded/killed)
 	jobs           map[string]*Job
-	order          []string // job IDs oldest-first, for retention eviction
+	runningByKey   map[string]*Job // single-flight: content key -> executing job
+	order          []string        // job IDs oldest-first, for retention eviction
 	nextID         uint64
 	running        int
 	draining       bool
@@ -254,14 +294,16 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:       cfg,
-		cache:     NewCache(cfg.CacheEntries),
-		metrics:   NewMetrics(),
-		breaker:   newBreaker(cfg.BreakerThreshold),
-		kill:      make(chan struct{}),
-		flushStop: make(chan struct{}),
-		flushDone: make(chan struct{}),
-		jobs:      make(map[string]*Job),
+		cfg:          cfg,
+		cache:        NewCache(cfg.CacheEntries),
+		metrics:      NewMetrics(),
+		breaker:      newBreaker(cfg.BreakerThreshold),
+		adm:          newAdmission(cfg.AdmissionTarget, cfg.AdmissionMinLimit, cfg.AdmissionMaxLimit),
+		kill:         make(chan struct{}),
+		flushStop:    make(chan struct{}),
+		flushDone:    make(chan struct{}),
+		jobs:         make(map[string]*Job),
+		runningByKey: make(map[string]*Job),
 	}
 
 	if cfg.SnapshotPath != "" {
@@ -460,7 +502,15 @@ func (s *Server) Degraded() (bool, string) {
 func (s *Server) Health() Health {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	h := Health{Status: "ok", Draining: s.draining, Degraded: s.degraded, DegradedReason: s.degradedReason}
+	h := Health{
+		Status:         "ok",
+		Draining:       s.draining,
+		Degraded:       s.degraded,
+		DegradedReason: s.degradedReason,
+		QueueDepth:     len(s.queue),
+		InFlight:       s.running,
+		AdmissionLimit: s.adm.Limit(),
+	}
 	switch {
 	case s.draining:
 		h.Status = "draining"
@@ -496,13 +546,37 @@ func (s *Server) journalRecords() uint64 {
 	return j.Records()
 }
 
-// Submit validates and enqueues one cell. Cache hits complete
-// immediately without touching the queue. The returned job is live: wait
-// on Done, then read the terminal state via Lookup or MatrixCell
-// assembly under the server's accessors.
+// SubmitOpts carries per-submission serving metadata — admission class
+// and propagated deadline. Neither enters the cell's content address:
+// they say how urgently to run the cell, not what to simulate.
+type SubmitOpts struct {
+	// Priority is the admission class ("" = interactive).
+	Priority Priority
+
+	// Deadline, when nonzero, is the client's deadline for this job. A
+	// deadline already past at submission is rejected with
+	// ErrDeadlineExpired; one that passes while the job is queued sheds
+	// it before simulation starts; one that passes mid-run cancels the
+	// simulation through Config.Cancel's hook path.
+	Deadline time.Time
+}
+
+// Submit validates and enqueues one cell with default serving options.
+// Cache hits complete immediately without touching the queue. The
+// returned job is live: wait on Done, then read the terminal state via
+// Lookup or MatrixCell assembly under the server's accessors.
 func (s *Server) Submit(spec harness.CellSpec) (*Job, error) {
+	return s.SubmitJob(spec, SubmitOpts{})
+}
+
+// SubmitJob is Submit with explicit serving options (priority class and
+// propagated deadline).
+func (s *Server) SubmitJob(spec harness.CellSpec, opts SubmitOpts) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.Priority == "" {
+		opts.Priority = PriorityInteractive
 	}
 	key := Key(spec)
 
@@ -518,10 +592,13 @@ func (s *Server) Submit(spec harness.CellSpec) (*Job, error) {
 		return nil, ErrDraining
 	}
 	job := &Job{
-		ID:   fmt.Sprintf("job-%06d", s.nextID),
-		Key:  key,
-		Spec: spec.Normalize(),
-		Done: make(chan struct{}),
+		ID:          fmt.Sprintf("job-%06d", s.nextID),
+		Key:         key,
+		Spec:        spec.Normalize(),
+		Priority:    opts.Priority,
+		Deadline:    opts.Deadline,
+		Done:        make(chan struct{}),
+		submittedAt: time.Now(),
 	}
 
 	if e, ok := s.cache.Get(key); ok {
@@ -538,6 +615,25 @@ func (s *Server) Submit(spec harness.CellSpec) (*Job, error) {
 		cell := encodeCell(job.Spec)
 		s.appendLocked(journalRecord{Op: opDone, ID: job.ID, Key: key, Cell: &cell})
 		return job, nil
+	}
+
+	// A dead-on-arrival deadline is shed before any queue or admission
+	// accounting: the only thing cheaper than running it late is not
+	// running it at all. (Checked after the cache: a cached result is
+	// free, so it is served even past the deadline.)
+	if !job.Deadline.IsZero() && !time.Now().Before(job.Deadline) {
+		s.metrics.incShedExpired()
+		s.metrics.incRejected()
+		return nil, fmt.Errorf("%w (deadline %s)", ErrDeadlineExpired, job.Deadline.Format(time.RFC3339Nano))
+	}
+
+	// Adaptive admission: shed when the jobs in the system (queued +
+	// running) are at the AIMD limit — batch earlier than interactive.
+	// No-op unless Config.AdmissionTarget is set.
+	if !s.adm.admit(job.Priority, len(s.queue)+s.running) {
+		s.metrics.incShedOverload()
+		s.metrics.incRejected()
+		return nil, fmt.Errorf("%w (limit %d, priority %s)", ErrOverloaded, s.adm.Limit(), job.Priority)
 	}
 
 	// Backpressure against the configured bound, not the channel
@@ -733,11 +829,24 @@ func (s *Server) runJob(job *Job) {
 		s.mu.Unlock()
 		return
 	}
+	// Deadline shed at dequeue: the client's deadline passed while the
+	// job sat in the queue, so the simulation never starts.
+	if !job.Deadline.IsZero() && !time.Now().Before(job.Deadline) {
+		job.State = JobCanceled
+		job.Err = "deadline expired before simulation start"
+		job.closeDone()
+		s.appendLocked(journalRecord{Op: opCanceled, ID: job.ID, Key: job.Key, Error: job.Err})
+		s.mu.Unlock()
+		s.metrics.incShedExpired()
+		s.metrics.incCanceled()
+		return
+	}
 	job.State = JobRunning
 	s.running++
 
 	// Per-job cancel channel, closed by whichever fires first: the job
-	// timeout, an explicit Cancel, or a forced shutdown (s.kill).
+	// timeout, the job's propagated deadline, an explicit Cancel, or a
+	// forced shutdown (s.kill).
 	cancel := make(chan struct{})
 	var cancelOnce sync.Once
 	doCancel := func() { cancelOnce.Do(func() { close(cancel) }) }
@@ -749,16 +858,50 @@ func (s *Server) runJob(job *Job) {
 	// peek, not Get: the user-facing hit/miss counters belong to the
 	// Submit path; this internal re-check (a racing duplicate may have
 	// completed while we sat in the queue) must not double-count.
-	if e, ok := s.cache.peek(job.Key); ok {
-		s.journalAppend(journalRecord{Op: opDone, ID: job.ID, Key: job.Key})
-		s.finish(job, JobDone, true, e.Result, "", "")
-		s.metrics.incCompleted()
-		return
+	// Single-flight on the content key: if an identical cell is
+	// executing right now, wait for it and serve its bytes instead of
+	// re-simulating — so a client resubmission (lost response, failover)
+	// can never burn a second execution's worth of simulated cycles.
+claim:
+	for {
+		if e, ok := s.cache.peek(job.Key); ok {
+			s.journalAppend(journalRecord{Op: opDone, ID: job.ID, Key: job.Key})
+			s.finish(job, JobDone, true, e.Result, "", "")
+			s.metrics.incCompleted()
+			s.adm.observe(time.Since(job.submittedAt))
+			return
+		}
+		s.mu.Lock()
+		lead := s.runningByKey[job.Key]
+		if lead == nil || lead == job {
+			s.runningByKey[job.Key] = job
+			s.mu.Unlock()
+			break claim
+		}
+		s.mu.Unlock()
+		select {
+		case <-lead.Done:
+			// Leader finished: loop to re-peek. A successful leader put
+			// the result in the cache; a failed one released the key, so
+			// this job claims it and executes (its own failure then
+			// feeds the breaker normally).
+		case <-cancel:
+			// Canceled while waiting: proceed without claiming the key;
+			// execution aborts immediately on the closed channel and
+			// finishes through the canceled path.
+			break claim
+		case <-s.kill:
+			break claim
+		}
 	}
 
 	var timer *time.Timer
 	if s.cfg.JobTimeout > 0 {
 		timer = time.AfterFunc(s.cfg.JobTimeout, doCancel)
+	}
+	var deadlineTimer *time.Timer
+	if !job.Deadline.IsZero() {
+		deadlineTimer = time.AfterFunc(time.Until(job.Deadline), doCancel)
 	}
 	watcherDone := make(chan struct{})
 	go func() {
@@ -775,6 +918,9 @@ func (s *Server) runJob(job *Job) {
 	close(watcherDone)
 	if timer != nil {
 		timer.Stop()
+	}
+	if deadlineTimer != nil {
+		deadlineTimer.Stop()
 	}
 
 	var pe *PanicError
@@ -803,6 +949,7 @@ func (s *Server) runJob(job *Job) {
 		s.journalAppend(journalRecord{Op: opDone, ID: job.ID, Key: job.Key})
 		s.finish(job, JobDone, false, data, "", "")
 		s.metrics.incCompleted()
+		s.adm.observe(time.Since(job.submittedAt))
 	case errors.Is(err, asfsim.ErrCanceled):
 		s.journalAppend(journalRecord{Op: opCanceled, ID: job.ID, Key: job.Key, Error: err.Error()})
 		s.finish(job, JobCanceled, false, nil, err.Error(), "")
@@ -833,6 +980,11 @@ func (s *Server) finish(job *Job, st JobState, hit bool, result json.RawMessage,
 	job.Err = errMsg
 	job.ErrKind = errKind
 	job.cancelRun = nil
+	// Release the single-flight claim (if this job held it) so waiting
+	// duplicates can re-peek the cache or take over execution.
+	if s.runningByKey[job.Key] == job {
+		delete(s.runningByKey, job.Key)
+	}
 	s.running--
 	s.mu.Unlock()
 	job.closeDone()
@@ -847,6 +999,10 @@ func (s *Server) Running() int {
 	defer s.mu.Unlock()
 	return s.running
 }
+
+// AdmissionLimit returns the adaptive admission controller's current
+// concurrency limit (0 when admission control is disabled).
+func (s *Server) AdmissionLimit() int { return s.adm.Limit() }
 
 // flushLoop writes the cache snapshot (and compacts the journal) every
 // interval, so a crash loses at most one interval of cache entries.
