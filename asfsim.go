@@ -345,11 +345,21 @@ func Run(workload string, scale Scale, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := sim.NewMachine(cfg.simConfig())
+	return runPooled(w, cfg)
+}
+
+// runPooled executes w on a machine from the process-wide pool. A reset
+// pooled machine is bit-identical to a fresh one, so results are exactly
+// those of a dedicated NewMachine; machines whose run did not finish
+// cleanly are discarded rather than recycled.
+func runPooled(w sim.Workload, cfg Config) (*Result, error) {
+	m, err := sim.DefaultPool.Get(cfg.simConfig())
 	if err != nil {
 		return nil, err
 	}
-	return m.Execute(w)
+	res, err := m.Execute(w)
+	sim.DefaultPool.Put(m)
+	return res, err
 }
 
 // Comparison holds one workload's results across detection systems,

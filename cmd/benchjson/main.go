@@ -20,10 +20,16 @@
 //	benchjson -diff -threshold 1.5 old.json new.json
 //
 // A regression is a workload whose ns/op grew beyond -threshold× the
-// baseline (noise margin; default 1.4), a workload that disappeared, or
-// any simCycles mismatch — simulated cycles are deterministic, so that
+// baseline (noise margin; default 1.4), whose allocs/op or B/op grew
+// beyond -alloc-threshold× the baseline (allocation counts are nearly
+// deterministic, so the margin is tighter), a workload that disappeared,
+// or any simCycles mismatch — simulated cycles are deterministic, so that
 // is a silent result change, never noise, and is gated at exactly zero
 // tolerance.
+//
+// Each workload performs one untimed warm-up run before measuring, so the
+// recorded numbers are the machine-pool steady state (reused machines)
+// rather than an average skewed by first-run construction.
 //
 // The committed BENCH_*.json baselines are produced by exactly this
 // command; see EXPERIMENTS.md "Performance".
@@ -73,6 +79,7 @@ func main() {
 	out := flag.String("o", "", `output path ("-" = stdout; default BENCH_<yyyy-mm-dd>.json)`)
 	diff := flag.Bool("diff", false, "compare two trajectory files (old new); exit 1 on regression")
 	threshold := flag.Float64("threshold", 1.4, "ns/op growth factor tolerated in -diff mode before failing")
+	allocThreshold := flag.Float64("alloc-threshold", 1.4, "allocs/op and B/op growth factor tolerated in -diff mode before failing")
 	flag.Parse()
 
 	if *diff {
@@ -80,7 +87,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
 			os.Exit(2)
 		}
-		if err := diffFiles(flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+		if err := diffFiles(flag.Arg(0), flag.Arg(1), *threshold, *allocThreshold); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -101,10 +108,17 @@ func main() {
 		var failure error
 		res := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
+			cfg := asfsim.DefaultConfig()
+			cfg.Detection = asfsim.DetectBaseline
+			cfg.Seed = benchSeed
+			// Warm the machine pool before the timer so allocs/op records
+			// the reused-machine steady state independent of b.N.
+			if _, err := asfsim.Run(wl, asfsim.ScaleTiny, cfg); err != nil {
+				failure = err
+				b.FailNow()
+			}
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				cfg := asfsim.DefaultConfig()
-				cfg.Detection = asfsim.DetectBaseline
-				cfg.Seed = benchSeed
 				r, err := asfsim.Run(wl, asfsim.ScaleTiny, cfg)
 				if err != nil {
 					failure = err
@@ -168,9 +182,11 @@ func loadFile(path string) (*File, error) {
 
 // diffFiles compares a baseline trajectory against a fresh one. ns/op
 // is wall time and therefore noisy, so it is gated with a multiplier;
-// simCycles is deterministic, so it is gated at exact equality — a
-// mismatch there means the simulator's results changed, not its speed.
-func diffFiles(oldPath, newPath string, threshold float64) error {
+// allocs/op and B/op are nearly deterministic and get their own (usually
+// tighter) multiplier; simCycles is deterministic, so it is gated at
+// exact equality — a mismatch there means the simulator's results
+// changed, not its speed.
+func diffFiles(oldPath, newPath string, threshold, allocThreshold float64) error {
 	oldF, err := loadFile(oldPath)
 	if err != nil {
 		return err
@@ -210,8 +226,24 @@ func diffFiles(oldPath, newPath string, threshold float64) error {
 				"%s: ns/op regressed %.0f -> %.0f (%.2fx > %.2fx threshold)",
 				old.Name, old.NsPerOp, cur.NsPerOp, ratio, threshold))
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: %-14s %12.0f -> %12.0f ns/op (%.2fx) %s\n",
-			old.Name, old.NsPerOp, cur.NsPerOp, ratio, status)
+		if old.AllocsPerOp > 0 {
+			if r := float64(cur.AllocsPerOp) / float64(old.AllocsPerOp); r > allocThreshold {
+				status = "REGRESSION"
+				failures = append(failures, fmt.Sprintf(
+					"%s: allocs/op regressed %d -> %d (%.2fx > %.2fx threshold)",
+					old.Name, old.AllocsPerOp, cur.AllocsPerOp, r, allocThreshold))
+			}
+		}
+		if old.BytesPerOp > 0 {
+			if r := float64(cur.BytesPerOp) / float64(old.BytesPerOp); r > allocThreshold {
+				status = "REGRESSION"
+				failures = append(failures, fmt.Sprintf(
+					"%s: B/op regressed %d -> %d (%.2fx > %.2fx threshold)",
+					old.Name, old.BytesPerOp, cur.BytesPerOp, r, allocThreshold))
+			}
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %-14s %12.0f -> %12.0f ns/op (%.2fx) %8d -> %8d allocs/op %s\n",
+			old.Name, old.NsPerOp, cur.NsPerOp, ratio, old.AllocsPerOp, cur.AllocsPerOp, status)
 	}
 	for name := range newBy {
 		fmt.Fprintf(os.Stderr, "benchjson: %-14s new workload, no baseline\n", name)

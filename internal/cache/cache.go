@@ -39,19 +39,25 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// way is one tag-array entry.
+// way is one tag-array entry. A way is valid when its live stamp equals the
+// cache's current epoch; Reset bumps the epoch, invalidating every way in
+// O(1) without touching the array. live == 0 never matches (epochs start
+// at 1), which is what Remove uses.
 type way struct {
-	valid bool
-	tag   mem.LineAddr
-	lru   uint64 // last-touch stamp; larger = more recent
+	tag  mem.LineAddr
+	lru  uint64 // last-touch stamp; larger = more recent
+	live uint32 // == Cache.epoch when this way is valid
 }
 
 // Cache is a set-associative tag array with true-LRU replacement. It tracks
 // presence only; data lives in the simulated Memory and coherence state in
-// the coherence package.
+// the coherence package. All sets share one flat backing slice (set s is
+// ways[s*Assoc : (s+1)*Assoc]) so building a cache is a single allocation.
 type Cache struct {
 	cfg   Config
-	sets  [][]way
+	ways  []way
+	nsets uint64
+	epoch uint32
 	clock uint64 // LRU stamp source
 
 	// Statistics.
@@ -63,25 +69,43 @@ func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	c := &Cache{cfg: cfg, sets: make([][]way, cfg.Sets())}
-	for i := range c.sets {
-		c.sets[i] = make([]way, cfg.Assoc)
+	return &Cache{
+		cfg:   cfg,
+		ways:  make([]way, cfg.Sets()*cfg.Assoc),
+		nsets: uint64(cfg.Sets()),
+		epoch: 1,
 	}
-	return c
 }
 
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
-func (c *Cache) setIndex(l mem.LineAddr) int {
-	return int(uint64(l) / uint64(c.cfg.LineSize) % uint64(len(c.sets)))
+// Reset empties the cache and zeroes its statistics without reallocating:
+// the validity epoch is bumped so every way reads as invalid.
+func (c *Cache) Reset() {
+	if c.epoch == ^uint32(0) {
+		// Epoch wraparound (after ~4 billion resets): stale stamps could
+		// collide, so pay for one real clear.
+		for i := range c.ways {
+			c.ways[i] = way{}
+		}
+		c.epoch = 0
+	}
+	c.epoch++
+	c.clock = 0
+	c.Hits, c.Misses, c.Evictions = 0, 0, 0
+}
+
+func (c *Cache) set(l mem.LineAddr) []way {
+	si := uint64(l) / uint64(c.cfg.LineSize) % c.nsets
+	return c.ways[si*uint64(c.cfg.Assoc) : (si+1)*uint64(c.cfg.Assoc)]
 }
 
 // Lookup reports whether line l is present, updating LRU on hit.
 func (c *Cache) Lookup(l mem.LineAddr) bool {
-	set := c.sets[c.setIndex(l)]
+	set := c.set(l)
 	for i := range set {
-		if set[i].valid && set[i].tag == l {
+		if set[i].live == c.epoch && set[i].tag == l {
 			c.clock++
 			set[i].lru = c.clock
 			c.Hits++
@@ -94,9 +118,9 @@ func (c *Cache) Lookup(l mem.LineAddr) bool {
 
 // Contains reports presence without touching LRU or statistics.
 func (c *Cache) Contains(l mem.LineAddr) bool {
-	set := c.sets[c.setIndex(l)]
+	set := c.set(l)
 	for i := range set {
-		if set[i].valid && set[i].tag == l {
+		if set[i].live == c.epoch && set[i].tag == l {
 			return true
 		}
 	}
@@ -107,19 +131,19 @@ func (c *Cache) Contains(l mem.LineAddr) bool {
 // full. It returns the evicted line and true if an eviction happened.
 // Inserting a line that is already present just refreshes its LRU stamp.
 func (c *Cache) Insert(l mem.LineAddr) (victim mem.LineAddr, evicted bool) {
-	set := c.sets[c.setIndex(l)]
+	set := c.set(l)
 	c.clock++
 	// Already present?
 	for i := range set {
-		if set[i].valid && set[i].tag == l {
+		if set[i].live == c.epoch && set[i].tag == l {
 			set[i].lru = c.clock
 			return 0, false
 		}
 	}
 	// Free way?
 	for i := range set {
-		if !set[i].valid {
-			set[i] = way{valid: true, tag: l, lru: c.clock}
+		if set[i].live != c.epoch {
+			set[i] = way{tag: l, lru: c.clock, live: c.epoch}
 			return 0, false
 		}
 	}
@@ -131,7 +155,7 @@ func (c *Cache) Insert(l mem.LineAddr) (victim mem.LineAddr, evicted bool) {
 		}
 	}
 	victim = set[vi].tag
-	set[vi] = way{valid: true, tag: l, lru: c.clock}
+	set[vi] = way{tag: l, lru: c.clock, live: c.epoch}
 	c.Evictions++
 	return victim, true
 }
@@ -140,14 +164,14 @@ func (c *Cache) Insert(l mem.LineAddr) (victim mem.LineAddr, evicted bool) {
 // now, without performing the insertion. ok is false when no eviction
 // would occur (line already present or a free way exists).
 func (c *Cache) VictimIfInsert(l mem.LineAddr) (victim mem.LineAddr, ok bool) {
-	set := c.sets[c.setIndex(l)]
+	set := c.set(l)
 	for i := range set {
-		if set[i].valid && set[i].tag == l {
+		if set[i].live == c.epoch && set[i].tag == l {
 			return 0, false
 		}
 	}
 	for i := range set {
-		if !set[i].valid {
+		if set[i].live != c.epoch {
 			return 0, false
 		}
 	}
@@ -163,10 +187,10 @@ func (c *Cache) VictimIfInsert(l mem.LineAddr) (victim mem.LineAddr, ok bool) {
 // Remove drops line l if present (e.g. on invalidation or recall).
 // It reports whether the line was present.
 func (c *Cache) Remove(l mem.LineAddr) bool {
-	set := c.sets[c.setIndex(l)]
+	set := c.set(l)
 	for i := range set {
-		if set[i].valid && set[i].tag == l {
-			set[i].valid = false
+		if set[i].live == c.epoch && set[i].tag == l {
+			set[i].live = 0
 			return true
 		}
 	}
@@ -175,9 +199,9 @@ func (c *Cache) Remove(l mem.LineAddr) bool {
 
 // Touch refreshes l's LRU stamp if present.
 func (c *Cache) Touch(l mem.LineAddr) {
-	set := c.sets[c.setIndex(l)]
+	set := c.set(l)
 	for i := range set {
-		if set[i].valid && set[i].tag == l {
+		if set[i].live == c.epoch && set[i].tag == l {
 			c.clock++
 			set[i].lru = c.clock
 			return
@@ -188,10 +212,10 @@ func (c *Cache) Touch(l mem.LineAddr) {
 // Pin returns the lines currently resident in the same set as l. Used by
 // tests to verify replacement behaviour.
 func (c *Cache) SetContents(l mem.LineAddr) []mem.LineAddr {
-	set := c.sets[c.setIndex(l)]
+	set := c.set(l)
 	var out []mem.LineAddr
 	for i := range set {
-		if set[i].valid {
+		if set[i].live == c.epoch {
 			out = append(out, set[i].tag)
 		}
 	}
@@ -201,11 +225,9 @@ func (c *Cache) SetContents(l mem.LineAddr) []mem.LineAddr {
 // Count returns the number of valid lines in the whole cache.
 func (c *Cache) Count() int {
 	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid {
-				n++
-			}
+	for i := range c.ways {
+		if c.ways[i].live == c.epoch {
+			n++
 		}
 	}
 	return n

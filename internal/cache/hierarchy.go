@@ -88,6 +88,14 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
 
+// Reset empties all three levels (epoch bump per level, no reallocation)
+// so the stack can be reused for a fresh run.
+func (h *Hierarchy) Reset() {
+	h.l1.Reset()
+	h.l2.Reset()
+	h.l3.Reset()
+}
+
 // L1 exposes the L1 tag array (the ASF speculative state is keyed by what
 // is resident there).
 func (h *Hierarchy) L1() *Cache { return h.l1 }

@@ -40,7 +40,7 @@ func TestCompactionDropsDeadEntries(t *testing.T) {
 	}
 	b.Drop(0, testLine, false)
 	b.Drop(1, testLine, false)
-	if _, live := b.states[testLine]; live {
+	if b.hasLiveState(testLine) {
 		t.Fatal("state entry not released after all drops")
 	}
 

@@ -44,7 +44,7 @@ func TestSnoopFilterIsMonotone(t *testing.T) {
 
 	b.Read(0, testLine, 0, 8, false, false)
 	b.Drop(0, testLine, false) // all copies gone; states entry released
-	if _, ok := b.states[testLine]; ok {
+	if b.hasLiveState(testLine) {
 		t.Fatal("state entry not released after last drop")
 	}
 

@@ -165,21 +165,36 @@ type Stats struct {
 // table. It is deliberately simple: every request is globally ordered
 // (the simulator is single-threaded at any instant), so the protocol needs
 // no transient states.
+//
+// Storage is dense rather than map-keyed: the bus owns a mem.LineIndexer
+// that assigns each line a compact index in first-touch order, and both the
+// state table and the snoop-filter directory are flat slices over that
+// index space. An entry is live only when its epoch stamp equals the bus
+// epoch, so releasing an entry is one store and clearing everything (Reset,
+// for machine reuse) is one integer bump. The semantics are exactly those
+// of the former maps: a dead state entry reads as all-Invalid, a dead
+// directory entry as never-touched.
 type Bus struct {
 	ncores   int
 	snoopers []Snooper
-	states   map[mem.LineAddr][]State
-	nsubs    int // sub-blocks per line, for piggyback accounting
+	lines    *mem.LineIndexer
+	states   []State  // index i's entry is states[i*ncores : (i+1)*ncores]
+	stEpoch  []uint64 // states entry i live iff stEpoch[i] == epoch
+	nsubs    int      // sub-blocks per line, for piggyback accounting
 
-	// touched is the snoop-filter directory: bit c of touched[line] is set
-	// once core c has issued any bus transaction for line. The set is
-	// MONOTONE — bits are never cleared, even when every coherence copy is
-	// released — because a core may retain speculative state inside an
+	// touched is the snoop-filter directory: bit c of touched[i] is set
+	// once core c has issued any bus transaction for line index i. The set
+	// is MONOTONE — bits are never cleared, even when every coherence copy
+	// is released — because a core may retain speculative state inside an
 	// invalidated line (§IV-D-2) long after its copy left the protocol,
 	// and that state must keep seeing probes. See EnableSnoopFilter for
 	// the soundness argument.
-	touched  map[mem.LineAddr]uint64
+	touched  []uint64
+	tEpoch   []uint64 // touched entry i live iff tEpoch[i] == epoch
+	tCount   int      // number of live directory entries
 	filterOn bool
+
+	epoch uint64 // current liveness stamp; starts at 1, bumped by Reset
 
 	// Epoch-based directory compaction: every compactEvery bus
 	// transactions, touched entries whose lines are provably dead (no
@@ -207,13 +222,50 @@ func NewBus(ncores int) *Bus {
 	return &Bus{
 		ncores:   ncores,
 		snoopers: make([]Snooper, ncores),
-		states:   make(map[mem.LineAddr][]State),
+		lines:    mem.NewLineIndexer(),
 		nsubs:    1,
+		epoch:    1,
 	}
 }
 
 // Register installs the snooper for core id.
 func (b *Bus) Register(id int, s Snooper) { b.snoopers[id] = s }
+
+// LineIndex exposes the bus's line indexer so per-core structures keyed by
+// the same lines (engine speculative state, oracle footprints) can share
+// one dense index space instead of each hashing addresses separately.
+func (b *Bus) LineIndex() *mem.LineIndexer { return b.lines }
+
+// Reset returns the bus to its just-constructed state (empty tables, zero
+// stats, filter off, one sub-block) without reallocating: the liveness
+// epoch is bumped, which kills every state and directory entry at once,
+// and the line indexer is cleared so a reused machine assigns indices in
+// exactly fresh-machine order. Registered snoopers are kept; callers that
+// rebuild their cores re-Register over them.
+func (b *Bus) Reset() {
+	b.epoch++
+	b.lines.Reset()
+	b.tCount = 0
+	b.filterOn = false
+	b.compactEvery = 0
+	b.sinceCompact = 0
+	b.nsubs = 1
+	b.Stats = Stats{}
+}
+
+// ensure grows the dense tables to cover line index idx. The shared
+// indexer can be ahead of the bus (other components assign indices too),
+// so every bus lookup bounds-checks against its own slices.
+func (b *Bus) ensure(idx int) {
+	for len(b.stEpoch) <= idx {
+		b.stEpoch = append(b.stEpoch, 0)
+		b.tEpoch = append(b.tEpoch, 0)
+		b.touched = append(b.touched, 0)
+		for c := 0; c < b.ncores; c++ {
+			b.states = append(b.states, Invalid)
+		}
+	}
+}
 
 // EnableSnoopFilter turns on the ever-touched snoop filter: probe
 // broadcasts (and holder-wins pre-checks) skip cores that have never
@@ -235,7 +287,6 @@ func (b *Bus) EnableSnoopFilter() {
 		return
 	}
 	b.filterOn = true
-	b.touched = make(map[mem.LineAddr]uint64)
 	b.compactEvery = DefaultFilterCompactionInterval
 }
 
@@ -249,7 +300,7 @@ func (b *Bus) SetFilterCompactionInterval(n uint64) { b.compactEvery = n }
 
 // FilterDirectorySize returns the number of lines currently tracked by
 // the snoop-filter directory (0 when the filter is off).
-func (b *Bus) FilterDirectorySize() int { return len(b.touched) }
+func (b *Bus) FilterDirectorySize() int { return b.tCount }
 
 // maybeCompact ticks the compaction epoch; called once per bus
 // transaction, before any probe of that transaction is delivered.
@@ -273,17 +324,23 @@ func (b *Bus) maybeCompact() {
 // entry changes no detection outcome and no simulated cycle; a core that
 // touches the line again simply re-registers via markTouched, exactly as
 // it did the first time. The per-line predicate is independent of every
-// other line, so the map's iteration order cannot influence anything
-// observable and determinism is preserved.
+// other line, so the scan order (index order here, map order before the
+// dense tables) cannot influence anything observable and determinism is
+// preserved.
 func (b *Bus) CompactFilter() {
 	if !b.filterOn {
 		return
 	}
 	b.Stats.FilterCompactions++
-	for line, mask := range b.touched {
-		if _, live := b.states[line]; live {
+	for idx := range b.tEpoch {
+		if b.tEpoch[idx] != b.epoch {
 			continue
 		}
+		if b.stEpoch[idx] == b.epoch {
+			continue
+		}
+		line := b.lines.Line(idx)
+		mask := b.touched[idx]
 		held := false
 		for c := 0; c < b.ncores; c++ {
 			if mask&(1<<uint(c)) == 0 {
@@ -307,7 +364,8 @@ func (b *Bus) CompactFilter() {
 			}
 		}
 		if !held {
-			delete(b.touched, line)
+			b.tEpoch[idx] = 0
+			b.tCount--
 			b.Stats.FilterEntriesDropped++
 		}
 	}
@@ -315,9 +373,17 @@ func (b *Bus) CompactFilter() {
 
 // markTouched records core as a (past or present) toucher of line.
 func (b *Bus) markTouched(core int, line mem.LineAddr) {
-	if b.filterOn {
-		b.touched[line] |= 1 << uint(core)
+	if !b.filterOn {
+		return
 	}
+	idx := b.lines.Index(line)
+	b.ensure(idx)
+	if b.tEpoch[idx] != b.epoch {
+		b.tEpoch[idx] = b.epoch
+		b.touched[idx] = 0
+		b.tCount++
+	}
+	b.touched[idx] |= 1 << uint(core)
 }
 
 // snoopTargets returns the bitmask of cores whose snoopers must see a
@@ -326,7 +392,10 @@ func (b *Bus) markTouched(core int, line mem.LineAddr) {
 // a `1 << c` test against an all-ones sentinel would silently drop cores
 // at c >= 64 because Go shifts past the width yield zero.
 func (b *Bus) snoopTargets(line mem.LineAddr) uint64 {
-	return b.touched[line]
+	if idx, ok := b.lines.Lookup(line); ok && idx < len(b.tEpoch) && b.tEpoch[idx] == b.epoch {
+		return b.touched[idx]
+	}
+	return 0
 }
 
 // SetSubBlocks tells the bus how many sub-blocks a piggyback mask covers,
@@ -338,25 +407,61 @@ func (b *Bus) NumCores() int { return b.ncores }
 
 // State returns core's coherence state for line.
 func (b *Bus) State(core int, line mem.LineAddr) State {
-	if st, ok := b.states[line]; ok {
+	if st, ok := b.liveEntry(line); ok {
 		return st[core]
 	}
 	return Invalid
 }
 
+// liveEntry returns line's state slice without creating it; ok is false
+// when the entry is absent (all cores Invalid by definition).
+func (b *Bus) liveEntry(line mem.LineAddr) ([]State, bool) {
+	idx, ok := b.lines.Lookup(line)
+	if !ok || idx >= len(b.stEpoch) || b.stEpoch[idx] != b.epoch {
+		return nil, false
+	}
+	return b.states[idx*b.ncores : (idx+1)*b.ncores], true
+}
+
+// entry returns line's state slice, creating (and zeroing) it on first use
+// this epoch. The returned slice is invalidated by any call that can grow
+// the tables — exactly why Read and Write re-fetch it after snoops.
 func (b *Bus) entry(line mem.LineAddr) []State {
-	st, ok := b.states[line]
-	if !ok {
-		st = make([]State, b.ncores)
-		b.states[line] = st
+	idx := b.lines.Index(line)
+	b.ensure(idx)
+	st := b.states[idx*b.ncores : (idx+1)*b.ncores]
+	if b.stEpoch[idx] != b.epoch {
+		for c := range st {
+			st[c] = Invalid
+		}
+		b.stEpoch[idx] = b.epoch
 	}
 	return st
 }
 
-// maybeRelease removes the table entry when every core is Invalid, keeping
-// the state map proportional to the resident working set.
+// liveStateCount returns the number of live state-table entries; the dense
+// analogue of len(states-map), used by tests.
+func (b *Bus) liveStateCount() int {
+	n := 0
+	for _, e := range b.stEpoch {
+		if e == b.epoch {
+			n++
+		}
+	}
+	return n
+}
+
+// hasLiveState reports whether a state-table entry exists for line; the
+// dense analogue of a map presence check, used by tests.
+func (b *Bus) hasLiveState(line mem.LineAddr) bool {
+	_, ok := b.liveEntry(line)
+	return ok
+}
+
+// maybeRelease kills the table entry when every core is Invalid, keeping
+// the live state table proportional to the resident working set.
 func (b *Bus) maybeRelease(line mem.LineAddr) {
-	st, ok := b.states[line]
+	st, ok := b.liveEntry(line)
 	if !ok {
 		return
 	}
@@ -365,7 +470,8 @@ func (b *Bus) maybeRelease(line mem.LineAddr) {
 			return
 		}
 	}
-	delete(b.states, line)
+	idx, _ := b.lines.Lookup(line)
+	b.stEpoch[idx] = 0
 }
 
 // ReadResult describes the outcome of a Read transaction on the bus.
@@ -550,7 +656,7 @@ func (b *Bus) Write(core int, line mem.LineAddr, off, size int, tx bool) WriteRe
 // copies count as a writeback for the statistics — except when discard is
 // true (aborted speculative data is destroyed, not written back).
 func (b *Bus) Drop(core int, line mem.LineAddr, discard bool) {
-	st, ok := b.states[line]
+	st, ok := b.liveEntry(line)
 	if !ok {
 		return
 	}
@@ -576,7 +682,7 @@ func (b *Bus) CheckInvariants() error { return b.CheckAllInvariants() }
 
 // CheckLineInvariants verifies the MOESI safety properties for one line.
 func (b *Bus) CheckLineInvariants(line mem.LineAddr) error {
-	st, ok := b.states[line]
+	st, ok := b.liveEntry(line)
 	if !ok {
 		return nil
 	}
@@ -585,8 +691,12 @@ func (b *Bus) CheckLineInvariants(line mem.LineAddr) error {
 
 // CheckAllInvariants verifies every resident line.
 func (b *Bus) CheckAllInvariants() error {
-	for line, st := range b.states {
-		if err := checkLine(line, st); err != nil {
+	for idx := range b.stEpoch {
+		if b.stEpoch[idx] != b.epoch {
+			continue
+		}
+		line := b.lines.Line(idx)
+		if err := checkLine(line, b.states[idx*b.ncores:(idx+1)*b.ncores]); err != nil {
 			return err
 		}
 	}
@@ -625,7 +735,7 @@ func checkLine(line mem.LineAddr, st []State) error {
 // ValidCopies returns the ids of cores holding a valid copy of line,
 // in core order. Used by tests.
 func (b *Bus) ValidCopies(line mem.LineAddr) []int {
-	st, ok := b.states[line]
+	st, ok := b.liveEntry(line)
 	if !ok {
 		return nil
 	}

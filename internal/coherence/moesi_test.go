@@ -278,8 +278,8 @@ func TestStateTableReleased(t *testing.T) {
 	b, _ := newTestBus(2)
 	b.Read(0, testLine, 0, 8, false, false)
 	b.Drop(0, testLine, false)
-	if len(b.states) != 0 {
-		t.Fatalf("state table holds %d entries after all-invalid", len(b.states))
+	if n := b.liveStateCount(); n != 0 {
+		t.Fatalf("state table holds %d entries after all-invalid", n)
 	}
 }
 
@@ -381,7 +381,7 @@ func TestInvariantCheckVariants(t *testing.T) {
 	}
 	// Corrupt the table to prove all three checkers catch it: two E
 	// copies of one line.
-	b.states[testLine][1] = Exclusive
+	b.entry(testLine)[1] = Exclusive
 	if b.CheckInvariants() == nil || b.CheckAllInvariants() == nil || b.CheckLineInvariants(testLine) == nil {
 		t.Fatal("corrupted state passed an invariant check")
 	}

@@ -65,10 +65,18 @@ type Stats struct {
 // conflict checks, gang clears and any-state predicates on the snoop hot
 // path are single bitwise operations instead of loops over a byte slice.
 // Granule counts are capped at 64 by Config.Normalize.
+//
+// lineStates live in a dense slice indexed by the machine-wide line index
+// (shared with the coherence bus). An entry is meaningful only when its
+// epoch stamp equals the engine epoch AND present is set; listed tracks
+// membership in the engine's active list (see Engine.lines).
 type lineState struct {
 	spec     uint64 // SPEC bit per granule (Table I)
 	wr       uint64 // WR bit per granule
+	epoch    uint32 // == Engine.epoch when this entry belongs to the current run
 	retained bool   // line is coherence-invalid but state was kept (§IV-D-2)
+	present  bool   // entry exists (the dense analogue of map membership)
+	listed   bool   // entry's index is in Engine.active
 }
 
 func (ls *lineState) anySpec() bool      { return ls.spec != 0 }
@@ -107,7 +115,15 @@ type Engine struct {
 	fp   *oracle.Footprint
 	hook Hooks
 
-	lines map[mem.LineAddr]*lineState
+	// Dense per-line speculative state over the bus's shared line index.
+	// active holds the indices of every listed entry (present or lazily
+	// unlisted), so commit/abort gang operations walk exactly the touched
+	// lines instead of a map. Entries from earlier runs are dead by epoch;
+	// Reset is therefore an integer bump plus truncating active.
+	ix     *mem.LineIndexer
+	lines  []lineState
+	active []int32
+	epoch  uint32
 
 	// lastLine/lastLS cache the most recent lines lookup: accesses arrive
 	// in same-line bursts (SplitByLine pieces, load-then-mark sequences),
@@ -138,20 +154,62 @@ type Engine struct {
 // NewEngine builds the speculative engine for core id. cfg must already be
 // Normalized by the machine.
 func NewEngine(id int, cfg Config, bus *coherence.Bus, hier *cache.Hierarchy, hooks Hooks) *Engine {
+	ix := bus.LineIndex()
 	eng := &Engine{
 		id:    id,
 		cfg:   cfg,
 		bus:   bus,
 		hier:  hier,
-		fp:    oracle.NewFootprint(cfg.Geom),
+		fp:    oracle.NewFootprintShared(cfg.Geom, ix),
 		hook:  hooks,
-		lines: make(map[mem.LineAddr]*lineState),
+		ix:    ix,
+		epoch: 1,
 	}
 	if cfg.Mode == ModeSignature {
 		eng.readSig = make([]uint64, cfg.SignatureBits/64)
 		eng.writeSig = make([]uint64, cfg.SignatureBits/64)
 	}
 	return eng
+}
+
+// Reset returns the engine to its just-constructed state under a (possibly
+// different) normalized cfg, reusing all storage. The caller must have
+// reset the shared bus/indexer first; the engine's dense entries die via
+// the epoch bump. Must not be called with a transaction in flight.
+func (e *Engine) Reset(cfg Config, hooks Hooks) {
+	if e.inTx {
+		panic(fmt.Sprintf("core: core %d Reset while in tx", e.id))
+	}
+	e.cfg = cfg
+	e.hook = hooks
+	e.Stats = Stats{}
+	if e.epoch == ^uint32(0) {
+		// Epoch wraparound (after ~4 billion resets): stale stamps could
+		// collide, so pay for one real clear.
+		for i := range e.lines {
+			e.lines[i] = lineState{}
+		}
+		e.epoch = 0
+	}
+	e.epoch++
+	e.active = e.active[:0]
+	e.lastLS = nil
+	e.lastLine = 0
+	e.unsafe = e.unsafe[:0]
+	e.abortPending = false
+	e.abortReason = ReasonNone
+	if cfg.Mode == ModeSignature {
+		words := cfg.SignatureBits / 64
+		if len(e.readSig) != words {
+			e.readSig = make([]uint64, words)
+			e.writeSig = make([]uint64, words)
+		} else {
+			e.sigClear()
+		}
+	} else {
+		e.readSig, e.writeSig = nil, nil
+	}
+	e.fp.Reset()
 }
 
 // ID returns the core id.
@@ -168,13 +226,29 @@ func (e *Engine) InTx() bool { return e.inTx }
 // the reason. The transaction runtime polls this after every operation.
 func (e *Engine) AbortPending() (bool, AbortReason) { return e.abortPending, e.abortReason }
 
+// peek returns the lineState for l (nil if absent) WITHOUT consulting or
+// filling the one-entry cache. Snoop-filter compaction and eviction
+// handling use it, mirroring the direct map reads of the old
+// implementation, so cold-path probing leaves the hot path's cache alone.
+func (e *Engine) peek(l mem.LineAddr) *lineState {
+	idx, ok := e.ix.Lookup(l)
+	if !ok || idx >= len(e.lines) {
+		return nil
+	}
+	ls := &e.lines[idx]
+	if ls.epoch != e.epoch || !ls.present {
+		return nil
+	}
+	return ls
+}
+
 // lookup returns the lineState for l (nil if absent), consulting the
 // one-entry cache first.
 func (e *Engine) lookup(l mem.LineAddr) *lineState {
 	if e.lastLS != nil && e.lastLine == l {
 		return e.lastLS
 	}
-	ls := e.lines[l]
+	ls := e.peek(l)
 	if ls != nil {
 		e.lastLine, e.lastLS = l, ls
 	}
@@ -182,19 +256,46 @@ func (e *Engine) lookup(l mem.LineAddr) *lineState {
 }
 
 // state returns the lineState for l, creating it if create is set.
+// Creation may grow the dense slice, which invalidates every outstanding
+// *lineState — including the one-entry cache, which is cleared by ensure.
 func (e *Engine) state(l mem.LineAddr, create bool) *lineState {
 	ls := e.lookup(l)
 	if ls == nil && create {
-		ls = &lineState{}
-		e.lines[l] = ls
+		idx := e.ix.Index(l)
+		e.ensure(idx)
+		ls = &e.lines[idx]
+		if ls.epoch != e.epoch {
+			*ls = lineState{epoch: e.epoch}
+		} else {
+			ls.spec, ls.wr, ls.retained = 0, 0, false
+		}
+		ls.present = true
+		if !ls.listed {
+			ls.listed = true
+			e.active = append(e.active, int32(idx))
+		}
 		e.lastLine, e.lastLS = l, ls
 	}
 	return ls
 }
 
-// forget drops line l's state, keeping the lookup cache coherent.
+// ensure grows the dense slice to cover line index idx, dropping the
+// lookup cache if the backing array may have moved.
+func (e *Engine) ensure(idx int) {
+	if idx < len(e.lines) {
+		return
+	}
+	e.lines = append(e.lines, make([]lineState, idx+1-len(e.lines))...)
+	e.lastLS = nil
+}
+
+// forget drops line l's state, keeping the lookup cache coherent. The
+// entry's index stays in active until the next commit/abort sweep prunes
+// it (listed remains set so it is not appended twice).
 func (e *Engine) forget(l mem.LineAddr) {
-	delete(e.lines, l)
+	if ls := e.peek(l); ls != nil {
+		ls.present = false
+	}
 	if e.lastLine == l {
 		e.lastLS = nil
 	}
@@ -229,8 +330,7 @@ func (e *Engine) Retained(l mem.LineAddr) bool {
 // Deliberately bypasses the lookup cache so compaction leaves the hot
 // path's cache state untouched.
 func (e *Engine) HoldsLineState(l mem.LineAddr) bool {
-	_, ok := e.lines[l]
-	return ok
+	return e.peek(l) != nil
 }
 
 // ---------------------------------------------------------------------------
@@ -265,7 +365,13 @@ func (e *Engine) CommitTx() (ok bool, reason AbortReason) {
 		e.abortPending = false
 		return false, e.abortReason
 	}
-	for l, ls := range e.lines {
+	w := 0
+	for _, idx := range e.active {
+		ls := &e.lines[idx]
+		if !ls.present {
+			ls.listed = false // forgotten earlier; prune from active now
+			continue
+		}
 		if ls.anySpec() {
 			ls.clearSpec()
 			e.Stats.CommittedLines++
@@ -274,9 +380,13 @@ func (e *Engine) CommitTx() (ok bool, reason AbortReason) {
 			// Retained-invalid entries carry only speculative state;
 			// once cleared there is nothing left to keep. Entries with
 			// no dirty bits are garbage too.
-			delete(e.lines, l)
+			ls.present, ls.listed = false, false
+			continue
 		}
+		e.active[w] = idx
+		w++
 	}
+	e.active = e.active[:w]
 	e.lastLS = nil
 	if e.cfg.Mode == ModeSignature {
 		e.sigClear()
@@ -320,16 +430,27 @@ func (e *Engine) abortSelf(reason AbortReason) {
 	if int(reason) < len(e.Stats.AbortsBy) {
 		e.Stats.AbortsBy[reason]++
 	}
-	for l, ls := range e.lines {
+	w := 0
+	for _, idx := range e.active {
+		ls := &e.lines[idx]
+		if !ls.present {
+			ls.listed = false
+			continue
+		}
 		if ls.anySpecWrite() {
+			l := e.ix.Line(int(idx))
 			e.hier.Invalidate(l)
 			e.bus.Drop(e.id, l, true /* discard, no writeback */)
 		}
 		ls.clearSpec()
 		if ls.retained || !ls.anyDirty() {
-			delete(e.lines, l)
+			ls.present, ls.listed = false, false
+			continue
 		}
+		e.active[w] = idx
+		w++
 	}
+	e.active = e.active[:w]
 	e.lastLS = nil
 	if e.cfg.Mode == ModeSignature {
 		e.sigClear()
@@ -442,7 +563,7 @@ func (e *Engine) fill(l mem.LineAddr) bool {
 // It reports whether a capacity abort occurred.
 func (e *Engine) handleEvictions(ev cache.EvictionSet) (aborted bool) {
 	for _, v := range ev.FromL1 {
-		vs := e.lines[v]
+		vs := e.peek(v)
 		if vs == nil || vs.retained {
 			continue
 		}
@@ -455,7 +576,7 @@ func (e *Engine) handleEvictions(ev cache.EvictionSet) (aborted bool) {
 	}
 	for _, v := range ev.FromL3 {
 		e.bus.Drop(e.id, v, false)
-		if vs := e.lines[v]; vs != nil && !vs.retained && !vs.anySpec() {
+		if vs := e.peek(v); vs != nil && !vs.retained && !vs.anySpec() {
 			e.forget(v)
 		}
 	}
@@ -811,8 +932,8 @@ func (e *Engine) MagicProbe(from int, line mem.LineAddr, off, size int, write bo
 // state (capacity diagnostics and tests).
 func (e *Engine) SpecLineCount() int {
 	n := 0
-	for _, ls := range e.lines {
-		if ls.anySpec() {
+	for _, idx := range e.active {
+		if ls := &e.lines[idx]; ls.present && ls.anySpec() {
 			n++
 		}
 	}

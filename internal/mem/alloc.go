@@ -28,6 +28,15 @@ func NewAllocator(g Geometry, base Addr) *Allocator {
 	return &Allocator{geom: g, next: base}
 }
 
+// Reset rewinds the allocator to base, exactly as NewAllocator would
+// start it (base 0 defaults to one line). Used when reusing a machine.
+func (a *Allocator) Reset(base Addr) {
+	if base == 0 {
+		base = Addr(a.geom.LineSize)
+	}
+	a.next = base
+}
+
 // Alloc returns the address of a fresh size-byte region aligned to align
 // bytes (align must be a power of two; 0 or 1 means unaligned).
 func (a *Allocator) Alloc(size int, align int) Addr {

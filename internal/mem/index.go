@@ -1,0 +1,53 @@
+package mem
+
+// LineIndexer assigns small dense integer indices to cache-line addresses
+// in first-touch order. The simulator's per-line bookkeeping (coherence
+// state, snoop-filter directory, speculative sub-block masks, footprint
+// bitsets) is keyed by these indices instead of by LineAddr, which turns
+// hash-map lookups on the hot path into slice indexing and lets "clear
+// everything" be an epoch bump in the owning table.
+//
+// Index values are an internal addressing scheme only: no simulated result
+// may depend on them. They are deterministic all the same (the same op
+// stream assigns the same indices), which keeps index-order iteration
+// reproducible where it is used for order-independent work.
+type LineIndexer struct {
+	idx   map[LineAddr]int32
+	lines []LineAddr
+}
+
+// NewLineIndexer returns an empty indexer.
+func NewLineIndexer() *LineIndexer {
+	return &LineIndexer{idx: make(map[LineAddr]int32)}
+}
+
+// Index returns the dense index for line l, assigning the next free index
+// on first touch.
+func (x *LineIndexer) Index(l LineAddr) int {
+	if i, ok := x.idx[l]; ok {
+		return int(i)
+	}
+	i := int32(len(x.lines))
+	x.idx[l] = i
+	x.lines = append(x.lines, l)
+	return int(i)
+}
+
+// Lookup returns the index for l without assigning one.
+func (x *LineIndexer) Lookup(l LineAddr) (int, bool) {
+	i, ok := x.idx[l]
+	return int(i), ok
+}
+
+// Line returns the address mapped to index i (the inverse of Index).
+func (x *LineIndexer) Line(i int) LineAddr { return x.lines[i] }
+
+// Len returns the number of assigned indices.
+func (x *LineIndexer) Len() int { return len(x.lines) }
+
+// Reset forgets every assignment while keeping the backing storage, so a
+// reused machine re-assigns indices in exactly fresh-machine order.
+func (x *LineIndexer) Reset() {
+	clear(x.idx)
+	x.lines = x.lines[:0]
+}

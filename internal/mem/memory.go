@@ -18,6 +18,7 @@ const pageSize = 1 << 12
 // any instant by construction.
 type Memory struct {
 	pages map[uint64]*[pageSize]byte
+	free  []*[pageSize]byte // zeroed pages recycled by Reset
 }
 
 // NewMemory returns an empty memory. Unwritten bytes read as zero.
@@ -29,7 +30,13 @@ func (m *Memory) page(a Addr, create bool) (*[pageSize]byte, int) {
 	pn := uint64(a) / pageSize
 	p := m.pages[pn]
 	if p == nil && create {
-		p = new([pageSize]byte)
+		if n := len(m.free); n > 0 {
+			p = m.free[n-1]
+			m.free[n-1] = nil
+			m.free = m.free[:n-1]
+		} else {
+			p = new([pageSize]byte)
+		}
 		m.pages[pn] = p
 	}
 	return p, int(uint64(a) % pageSize)
@@ -109,3 +116,14 @@ func (m *Memory) StoreUint(a Addr, size int, v uint64) {
 // Footprint returns the number of resident pages; used by tests to check
 // that workloads stay within expected bounds.
 func (m *Memory) Footprint() int { return len(m.pages) }
+
+// Reset returns the memory to the empty state (all bytes read as zero)
+// while recycling the page storage, so a reused machine does not
+// re-allocate its working set.
+func (m *Memory) Reset() {
+	for pn, p := range m.pages {
+		*p = [pageSize]byte{}
+		m.free = append(m.free, p)
+		delete(m.pages, pn)
+	}
+}

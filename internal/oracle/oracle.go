@@ -10,6 +10,7 @@ package oracle
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/mem"
@@ -41,83 +42,231 @@ func (t ConflictType) String() string {
 }
 
 // Footprint is the exact byte-level speculative read and write sets of one
-// transaction attempt. The zero value is empty and ready to use after
-// Reset; construct with NewFootprint.
+// transaction attempt. Construct with NewFootprint (or NewFootprintShared
+// to key several footprints by one dense index space).
+//
+// Storage is a packed bitset per line — one bit per byte, LineSize/64
+// words per line per set — laid out flat over dense line indices from a
+// mem.LineIndexer. A line's bits are live only when its epoch stamp equals
+// the attempt epoch, so Reset (every transaction begin) is an integer bump
+// plus truncating the touched-line list: no map churn, no per-line
+// interval allocations.
 type Footprint struct {
-	geom   mem.Geometry
-	reads  map[mem.LineAddr]*mem.IntervalSet
-	writes map[mem.LineAddr]*mem.IntervalSet
+	geom mem.Geometry
+	ix   *mem.LineIndexer
+	wpl  int // uint64 words per line per set (one bit per byte)
+
+	reads, writes []uint64 // line index i's words are [i*wpl, (i+1)*wpl)
+	lineEpoch     []uint64 // line i's bits live iff lineEpoch[i] == epoch
+	epoch         uint64   // current attempt stamp; starts at 1
+	touched       []int32  // live line indices, first-touch order
 }
 
-// NewFootprint returns an empty footprint for the given geometry.
+// NewFootprint returns an empty footprint for the given geometry with a
+// private line index.
 func NewFootprint(g mem.Geometry) *Footprint {
-	return &Footprint{
-		geom:   g,
-		reads:  make(map[mem.LineAddr]*mem.IntervalSet),
-		writes: make(map[mem.LineAddr]*mem.IntervalSet),
+	return NewFootprintShared(g, mem.NewLineIndexer())
+}
+
+// NewFootprintShared returns an empty footprint keyed by an existing line
+// indexer, so the footprint shares one dense index space with the
+// coherence bus and the other per-core structures of a machine.
+func NewFootprintShared(g mem.Geometry, ix *mem.LineIndexer) *Footprint {
+	wpl := (g.LineSize + 63) / 64
+	if wpl < 1 {
+		wpl = 1
 	}
+	return &Footprint{geom: g, ix: ix, wpl: wpl, epoch: 1}
 }
 
 // Reset empties both sets (transaction begin / after commit / abort).
 func (f *Footprint) Reset() {
-	for k := range f.reads {
-		delete(f.reads, k)
+	f.epoch++
+	f.touched = f.touched[:0]
+}
+
+// slot returns the word base for line, reviving (zeroing) its bits on
+// first touch this attempt.
+func (f *Footprint) slot(line mem.LineAddr) int {
+	idx := f.ix.Index(line)
+	for len(f.lineEpoch) <= idx {
+		f.lineEpoch = append(f.lineEpoch, 0)
+		for i := 0; i < f.wpl; i++ {
+			f.reads = append(f.reads, 0)
+			f.writes = append(f.writes, 0)
+		}
 	}
-	for k := range f.writes {
-		delete(f.writes, k)
+	base := idx * f.wpl
+	if f.lineEpoch[idx] != f.epoch {
+		f.lineEpoch[idx] = f.epoch
+		for i := 0; i < f.wpl; i++ {
+			f.reads[base+i] = 0
+			f.writes[base+i] = 0
+		}
+		f.touched = append(f.touched, int32(idx))
 	}
+	return base
+}
+
+// live returns the word base for line if it was touched this attempt.
+func (f *Footprint) live(line mem.LineAddr) (int, bool) {
+	idx, ok := f.ix.Lookup(line)
+	if !ok || idx >= len(f.lineEpoch) || f.lineEpoch[idx] != f.epoch {
+		return 0, false
+	}
+	return idx * f.wpl, true
+}
+
+// clampRange confines [lo, hi) to the line's byte span and reports whether
+// anything remains.
+func (f *Footprint) clampRange(lo, hi int) (int, int, bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if max := f.wpl * 64; hi > max {
+		hi = max
+	}
+	return lo, hi, lo < hi
+}
+
+// setRange sets bits [lo, hi) in the wpl words at base.
+func setRange(words []uint64, base, lo, hi int) {
+	for w := lo >> 6; w <= (hi-1)>>6; w++ {
+		from, to := 0, 63
+		if w == lo>>6 {
+			from = lo & 63
+		}
+		if w == (hi-1)>>6 {
+			to = (hi - 1) & 63
+		}
+		words[base+w] |= mem.SpanMask(from, to)
+	}
+}
+
+// anyInRange reports whether any bit in [lo, hi) is set.
+func anyInRange(words []uint64, base, lo, hi int) bool {
+	for w := lo >> 6; w <= (hi-1)>>6; w++ {
+		from, to := 0, 63
+		if w == lo>>6 {
+			from = lo & 63
+		}
+		if w == (hi-1)>>6 {
+			to = (hi - 1) & 63
+		}
+		if words[base+w]&mem.SpanMask(from, to) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// anyBits reports whether the line's set has any byte recorded.
+func (f *Footprint) anyBits(words []uint64, base int) bool {
+	for i := 0; i < f.wpl; i++ {
+		if words[base+i] != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // RecordRead adds the line-confined byte range [off, off+size) to the read set.
 func (f *Footprint) RecordRead(line mem.LineAddr, off, size int) {
-	s := f.reads[line]
-	if s == nil {
-		s = &mem.IntervalSet{}
-		f.reads[line] = s
+	base := f.slot(line)
+	if lo, hi, ok := f.clampRange(off, off+size); ok {
+		setRange(f.reads, base, lo, hi)
 	}
-	s.Add(off, off+size)
 }
 
 // RecordWrite adds the range to the write set.
 func (f *Footprint) RecordWrite(line mem.LineAddr, off, size int) {
-	s := f.writes[line]
-	if s == nil {
-		s = &mem.IntervalSet{}
-		f.writes[line] = s
+	base := f.slot(line)
+	if lo, hi, ok := f.clampRange(off, off+size); ok {
+		setRange(f.writes, base, lo, hi)
 	}
-	s.Add(off, off+size)
+}
+
+// intervalsOf materializes a bitset back into interval form (nil when no
+// byte is recorded). Only the inspection API below uses it; the hot path
+// works on the packed words directly.
+func (f *Footprint) intervalsOf(words []uint64, base int) *mem.IntervalSet {
+	var s *mem.IntervalSet
+	for i := 0; i < f.wpl*64; i++ {
+		if words[base+i>>6]&(1<<uint(i&63)) != 0 {
+			if s == nil {
+				s = &mem.IntervalSet{}
+			}
+			s.Add(i, i+1)
+		}
+	}
+	return s
 }
 
 // ReadBytes returns the read-set intervals for line (nil if none).
-func (f *Footprint) ReadBytes(line mem.LineAddr) *mem.IntervalSet { return f.reads[line] }
+func (f *Footprint) ReadBytes(line mem.LineAddr) *mem.IntervalSet {
+	if base, ok := f.live(line); ok {
+		return f.intervalsOf(f.reads, base)
+	}
+	return nil
+}
 
 // WriteBytes returns the write-set intervals for line (nil if none).
-func (f *Footprint) WriteBytes(line mem.LineAddr) *mem.IntervalSet { return f.writes[line] }
+func (f *Footprint) WriteBytes(line mem.LineAddr) *mem.IntervalSet {
+	if base, ok := f.live(line); ok {
+		return f.intervalsOf(f.writes, base)
+	}
+	return nil
+}
+
+// ReadSubBlockMask returns the n-granule sub-block mask of the line's read
+// set (bit g set iff any read byte falls in granule g); 0 when the line is
+// untouched. Equivalent to ReadBytes(line).SubBlockMask(lineSize, n)
+// without materializing intervals.
+func (f *Footprint) ReadSubBlockMask(line mem.LineAddr, n int) uint64 {
+	if base, ok := f.live(line); ok {
+		return f.subBlockMask(f.reads, base, n)
+	}
+	return 0
+}
+
+// WriteSubBlockMask is ReadSubBlockMask for the write set.
+func (f *Footprint) WriteSubBlockMask(line mem.LineAddr, n int) uint64 {
+	if base, ok := f.live(line); ok {
+		return f.subBlockMask(f.writes, base, n)
+	}
+	return 0
+}
+
+func (f *Footprint) subBlockMask(words []uint64, base, n int) uint64 {
+	sub := f.geom.LineSize / n
+	if sub <= 0 {
+		sub = 1
+	}
+	var m uint64
+	for g := 0; g < n; g++ {
+		lo, hi, ok := f.clampRange(g*sub, (g+1)*sub)
+		if ok && anyInRange(words, base, lo, hi) {
+			m |= 1 << uint(g)
+		}
+	}
+	return m
+}
 
 // HasLine reports whether the footprint touches line at all.
 func (f *Footprint) HasLine(line mem.LineAddr) bool {
-	if s := f.reads[line]; s != nil && !s.Empty() {
-		return true
+	base, ok := f.live(line)
+	if !ok {
+		return false
 	}
-	if s := f.writes[line]; s != nil && !s.Empty() {
-		return true
-	}
-	return false
+	return f.anyBits(f.reads, base) || f.anyBits(f.writes, base)
 }
 
 // Lines returns every line in the footprint, sorted (deterministic
 // iteration for aborts and stats).
 func (f *Footprint) Lines() []mem.LineAddr {
-	set := make(map[mem.LineAddr]struct{}, len(f.reads)+len(f.writes))
-	for l := range f.reads {
-		set[l] = struct{}{}
-	}
-	for l := range f.writes {
-		set[l] = struct{}{}
-	}
-	out := make([]mem.LineAddr, 0, len(set))
-	for l := range set {
-		out = append(out, l)
+	out := make([]mem.LineAddr, 0, len(f.touched))
+	for _, idx := range f.touched {
+		out = append(out, f.ix.Line(int(idx)))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -125,9 +274,11 @@ func (f *Footprint) Lines() []mem.LineAddr {
 
 // WrittenLines returns the speculatively written lines, sorted.
 func (f *Footprint) WrittenLines() []mem.LineAddr {
-	out := make([]mem.LineAddr, 0, len(f.writes))
-	for l := range f.writes {
-		out = append(out, l)
+	var out []mem.LineAddr
+	for _, idx := range f.touched {
+		if f.anyBits(f.writes, int(idx)*f.wpl) {
+			out = append(out, f.ix.Line(int(idx)))
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -153,10 +304,12 @@ type Verdict struct {
 //     overlaps the holder's written BYTES. Everything else is a false
 //     conflict caused by sub-line false sharing.
 func (f *Footprint) Judge(line mem.LineAddr, off, size int, invalidating bool) Verdict {
-	lo, hi := off, off+size
-	r := f.reads[line]
-	w := f.writes[line]
-	wroteLine := w != nil && !w.Empty()
+	base, liveLine := f.live(line)
+	lo, hi, inRange := 0, 0, false
+	if liveLine {
+		lo, hi, inRange = f.clampRange(off, off+size)
+	}
+	wroteLine := liveLine && f.anyBits(f.writes, base)
 	var v Verdict
 	if invalidating {
 		if wroteLine {
@@ -164,10 +317,10 @@ func (f *Footprint) Judge(line mem.LineAddr, off, size int, invalidating bool) V
 		} else {
 			v.Type = WAR
 		}
-		v.True = (r != nil && r.Overlaps(lo, hi)) || (w != nil && w.Overlaps(lo, hi))
+		v.True = inRange && (anyInRange(f.reads, base, lo, hi) || anyInRange(f.writes, base, lo, hi))
 	} else {
 		v.Type = RAW
-		v.True = w != nil && w.Overlaps(lo, hi)
+		v.True = inRange && anyInRange(f.writes, base, lo, hi)
 	}
 	return v
 }
@@ -180,16 +333,17 @@ func (f *Footprint) PerfectConflict(line mem.LineAddr, off, size int, invalidati
 }
 
 // LineCount returns the number of distinct lines in the footprint, used by
-// capacity accounting and tests.
-func (f *Footprint) LineCount() int { return len(f.Lines()) }
+// capacity accounting and tests. O(1) on the dense representation.
+func (f *Footprint) LineCount() int { return len(f.touched) }
 
 // ByteCounts returns the total bytes in the read and write sets.
 func (f *Footprint) ByteCounts() (readBytes, writeBytes int) {
-	for _, s := range f.reads {
-		readBytes += s.Len()
-	}
-	for _, s := range f.writes {
-		writeBytes += s.Len()
+	for _, idx := range f.touched {
+		base := int(idx) * f.wpl
+		for i := 0; i < f.wpl; i++ {
+			readBytes += bits.OnesCount64(f.reads[base+i])
+			writeBytes += bits.OnesCount64(f.writes[base+i])
+		}
 	}
 	return
 }

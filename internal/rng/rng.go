@@ -30,11 +30,18 @@ func splitMix64(state *uint64) uint64 {
 // streams; the same seed always gives the same stream.
 func New(seed uint64) *Rand {
 	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed reinitializes the generator in place, exactly as New(seed) would.
+// It exists so long-lived simulation state can be reseeded for reuse
+// without allocating a fresh generator.
+func (r *Rand) Seed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		r.s[i] = splitMix64(&sm)
 	}
-	return r
 }
 
 // Fork returns a new generator whose stream is a deterministic function of
@@ -42,7 +49,17 @@ func New(seed uint64) *Rand {
 // every simulated thread its own independent stream derived from the run
 // seed, so that adding a thread never perturbs the streams of the others.
 func (r *Rand) Fork(stream uint64) *Rand {
-	return New(r.Uint64() ^ (stream+1)*0x9e3779b97f4a7c15)
+	d := &Rand{}
+	r.ForkInto(d, stream)
+	return d
+}
+
+// ForkInto is Fork writing into an existing generator: it consumes exactly
+// one draw from r (like Fork) and reseeds dst with the derived stream.
+// Reuse paths use it so forking does not allocate and — critically — does
+// not change the parent's draw count relative to a fresh run.
+func (r *Rand) ForkInto(dst *Rand, stream uint64) {
+	dst.Seed(r.Uint64() ^ (stream+1)*0x9e3779b97f4a7c15)
 }
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }

@@ -155,6 +155,11 @@ type Machine struct {
 	recorder *trace.Writer
 
 	executed bool
+	// clean records that the last Execute ran its scheduler to completion,
+	// so every worker goroutine has exited and the machine may be Reset and
+	// reused. An errored run (MaxCycles, cancellation) leaves goroutines
+	// parked on their resume channels and the machine permanently dirty.
+	clean bool
 }
 
 type yieldMsg struct {
@@ -163,38 +168,92 @@ type yieldMsg struct {
 	panicked any
 }
 
-// NewMachine builds a machine; cfg.Core is normalized in place.
-func NewMachine(cfg Config) (*Machine, error) {
+// normalizeConfig validates cfg and fills in its defaults, in place. It is
+// the single normalization path shared by NewMachine and Machine.Reset, so
+// a reset machine runs under exactly the configuration a fresh one would.
+func normalizeConfig(cfg *Config) error {
 	if cfg.Cores <= 0 {
-		return nil, fmt.Errorf("sim: Cores must be positive, got %d", cfg.Cores)
+		return fmt.Errorf("sim: Cores must be positive, got %d", cfg.Cores)
 	}
 	if err := cfg.Core.Normalize(); err != nil {
-		return nil, err
+		return err
 	}
 	if err := cfg.Hier.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if cfg.Core.Geom.LineSize != cfg.Hier.L1.LineSize {
-		return nil, fmt.Errorf("sim: core geometry line %dB != cache line %dB",
+		return fmt.Errorf("sim: core geometry line %dB != cache line %dB",
 			cfg.Core.Geom.LineSize, cfg.Hier.L1.LineSize)
 	}
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 64
 	}
 	if err := cfg.Fault.Validate(); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
+		return fmt.Errorf("sim: %w", err)
 	}
 	if err := cfg.Retry.Validate(); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
+		return fmt.Errorf("sim: %w", err)
 	}
 	if err := cfg.Watchdog.Validate(); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
+		return fmt.Errorf("sim: %w", err)
 	}
 	if cfg.CommitCycles <= 0 {
 		cfg.CommitCycles = 12
 	}
 	if cfg.AbortCycles <= 0 {
 		cfg.AbortCycles = 30
+	}
+	return nil
+}
+
+// newRunRecord builds the empty Run record for a (normalized)
+// configuration, including any requested trace instruments.
+func newRunRecord(cfg Config) *stats.Run {
+	r := &stats.Run{
+		Mode:           cfg.Core.Mode.String(),
+		SubBlocks:      cfg.Core.Granules(),
+		Threads:        cfg.Cores,
+		Seed:           cfg.Seed,
+		RetryPolicy:    cfg.Retry.Kind.String(),
+		FootprintLines: stats.NewHistogram(),
+		RetryChains:    stats.NewHistogram(),
+	}
+	if cfg.TraceSeries {
+		r.Series = stats.NewSeries(0)
+	}
+	if cfg.TraceLines {
+		r.Lines = stats.NewLineHistogram()
+	}
+	if cfg.TraceOffsets {
+		r.Offsets = stats.NewOffsetHist(cfg.Core.Geom.LineSize)
+	}
+	if len(cfg.WatchLines) > 0 {
+		r.WatchedOffsets = make(map[uint64]*stats.OffsetHist, len(cfg.WatchLines))
+		for _, l := range cfg.WatchLines {
+			r.WatchedOffsets[l] = stats.NewOffsetHist(cfg.Core.Geom.LineSize)
+		}
+	}
+	return r
+}
+
+// hooksFor returns the engine hook set for the machine's current
+// configuration (the spec-access hook costs a closure call per speculative
+// access, so it is wired only when an instrument needs it).
+func (m *Machine) hooksFor(cfg Config) core.Hooks {
+	hooks := core.Hooks{
+		OnConflict: m.onConflict,
+		OnAbort:    m.onAbort,
+	}
+	if cfg.TraceOffsets || len(cfg.WatchLines) > 0 {
+		hooks.OnSpecAccess = m.onSpecAccess
+	}
+	return hooks
+}
+
+// NewMachine builds a machine; cfg.Core is normalized in place.
+func NewMachine(cfg Config) (*Machine, error) {
+	if err := normalizeConfig(&cfg); err != nil {
+		return nil, err
 	}
 
 	m := &Machine{
@@ -204,15 +263,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		bus:     coherence.NewBus(cfg.Cores),
 		root:    rng.New(cfg.Seed),
 		yieldCh: make(chan yieldMsg),
-		run: &stats.Run{
-			Mode:           cfg.Core.Mode.String(),
-			SubBlocks:      cfg.Core.Granules(),
-			Threads:        cfg.Cores,
-			Seed:           cfg.Seed,
-			RetryPolicy:    cfg.Retry.Kind.String(),
-			FootprintLines: stats.NewHistogram(),
-			RetryChains:    stats.NewHistogram(),
-		},
+		run:     newRunRecord(cfg),
 	}
 	m.alloc = mem.NewAllocator(m.geom, mem.Addr(m.geom.LineSize))
 	m.bus.SetSubBlocks(cfg.Core.Granules())
@@ -232,33 +283,12 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if cfg.RecordTrace != nil {
 		m.recorder = trace.NewWriter(cfg.RecordTrace)
 	}
-	if cfg.TraceSeries {
-		m.run.Series = stats.NewSeries(0)
-	}
-	if cfg.TraceLines {
-		m.run.Lines = stats.NewLineHistogram()
-	}
-	if cfg.TraceOffsets {
-		m.run.Offsets = stats.NewOffsetHist(m.geom.LineSize)
-	}
-	if len(cfg.WatchLines) > 0 {
-		m.run.WatchedOffsets = make(map[uint64]*stats.OffsetHist, len(cfg.WatchLines))
-		for _, l := range cfg.WatchLines {
-			m.run.WatchedOffsets[l] = stats.NewOffsetHist(m.geom.LineSize)
-		}
-	}
 
 	if cfg.Watchdog.Window > 0 {
 		m.wd.windowEnd = cfg.Watchdog.Window
 	}
 
-	hooks := core.Hooks{
-		OnConflict: m.onConflict,
-		OnAbort:    m.onAbort,
-	}
-	if cfg.TraceOffsets || len(cfg.WatchLines) > 0 {
-		hooks.OnSpecAccess = m.onSpecAccess
-	}
+	hooks := m.hooksFor(cfg)
 	for i := 0; i < cfg.Cores; i++ {
 		h := cache.NewHierarchy(cfg.Hier)
 		e := core.NewEngine(i, cfg.Core, m.bus, h, hooks)
@@ -272,6 +302,87 @@ func NewMachine(cfg Config) (*Machine, error) {
 	m.lockAddr = m.alloc.AllocLine(8)
 	m.lockLine = m.geom.Line(m.lockAddr)
 	return m, nil
+}
+
+// Reusable reports whether the machine can be Reset for another run: either
+// it never executed, or its last run finished cleanly (all worker
+// goroutines exited). Machines whose run errored out mid-flight hold parked
+// goroutines and must be discarded.
+func (m *Machine) Reusable() bool { return !m.executed || m.clean }
+
+// Reset rewinds an executed machine to the fresh-from-NewMachine state
+// under a (possibly different) configuration, reusing every arena the
+// machine already grew: pages, cache ways, the dense line tables, engines
+// and thread scratch. The core count, cache hierarchy and line geometry are
+// structural and cannot change across a reset.
+//
+// A reset machine is bit-identical to a fresh one: the root RNG is
+// reseeded, the line indexer is cleared so dense indices are re-assigned in
+// first-touch order, and the allocator restarts at the same base — the
+// next Execute draws exactly the sequence a new machine would.
+func (m *Machine) Reset(cfg Config) error {
+	if !m.Reusable() {
+		return fmt.Errorf("sim: cannot reset a machine whose run did not finish cleanly")
+	}
+	if err := normalizeConfig(&cfg); err != nil {
+		return err
+	}
+	if cfg.Cores != m.cfg.Cores {
+		return fmt.Errorf("sim: reset with %d cores on a %d-core machine", cfg.Cores, m.cfg.Cores)
+	}
+	if cfg.Hier != m.cfg.Hier {
+		return fmt.Errorf("sim: reset cannot change the cache hierarchy")
+	}
+	if cfg.Core.Geom != m.cfg.Core.Geom {
+		return fmt.Errorf("sim: reset cannot change the line geometry")
+	}
+
+	m.cfg = cfg
+	m.geom = cfg.Core.Geom
+	m.memory.Reset()
+	m.alloc.Reset(0)
+	m.root.Seed(cfg.Seed)
+
+	m.bus.Reset()
+	m.bus.SetSubBlocks(cfg.Core.Granules())
+	if cfg.Core.Mode != core.ModeSignature {
+		m.bus.EnableSnoopFilter()
+	}
+	hooks := m.hooksFor(cfg)
+	for i := range m.engines {
+		m.hiers[i].Reset()
+		m.engines[i].Reset(cfg.Core, hooks)
+	}
+
+	m.now = 0
+	m.splitBuf = m.splitBuf[:0]
+	m.run = newRunRecord(cfg)
+	m.txStartedCum, m.falseCum = 0, 0
+	m.progressCum, m.abortCum = 0, 0
+	m.wd = watchdogState{}
+	if cfg.Watchdog.Window > 0 {
+		m.wd.windowEnd = cfg.Watchdog.Window
+	}
+	m.ledger = oracle.NewLedger(cfg.Cores)
+	m.events = nil
+	if cfg.EventLog != nil {
+		m.events = newEventLog(cfg.EventLog)
+	}
+	m.recorder = nil
+	if cfg.RecordTrace != nil {
+		m.recorder = trace.NewWriter(cfg.RecordTrace)
+	}
+
+	m.lockAddr = m.alloc.AllocLine(8)
+	m.lockLine = m.geom.Line(m.lockAddr)
+	// Verify the wipe: the lock word must read zero from reset memory, and
+	// the lock line's deterministic placement must match a fresh machine's.
+	if got := m.memory.LoadUint(m.lockAddr, 8); got != 0 {
+		return fmt.Errorf("sim: reset left dirty memory (lock word %#x)", got)
+	}
+	m.executed = false
+	m.clean = false
+	return nil
 }
 
 // onConflict records conflict events for the trace instruments and the
@@ -302,15 +413,9 @@ func (m *Machine) onConflict(c core.Conflict) {
 func (m *Machine) avoidableAt(c core.Conflict, n int) bool {
 	fp := m.engines[c.Holder].Footprint()
 	probe := m.geom.SubBlockMask(c.Off, c.Size, n)
-	var holder uint64
-	ls := m.geom.LineSize
-	if w := fp.WriteBytes(c.Line); w != nil {
-		holder |= w.SubBlockMask(ls, n)
-	}
+	holder := fp.WriteSubBlockMask(c.Line, n)
 	if c.Invalidating {
-		if r := fp.ReadBytes(c.Line); r != nil {
-			holder |= r.SubBlockMask(ls, n)
-		}
+		holder |= fp.ReadSubBlockMask(c.Line, n)
 	}
 	return probe&holder == 0
 }
@@ -415,12 +520,14 @@ type Workload interface {
 }
 
 // Execute runs the workload to completion and returns the aggregated
-// statistics. A Machine is single-use.
+// statistics. A Machine runs one workload; Reset rewinds a cleanly
+// finished machine for another Execute.
 func (m *Machine) Execute(w Workload) (*stats.Run, error) {
 	if m.executed {
 		return nil, fmt.Errorf("sim: machine already executed a workload")
 	}
 	m.executed = true
+	m.clean = false
 	m.run.Workload = w.Name()
 
 	w.Setup(m)
@@ -435,27 +542,42 @@ func (m *Machine) Execute(w Workload) (*stats.Run, error) {
 		rc.Backoff = m.cfg.Backoff
 	}
 	for i := 0; i < m.cfg.Cores; i++ {
-		t := &Thread{
-			id:     i,
-			m:      m,
-			eng:    m.engines[i],
-			rng:    m.root.Fork(uint64(i)),
-			resume: make(chan struct{}),
-			// Threads start staggered (thread-spawn cost), which avoids an
-			// artificial time-zero convoy on the first shared structure.
-			wake: int64(i) * 37,
+		var t *Thread
+		if i < len(m.threads) {
+			// Reset machine: reuse the thread (and its rng scratch, Tx
+			// buffers and resume channel) from the previous run.
+			t = m.threads[i]
+			t.resetForRun()
+		} else {
+			t = &Thread{
+				id:         i,
+				m:          m,
+				eng:        m.engines[i],
+				rng:        &rng.Rand{},
+				policyRand: &rng.Rand{},
+				faultRand:  &rng.Rand{},
+				resume:     make(chan struct{}),
+			}
+			t.tx.t = t
+			m.threads = append(m.threads, t)
 		}
+		// Threads start staggered (thread-spawn cost), which avoids an
+		// artificial time-zero convoy on the first shared structure.
+		t.wake = int64(i) * 37
 		t.lastProgress = t.wake
+		m.root.ForkInto(t.rng, uint64(i))
 		// The policy takes over the rng stream the backoff manager used to
 		// own, so the default Exponential policy reproduces pre-policy runs
-		// bit-for-bit. The fault fork is gated: rng.Fork consumes a draw
+		// bit-for-bit. The fault fork is gated: forking consumes a draw
 		// from the parent stream, so an unconditional fork would shift
 		// every fault-free run.
-		t.policy = retry.New(rc, t.rng.Fork(0xb0ff))
+		t.rng.ForkInto(t.policyRand, 0xb0ff)
+		t.policy = retry.New(rc, t.policyRand)
+		t.fault = nil
 		if m.cfg.Fault.Enabled() {
-			t.fault = fault.New(m.cfg.Fault, t.rng.Fork(0xfa17))
+			t.rng.ForkInto(t.faultRand, 0xfa17)
+			t.fault = fault.New(m.cfg.Fault, t.faultRand)
 		}
-		m.threads = append(m.threads, t)
 	}
 	for _, t := range m.threads {
 		go t.main(w.Run)
@@ -464,6 +586,7 @@ func (m *Machine) Execute(w Workload) (*stats.Run, error) {
 	if err := m.schedule(); err != nil {
 		return m.run, err
 	}
+	m.clean = true
 
 	m.aggregate()
 	if err := m.ledger.Check(); err != nil {

@@ -1,0 +1,44 @@
+package sim
+
+import "sync"
+
+// MachinePool recycles fully built machines across runs. A machine's
+// construction cost (cache way arrays, dense line tables, engines, thread
+// scratch) dominates short cells, so harness sweeps and service workers
+// Get/Put machines instead of calling NewMachine per cell.
+//
+// Get resets a pooled machine under the requested configuration when one
+// is available and structurally compatible (same cores, hierarchy and
+// geometry — Reset's contract), and falls back to NewMachine otherwise.
+// Because Reset rewinds a machine to the bit-identical fresh state, runs
+// through the pool produce exactly the results of runs on new machines.
+type MachinePool struct {
+	pool sync.Pool
+}
+
+// Get returns a machine configured per cfg: a recycled one when possible,
+// a fresh one otherwise.
+func (p *MachinePool) Get(cfg Config) (*Machine, error) {
+	if v := p.pool.Get(); v != nil {
+		m := v.(*Machine)
+		if err := m.Reset(cfg); err == nil {
+			return m, nil
+		}
+		// Structurally incompatible (or dirty): drop it; the GC reclaims
+		// the arenas and the caller gets a clean build.
+	}
+	return NewMachine(cfg)
+}
+
+// Put offers a machine back for reuse. Machines whose run did not finish
+// cleanly (parked worker goroutines) are silently discarded.
+func (p *MachinePool) Put(m *Machine) {
+	if m == nil || !m.Reusable() {
+		return
+	}
+	p.pool.Put(m)
+}
+
+// DefaultPool is the process-wide machine pool used by the top-level run
+// helpers.
+var DefaultPool MachinePool

@@ -1,0 +1,233 @@
+// Machine-reuse equivalence tests. They live in an external test package
+// because they drive real workloads (package workloads imports sim).
+package sim_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+type runSpec struct {
+	name     string
+	workload string
+	cfg      sim.Config
+}
+
+func baseCfg(seed uint64) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 4
+	cfg.Seed = seed
+	return cfg
+}
+
+// reuseSpecs is a gauntlet of configurations that exercise every subsystem
+// Reset must rewind: detection modes (including signatures, which disable
+// the snoop filter), fault injection (which changes the rng fork pattern),
+// the watchdog, holder-wins NACKs and trace instruments.
+func reuseSpecs() []runSpec {
+	specs := []runSpec{}
+
+	cfg := baseCfg(1)
+	specs = append(specs, runSpec{"baseline-kmeans", "kmeans", cfg})
+
+	cfg = baseCfg(7)
+	cfg.Core = core.Config{Mode: core.ModeSubBlock, SubBlocks: 4,
+		RetainInvalidState: true, DirtyProtocol: true}
+	specs = append(specs, runSpec{"subblock4-vacation", "vacation", cfg})
+
+	cfg = baseCfg(3)
+	cfg.Core = core.Config{Mode: core.ModeSignature}
+	specs = append(specs, runSpec{"signature-kmeans", "kmeans", cfg})
+
+	cfg = baseCfg(5)
+	cfg.Fault = fault.Config{InterruptRate: 2e-5, TLBRate: 1e-5, CapacityNoiseRate: 0.01}
+	specs = append(specs, runSpec{"faults-kmeans", "kmeans", cfg})
+
+	cfg = baseCfg(9)
+	cfg.Watchdog = sim.WatchdogConfig{Window: 20000, Mitigate: true}
+	cfg.TraceSeries = true
+	cfg.TraceOffsets = true
+	specs = append(specs, runSpec{"watchdog-traced-intruder", "intruder", cfg})
+
+	cfg = baseCfg(11)
+	cfg.Core = core.Config{Mode: core.ModeSubBlock, SubBlocks: 8,
+		RetainInvalidState: true, DirtyProtocol: true, Resolution: core.HolderWins}
+	specs = append(specs, runSpec{"holderwins-kmeans", "kmeans", cfg})
+
+	return specs
+}
+
+func runFresh(t *testing.T, s runSpec) *stats.Run {
+	t.Helper()
+	w, err := workloads.New(s.workload, workloads.ScaleTiny)
+	if err != nil {
+		t.Fatalf("%s: %v", s.name, err)
+	}
+	m, err := sim.NewMachine(s.cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", s.name, err)
+	}
+	r, err := m.Execute(w)
+	if err != nil {
+		t.Fatalf("%s: %v", s.name, err)
+	}
+	return r
+}
+
+func runReused(t *testing.T, m *sim.Machine, s runSpec) *stats.Run {
+	t.Helper()
+	w, err := workloads.New(s.workload, workloads.ScaleTiny)
+	if err != nil {
+		t.Fatalf("%s: %v", s.name, err)
+	}
+	if err := m.Reset(s.cfg); err != nil {
+		t.Fatalf("%s: reset: %v", s.name, err)
+	}
+	r, err := m.Execute(w)
+	if err != nil {
+		t.Fatalf("%s: reused execute: %v", s.name, err)
+	}
+	return r
+}
+
+// TestMachineReuseIsClean runs the whole spec gauntlet twice — once on
+// fresh machines, once on ONE machine reset between runs in every
+// cross-configuration order the slice gives — and demands bit-identical
+// Run records. Any state leaking across a reset (cache residue, stale
+// speculative bits, rng drift, a surviving watchdog boost) shows up as a
+// stats mismatch.
+func TestMachineReuseIsClean(t *testing.T) {
+	specs := reuseSpecs()
+	fresh := make([]*stats.Run, len(specs))
+	for i, s := range specs {
+		fresh[i] = runFresh(t, s)
+	}
+
+	m, err := sim.NewMachine(specs[0].cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workloads.New(specs[0].workload, workloads.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Execute(w); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range specs {
+		got := runReused(t, m, s)
+		if !reflect.DeepEqual(got, fresh[i]) {
+			t.Errorf("%s: reused-machine run diverged from fresh machine\nreused: %+v\nfresh:  %+v",
+				s.name, got, fresh[i])
+		}
+	}
+	// And back-to-back reuse of the same spec stays stable.
+	again := runReused(t, m, specs[0])
+	if !reflect.DeepEqual(again, fresh[0]) {
+		t.Errorf("second reuse of %s diverged from fresh run", specs[0].name)
+	}
+}
+
+// TestMachinePoolMatchesFresh routes the gauntlet through a MachinePool
+// and checks results against fresh machines — the pool must be invisible.
+func TestMachinePoolMatchesFresh(t *testing.T) {
+	var pool sim.MachinePool
+	for _, s := range reuseSpecs() {
+		fresh := runFresh(t, s)
+		w, err := workloads.New(s.workload, workloads.ScaleTiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := pool.Get(s.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		got, err := m.Execute(w)
+		if err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		pool.Put(m)
+		if !reflect.DeepEqual(got, fresh) {
+			t.Errorf("%s: pooled run diverged from fresh machine", s.name)
+		}
+	}
+}
+
+// TestResetRejectsStructuralChanges: core count, hierarchy and geometry
+// are frozen at construction.
+func TestResetRejectsStructuralChanges(t *testing.T) {
+	m, err := sim.NewMachine(baseCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := baseCfg(1)
+	bad.Cores = 8
+	if err := m.Reset(bad); err == nil {
+		t.Error("reset accepted a core-count change")
+	}
+	bad = baseCfg(1)
+	bad.Hier.L1.SizeBytes *= 2
+	if err := m.Reset(bad); err == nil {
+		t.Error("reset accepted a hierarchy change")
+	}
+}
+
+// TestResetRefusesDirtyMachine: a run that errors out mid-flight (here via
+// MaxCycles) leaves worker goroutines parked, so the machine must refuse
+// to be reset or pooled.
+func TestResetRefusesDirtyMachine(t *testing.T) {
+	cfg := baseCfg(1)
+	cfg.MaxCycles = 2000 // far too few for kmeans to finish
+	m, err := sim.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workloads.New("kmeans", workloads.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Execute(w); err == nil {
+		t.Fatal("expected the MaxCycles watchdog to fire")
+	}
+	if m.Reusable() {
+		t.Error("machine with parked goroutines reports Reusable")
+	}
+	if err := m.Reset(cfg); err == nil {
+		t.Error("reset accepted a dirty machine")
+	}
+
+	// A canceled run is dirty the same way.
+	cancel := make(chan struct{})
+	close(cancel)
+	cfg = baseCfg(1)
+	cfg.Cancel = cancel
+	m2, err := sim.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Execute(w); !errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("expected ErrCanceled, got %v", err)
+	}
+	if m2.Reusable() {
+		t.Error("canceled machine reports Reusable")
+	}
+
+	// The pool silently refuses both.
+	var pool sim.MachinePool
+	pool.Put(m)
+	pool.Put(m2)
+	m3, err := pool.Get(baseCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3 == m || m3 == m2 {
+		t.Error("pool handed back a dirty machine")
+	}
+}

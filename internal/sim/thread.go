@@ -24,6 +24,18 @@ type Thread struct {
 	policy retry.Policy
 	fault  *fault.Injector // nil unless fault injection is enabled
 
+	// policyRand and faultRand are the persistent backing stores for the
+	// retry policy's and fault injector's rng streams, reseeded in place at
+	// each Execute so a reused thread draws exactly a fresh thread's
+	// sequence without reallocating the generators.
+	policyRand *rng.Rand
+	faultRand  *rng.Rand
+
+	// tx is the thread's reusable transaction handle: one attempt runs at
+	// a time per thread, so Atomic and runFallback rewind this buffer
+	// instead of allocating a Tx (and its write/read/op slices) per attempt.
+	tx Tx
+
 	wake     int64 // earliest time this thread may run again
 	resume   chan struct{}
 	finished bool
@@ -58,6 +70,30 @@ type Thread struct {
 // blocksDone returns the atomic blocks this thread has completed, by
 // either outcome.
 func (t *Thread) blocksDone() uint64 { return t.blocksCommitted + t.blocksUserAborted }
+
+// resetForRun rewinds the thread's per-run state for another Execute on a
+// reset machine. The identity fields (id, m, eng), the rng backing stores
+// and the resume channel survive; the rng streams themselves are reseeded
+// by Execute.
+func (t *Thread) resetForRun() {
+	t.finished = false
+	t.bucket = bucketNonTx
+	t.bucketTime = [3]int64{}
+	t.noRecord = false
+	t.launched, t.retries, t.fallbacks, t.valChecks = 0, 0, 0, 0
+	t.maxRetry = 0
+	t.blocksCommitted, t.blocksUserAborted, t.fallbacksEarly = 0, 0, 0
+	t.spuriousBy = [fault.NumKinds]uint64{}
+	t.faultMark = 0
+	t.starveAlerted = false
+	t.tx.rewind(false)
+}
+
+// beginTx rewinds the reusable Tx handle for a new attempt.
+func (t *Thread) beginTx(irrevocable bool) *Tx {
+	t.tx.rewind(irrevocable)
+	return &t.tx
+}
 
 // ID returns the thread (== core) id.
 func (t *Thread) ID() int { return t.id }
@@ -228,7 +264,7 @@ func (t *Thread) Atomic(body func(tx *Tx)) bool {
 			t.bucket = bucketNonTx
 			continue
 		}
-		tx := &Tx{t: t}
+		tx := t.beginTx(false)
 		fpLines := 0
 		committed, userAbort := t.attempt(tx, body, &fpLines)
 		if committed {
@@ -391,7 +427,7 @@ func (t *Thread) runFallback(body func(tx *Tx)) bool {
 
 	// A user abort under the lock discards the buffered writes and hands
 	// control back to the program (same contract as the speculative path).
-	tx := &Tx{t: t, irrevocable: true}
+	tx := t.beginTx(true)
 	userAborted := func() (ua bool) {
 		defer func() {
 			if r := recover(); r != nil {

@@ -44,6 +44,16 @@ type readRec struct {
 // Thread returns the executing thread (for its Rand, ID, etc.).
 func (tx *Tx) Thread() *Thread { return tx.t }
 
+// rewind empties the handle for a new attempt, keeping the grown slice
+// capacity (a thread runs one attempt at a time, so its Tx is reusable).
+func (tx *Tx) rewind(irrevocable bool) {
+	tx.writes = tx.writes[:0]
+	tx.reads = tx.reads[:0]
+	tx.ops = tx.ops[:0]
+	tx.nacks = 0
+	tx.irrevocable = irrevocable
+}
+
 // Load performs a speculative load of a size-byte little-endian value
 // (size in {1,2,4,8}). It may not return: if the transaction has been
 // aborted the attempt unwinds and retries.

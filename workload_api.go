@@ -72,11 +72,7 @@ func RunReplay(r io.Reader, cfg Config) (*Result, error) {
 // RunWorkload executes a user-provided workload under cfg and returns its
 // statistics (the custom-workload counterpart of Run).
 func RunWorkload(w Workload, cfg Config) (*Result, error) {
-	m, err := sim.NewMachine(cfg.simConfig())
-	if err != nil {
-		return nil, err
-	}
-	return m.Execute(w)
+	return runPooled(w, cfg)
 }
 
 // NewMachine assembles a machine without running anything, for callers
