@@ -31,6 +31,7 @@ package asfsim
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/backoff"
 	"repro/internal/cache"
@@ -226,6 +227,16 @@ type Config struct {
 	// timeouts to; the simulated-time analogue is MaxCycles. A run that is
 	// never canceled is bit-identical to one with Cancel nil.
 	Cancel <-chan struct{}
+
+	// Phases, when non-nil, receives WALL-CLOCK timings for the run's
+	// internal phases as they complete: "workload.build" (constructing
+	// the workload), "machine.reset" or "machine.build" (acquiring the
+	// simulation machine — recycled from the pool vs. built fresh), and
+	// "execute" (the simulation itself). Purely observational: it sees
+	// wall time only, never simulated state, so it cannot perturb
+	// results. Nil (the default) adds zero overhead and zero allocations
+	// to the run path.
+	Phases func(phase string, d time.Duration)
 }
 
 // ErrCanceled is returned (wrapped) by Run when Config.Cancel fires
@@ -341,9 +352,16 @@ func DescribeWorkload(name string) string { return workloads.Describe(name) }
 // validation failure (which would mean the modelled TM broke atomicity)
 // is returned as an error alongside the collected statistics.
 func Run(workload string, scale Scale, cfg Config) (*Result, error) {
+	var buildStart time.Time
+	if cfg.Phases != nil {
+		buildStart = time.Now()
+	}
 	w, err := workloads.New(workload, scale)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Phases != nil {
+		cfg.Phases("workload.build", time.Since(buildStart))
 	}
 	return runPooled(w, cfg)
 }
@@ -351,13 +369,34 @@ func Run(workload string, scale Scale, cfg Config) (*Result, error) {
 // runPooled executes w on a machine from the process-wide pool. A reset
 // pooled machine is bit-identical to a fresh one, so results are exactly
 // those of a dedicated NewMachine; machines whose run did not finish
-// cleanly are discarded rather than recycled.
+// cleanly are discarded rather than recycled. The hot path (Phases nil)
+// stays allocation-free; with a hook installed, acquisition and
+// execution wall times are reported as run phases.
 func runPooled(w sim.Workload, cfg Config) (*Result, error) {
-	m, err := sim.DefaultPool.Get(cfg.simConfig())
+	if cfg.Phases == nil {
+		m, err := sim.DefaultPool.Get(cfg.simConfig())
+		if err != nil {
+			return nil, err
+		}
+		res, err := m.Execute(w)
+		sim.DefaultPool.Put(m)
+		return res, err
+	}
+
+	acquireStart := time.Now()
+	m, reused, err := sim.DefaultPool.GetTracked(cfg.simConfig())
 	if err != nil {
 		return nil, err
 	}
+	phase := "machine.build"
+	if reused {
+		phase = "machine.reset"
+	}
+	cfg.Phases(phase, time.Since(acquireStart))
+
+	execStart := time.Now()
 	res, err := m.Execute(w)
+	cfg.Phases("execute", time.Since(execStart))
 	sim.DefaultPool.Put(m)
 	return res, err
 }

@@ -24,11 +24,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/backoff"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/service"
 	"repro/internal/stats"
@@ -82,6 +85,15 @@ type Options struct {
 	// Priority is sent as X-ASF-Priority on submissions ("interactive"
 	// or "batch"); empty means the server default (interactive).
 	Priority string
+
+	// Tracer, when non-nil, turns on request tracing: RunCell generates
+	// one trace ID per cell (deterministic from Seed), sends it as
+	// X-ASF-Trace so the serving daemon joins the trace, and records
+	// the client's own side of the story — routing, failovers, RPC
+	// attempts, hedge outcomes, retry-budget waits, resubmissions —
+	// into this ring. Nil (the default) disables tracing entirely: no
+	// header, no spans, no overhead.
+	Tracer *obs.Tracer
 
 	// now is the clock used for budget refill, latency EWMAs and
 	// ejection timing; tests pin it. Nil means time.Now.
@@ -154,6 +166,7 @@ type Client struct {
 	opts      Options
 	budget    *retryBudget
 	stats     statsCounters
+	ids       *obs.IDGen
 
 	mu sync.Mutex
 	bo *backoff.Manager
@@ -177,7 +190,36 @@ func New(baseURL string, opts Options) *Client {
 		opts:      opts,
 		budget:    newRetryBudget(opts.RetryBudget, opts.RetryBudgetRefillPerSec, opts.now),
 		bo:        backoff.New(opts.Backoff, rng.New(opts.Seed)),
+		ids:       obs.NewIDGen(opts.Seed),
 	}
+}
+
+// Tracer returns the client-side trace ring (nil when tracing is off).
+func (c *Client) Tracer() *obs.Tracer { return c.opts.Tracer }
+
+// nextTrace mints a trace ID for one logical operation, or "" when
+// tracing is off.
+func (c *Client) nextTrace() string {
+	if c.opts.Tracer == nil {
+		return ""
+	}
+	return c.ids.Next()
+}
+
+// cspan records one client-side span (no-op when untraced).
+func (c *Client) cspan(trace, name string, start time.Time, d time.Duration, attrs ...string) {
+	if c.opts.Tracer == nil || trace == "" {
+		return
+	}
+	c.opts.Tracer.Record(trace, name, start, start.Add(d), attrs...)
+}
+
+// cevent records one instant client-side span (no-op when untraced).
+func (c *Client) cevent(trace, name string, attrs ...string) {
+	if c.opts.Tracer == nil || trace == "" {
+		return
+	}
+	c.opts.Tracer.Event(trace, name, attrs...)
 }
 
 // Stats returns a snapshot of the client-side resilience counters.
@@ -213,6 +255,10 @@ func retryableStatus(code int) bool {
 type target struct {
 	ep  *endpoint
 	key string
+
+	// trace, when set, joins the request to a trace: it rides the
+	// X-ASF-Trace header and client-side spans record under it.
+	trace string
 }
 
 // candidates returns the endpoint preference order for a request.
@@ -265,6 +311,9 @@ func (c *Client) request(ctx context.Context, method, path string, body []byte, 
 		return nil, ErrNoEndpoints
 	}
 	candidates := c.candidates(tgt)
+	if tgt.ep == nil {
+		c.cevent(tgt.trace, "route", "preferred", candidates[0].base, "key", tgt.key)
+	}
 	failed := make(map[*endpoint]bool)
 	var lastErr error
 	var hint time.Duration
@@ -272,6 +321,7 @@ func (c *Client) request(ctx context.Context, method, path string, body []byte, 
 		if attempt > 0 {
 			if !c.budget.take() {
 				c.stats.add(func(s *Stats) { s.RetryBudgetExhausted++ })
+				c.cevent(tgt.trace, "retry.exhausted", "method", method, "path", path)
 				return nil, fmt.Errorf("%w: %s %s: last error: %v", ErrRetryBudgetExhausted, method, path, lastErr)
 			}
 			c.stats.add(func(s *Stats) { s.RetriesSpent++ })
@@ -279,22 +329,35 @@ func (c *Client) request(ctx context.Context, method, path string, body []byte, 
 			if hint > delay {
 				delay = hint
 			}
+			waitStart := c.opts.now()
 			select {
 			case <-time.After(delay):
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}
+			c.cspan(tgt.trace, "retry.wait", waitStart, c.opts.now().Sub(waitStart),
+				"attempt", strconv.Itoa(attempt), "path", path)
 		}
 		hint = 0
 		ep := c.pick(candidates, failed)
+		if ep != candidates[0] {
+			c.cevent(tgt.trace, "failover", "to", ep.base, "path", path)
+		}
 		start := c.opts.now()
 		var status int
 		var data []byte
 		var err error
 		if method == http.MethodGet {
-			status, data, err = c.hedgedGet(ctx, ep, path)
+			status, data, err = c.hedgedGet(ctx, ep, path, tgt.trace)
 		} else {
-			status, data, err = c.once(ctx, method, ep, path, body)
+			status, data, err = c.once(ctx, method, ep, path, body, tgt.trace)
+		}
+		if err != nil {
+			c.cspan(tgt.trace, "rpc", start, c.opts.now().Sub(start),
+				"method", method, "path", path, "endpoint", ep.base, "err", err.Error())
+		} else {
+			c.cspan(tgt.trace, "rpc", start, c.opts.now().Sub(start),
+				"method", method, "path", path, "endpoint", ep.base, "status", strconv.Itoa(status))
 		}
 		switch {
 		case err != nil:
@@ -360,9 +423,9 @@ func decodeAPIError(status int, data []byte) *APIError {
 // first response wins (same endpoint on purpose: job reads are
 // server-local, and the tail being hedged against is the network path,
 // which chaos testing perturbs per-connection).
-func (c *Client) hedgedGet(ctx context.Context, ep *endpoint, path string) (int, []byte, error) {
+func (c *Client) hedgedGet(ctx context.Context, ep *endpoint, path string, trace string) (int, []byte, error) {
 	if c.opts.HedgeDelay <= 0 {
-		return c.once(ctx, http.MethodGet, ep, path, nil)
+		return c.once(ctx, http.MethodGet, ep, path, nil, trace)
 	}
 	type result struct {
 		status int
@@ -375,15 +438,17 @@ func (c *Client) hedgedGet(ctx context.Context, ep *endpoint, path string) (int,
 	ch := make(chan result, 2)
 	launch := func(hedge bool) {
 		go func() {
-			st, d, err := c.once(hctx, http.MethodGet, ep, path, nil)
+			st, d, err := c.once(hctx, http.MethodGet, ep, path, nil, trace)
 			ch <- result{st, d, err, hedge}
 		}()
 	}
+	primaryStart := c.opts.now()
 	launch(false)
 	timer := time.NewTimer(c.opts.HedgeDelay)
 	defer timer.Stop()
 	inFlight := 1
 	hedged := false
+	var hedgeStart time.Time
 	var firstErr *result
 	for {
 		select {
@@ -392,6 +457,18 @@ func (c *Client) hedgedGet(ctx context.Context, ep *endpoint, path string) (int,
 			if r.err == nil {
 				if r.hedge {
 					c.stats.add(func(s *Stats) { s.HedgeWins++ })
+				}
+				if hedged {
+					// A race was actually run: record both sides — the
+					// winner as a timed span, the loser (abandoned
+					// in-flight) as an instant.
+					winStart, winRole, loseRole := primaryStart, "primary", "hedge"
+					if r.hedge {
+						winStart, winRole, loseRole = hedgeStart, "hedge", "primary"
+					}
+					c.cspan(trace, "hedge.win", winStart, c.opts.now().Sub(winStart),
+						"role", winRole, "path", path)
+					c.cevent(trace, "hedge.lose", "role", loseRole, "path", path)
 				}
 				return r.status, r.data, nil
 			}
@@ -410,6 +487,7 @@ func (c *Client) hedgedGet(ctx context.Context, ep *endpoint, path string) (int,
 			hedged = true
 			inFlight++
 			c.stats.add(func(s *Stats) { s.HedgesLaunched++ })
+			hedgeStart = c.opts.now()
 			launch(true)
 		case <-ctx.Done():
 			return 0, nil, ctx.Err()
@@ -421,7 +499,7 @@ func (c *Client) hedgedGet(ctx context.Context, ep *endpoint, path string) (int,
 // caller's context deadline (read before the per-attempt timeout is
 // layered on) propagates as X-ASF-Deadline so the server can shed work
 // whose requester will have given up.
-func (c *Client) once(ctx context.Context, method string, ep *endpoint, path string, body []byte) (int, []byte, error) {
+func (c *Client) once(ctx context.Context, method string, ep *endpoint, path string, body []byte, trace string) (int, []byte, error) {
 	deadline, hasDeadline := ctx.Deadline()
 	actx, cancel := context.WithTimeout(ctx, c.opts.RequestTimeout)
 	defer cancel()
@@ -441,6 +519,9 @@ func (c *Client) once(ctx context.Context, method string, ep *endpoint, path str
 	}
 	if c.opts.Priority != "" {
 		req.Header.Set("X-ASF-Priority", c.opts.Priority)
+	}
+	if trace != "" {
+		req.Header.Set("X-ASF-Trace", trace)
 	}
 	resp, err := c.opts.HTTPClient.Do(req)
 	if err != nil {
@@ -466,19 +547,19 @@ func affinity(req service.JobRequest) string {
 // are retried with backoff; validation errors and breaker rejections
 // (422) are returned as *APIError.
 func (c *Client) Submit(ctx context.Context, req service.JobRequest) (service.JobView, error) {
-	view, _, err := c.submit(ctx, req)
+	view, _, err := c.submit(ctx, req, c.nextTrace())
 	return view, err
 }
 
 // submit is Submit plus the endpoint that accepted the job, which polls
 // must stay sticky to.
-func (c *Client) submit(ctx context.Context, req service.JobRequest) (service.JobView, *endpoint, error) {
+func (c *Client) submit(ctx context.Context, req service.JobRequest, trace string) (service.JobView, *endpoint, error) {
 	body, err := json.Marshal(service.SubmitRequest{JobRequest: req})
 	if err != nil {
 		return service.JobView{}, nil, err
 	}
 	var resp service.SubmitResponse
-	ep, err := c.request(ctx, http.MethodPost, "/v1/jobs", body, &resp, target{key: affinity(req)})
+	ep, err := c.request(ctx, http.MethodPost, "/v1/jobs", body, &resp, target{key: affinity(req), trace: trace})
 	if err != nil {
 		return service.JobView{}, nil, err
 	}
@@ -490,14 +571,14 @@ func (c *Client) submit(ctx context.Context, req service.JobRequest) (service.Jo
 
 // Job fetches one job's current view. An unknown ID is ErrUnknownJob.
 func (c *Client) Job(ctx context.Context, id string) (service.JobView, error) {
-	return c.jobOn(ctx, nil, id)
+	return c.jobOn(ctx, nil, id, "")
 }
 
 // jobOn polls a job on a specific endpoint (nil = default routing; with
 // one endpoint the two are the same).
-func (c *Client) jobOn(ctx context.Context, ep *endpoint, id string) (service.JobView, error) {
+func (c *Client) jobOn(ctx context.Context, ep *endpoint, id, trace string) (service.JobView, error) {
 	var view service.JobView
-	_, err := c.request(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &view, target{ep: ep})
+	_, err := c.request(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &view, target{ep: ep, trace: trace})
 	var ae *APIError
 	if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
 		return view, fmt.Errorf("%w: %s", ErrUnknownJob, id)
@@ -544,13 +625,13 @@ func (c *Client) Health(ctx context.Context) (service.Health, error) {
 // Wait polls a job until it reaches a terminal state. ErrUnknownJob
 // surfaces immediately so the caller can resubmit.
 func (c *Client) Wait(ctx context.Context, id string) (service.JobView, error) {
-	return c.waitOn(ctx, nil, id)
+	return c.waitOn(ctx, nil, id, "")
 }
 
 // waitOn is Wait pinned to the endpoint that accepted the job.
-func (c *Client) waitOn(ctx context.Context, ep *endpoint, id string) (service.JobView, error) {
+func (c *Client) waitOn(ctx context.Context, ep *endpoint, id, trace string) (service.JobView, error) {
 	for {
-		view, err := c.jobOn(ctx, ep, id)
+		view, err := c.jobOn(ctx, ep, id, trace)
 		if err != nil {
 			return view, err
 		}
@@ -575,16 +656,32 @@ func (c *Client) waitOn(ctx context.Context, ep *endpoint, id string) (service.J
 // "failed" or "canceled" is an error carrying the daemon's structured
 // error string.
 func (c *Client) RunCell(ctx context.Context, req service.JobRequest) (*stats.Record, error) {
+	rec, _, err := c.RunCellTraced(ctx, req)
+	return rec, err
+}
+
+// RunCellTraced is RunCell plus the trace ID the cell ran under, so a
+// caller can fetch the server-side spans afterwards (ServerTrace).
+// The ID is empty when tracing is off.
+func (c *Client) RunCellTraced(ctx context.Context, req service.JobRequest) (*stats.Record, string, error) {
+	trace := c.nextTrace()
+	rec, err := c.runCell(ctx, req, trace)
+	return rec, trace, err
+}
+
+func (c *Client) runCell(ctx context.Context, req service.JobRequest, trace string) (*stats.Record, error) {
 	var lastErr error
 	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			c.stats.add(func(s *Stats) { s.Resubmissions++ })
+			c.cevent(trace, "resubmit",
+				"attempt", strconv.Itoa(attempt), "cell", affinity(req))
 		}
-		view, ep, err := c.submit(ctx, req)
+		view, ep, err := c.submit(ctx, req, trace)
 		if err != nil {
 			return nil, err
 		}
-		view, err = c.waitOn(ctx, ep, view.ID)
+		view, err = c.waitOn(ctx, ep, view.ID, trace)
 		if errors.Is(err, ErrUnknownJob) {
 			lastErr = err
 			continue // daemon restarted underneath us; resubmit
@@ -614,4 +711,38 @@ func (c *Client) RunCell(ctx context.Context, req service.JobRequest) (*stats.Re
 		}
 	}
 	return nil, fmt.Errorf("client: cell never completed after %d submissions: %w", c.opts.MaxAttempts, lastErr)
+}
+
+// ServerTrace fetches the server-side spans for a trace ID across the
+// whole fleet and merges them in start-time order. A job's spans live
+// on whichever daemon(s) served it — after failover or resubmission
+// that can be more than one — so every endpoint is asked and 404s
+// (daemon holds no spans for this trace) are skipped. An error is
+// returned only when no endpoint had spans: the last fetch error if
+// any, else a not-found.
+func (c *Client) ServerTrace(ctx context.Context, id string) (service.TraceResponse, error) {
+	merged := service.TraceResponse{Trace: id}
+	var lastErr error
+	for _, ep := range c.endpoints {
+		var tr service.TraceResponse
+		if _, err := c.request(ctx, http.MethodGet, "/v1/traces/"+id, nil, &tr, target{ep: ep}); err != nil {
+			var ae *APIError
+			if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
+				continue
+			}
+			lastErr = err
+			continue
+		}
+		merged.Spans = append(merged.Spans, tr.Spans...)
+	}
+	if len(merged.Spans) == 0 {
+		if lastErr != nil {
+			return merged, lastErr
+		}
+		return merged, fmt.Errorf("client: no spans retained for trace %s", id)
+	}
+	sort.SliceStable(merged.Spans, func(i, j int) bool {
+		return merged.Spans[i].Start.Before(merged.Spans[j].Start)
+	})
+	return merged, nil
 }

@@ -7,10 +7,19 @@
 //
 //	asfd -addr :8080 -cache-snapshot /tmp/asfd.cache.json &
 //	curl -s -X POST localhost:8080/v1/jobs \
+//	    -H 'X-ASF-Trace: demo-0001' \
 //	    -d '{"workload":"kmeans","detection":"subblock-4","scale":"small"}'
 //	curl -s localhost:8080/v1/jobs/job-000000
+//	curl -s localhost:8080/v1/traces/demo-0001
 //	curl -s 'localhost:8080/v1/matrix?workloads=kmeans,genome&detections=baseline,subblock-4&scale=tiny'
 //	curl -s localhost:8080/metrics
+//
+// Observability: the daemon records per-request spans into a bounded
+// in-memory ring (-trace-capacity; 0 disables), served via GET
+// /v1/traces/{id} and GET /v1/traces?min_ms=N, samples gauge history
+// for GET /v1/metrics/history (-history-interval/-history-capacity),
+// and logs structured JSON lines (-log-level; -log-text for a human
+// format). -debug-addr exposes net/http/pprof on a separate listener.
 //
 // SIGINT/SIGTERM drain gracefully: the HTTP listener stops, queued and
 // running jobs finish (up to -drain-timeout, after which in-flight
@@ -29,14 +38,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	_ "net/http/pprof" // registers the profiling handlers on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -55,7 +65,21 @@ func main() {
 	admissionTarget := flag.Duration("admission-target", 0, "adaptive admission control: target submit-to-done latency; the concurrency limit shrinks when observed latency exceeds it (0 = disabled)")
 	admissionMin := flag.Int("admission-min-limit", 0, "floor for the adaptive admission limit (0 = worker count); needs -admission-target")
 	admissionMax := flag.Int("admission-max-limit", 0, "ceiling for the adaptive admission limit (0 = workers+queue); needs -admission-target")
+	traceCapacity := flag.Int("trace-capacity", 4096, "span trace ring capacity (0 disables tracing and the /v1/traces endpoints)")
+	historyInterval := flag.Duration("history-interval", time.Second, "gauge history sampling interval for /v1/metrics/history (0 disables)")
+	historyCapacity := flag.Int("history-capacity", 900, "gauge history ring capacity (points retained)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	logText := flag.Bool("log-text", false, "log human-readable text lines instead of JSON")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty disables)")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asfd: %v\n", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level, *logText, nil)
+	tracer := obs.NewTracer(*traceCapacity, nil)
 
 	srv, err := service.New(service.Config{
 		Workers:           *workers,
@@ -70,14 +94,19 @@ func main() {
 		AdmissionTarget:   *admissionTarget,
 		AdmissionMinLimit: *admissionMin,
 		AdmissionMaxLimit: *admissionMax,
+		Tracer:            tracer,
+		Logger:            logger,
+		HistoryInterval:   *historyInterval,
+		HistoryCapacity:   *historyCapacity,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asfd: %v\n", err)
 		os.Exit(1)
 	}
 	if rec := srv.Recovery(); rec.Replayed > 0 || rec.Torn > 0 {
-		log.Printf("asfd: journal replay: %d jobs (%d re-enqueued, %d from cache, %d terminal), %d torn record(s) tolerated",
-			rec.Replayed, rec.Reenqueued, rec.FromCache, rec.Terminal, rec.Torn)
+		logger.Info("journal replayed",
+			"jobs", rec.Replayed, "reenqueued", rec.Reenqueued,
+			"fromCache", rec.FromCache, "terminal", rec.Terminal, "torn", rec.Torn)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -88,10 +117,22 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("asfd: listening on %s (workers=%d queue=%d cache=%d)",
-		*addr, nworkers, *queueDepth, *cacheEntries)
+	logger.Info("listening",
+		"addr", *addr, "workers", nworkers, "queue", *queueDepth,
+		"cacheEntries", *cacheEntries, "traceCapacity", tracer.Capacity(),
+		"version", service.Version().GoVersion, "keySchema", service.KeySchemaVersion())
 	if *admissionTarget > 0 {
-		log.Printf("asfd: adaptive admission armed (target=%v limit=%d)", *admissionTarget, srv.AdmissionLimit())
+		logger.Info("adaptive admission armed", "target", *admissionTarget, "limit", srv.AdmissionLimit())
+	}
+	if *debugAddr != "" {
+		// The pprof handlers stay off the service listener so profiling
+		// can never be exposed by accident; DefaultServeMux carries them.
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		logger.Info("pprof debug listener up", "addr", *debugAddr)
 	}
 
 	sigc := make(chan os.Signal, 1)
@@ -99,7 +140,7 @@ func main() {
 
 	select {
 	case sig := <-sigc:
-		log.Printf("asfd: %v, draining", sig)
+		logger.Info("draining", "signal", sig.String())
 	case err := <-errc:
 		fmt.Fprintf(os.Stderr, "asfd: serve: %v\n", err)
 		os.Exit(1)
@@ -110,16 +151,16 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("asfd: http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	// A failed final persist is logged, not fatal: the drain itself
 	// succeeded, and the journal (when enabled) still covers anything
 	// the snapshot missed.
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("asfd: shutdown persist: %v", err)
+		logger.Warn("shutdown persist", "err", err)
 	}
 	if degraded, reason := srv.Degraded(); degraded {
-		log.Printf("asfd: exited degraded (memory-only): %s", reason)
+		logger.Warn("exited degraded (memory-only)", "reason", reason)
 	}
-	log.Printf("asfd: drained, bye")
+	logger.Info("drained, bye")
 }

@@ -17,28 +17,36 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers the profiling handlers on DefaultServeMux for -debug-addr
 	"os"
+	"sort"
+	"time"
 
 	asfsim "repro"
 	"repro/client"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/service"
+	"repro/internal/stats"
 	"repro/internal/workloads"
 )
 
 func main() {
 	var (
-		wl      = flag.String("workload", "vacation", "workload to run (see -list)")
-		detect  = flag.String("detect", "baseline", "detection system: baseline, subblock-2/4/8/16, perfect, waronly, signature")
-		scale   = flag.String("scale", "small", "workload scale: tiny, small, medium")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		cores   = flag.Int("cores", 8, "simulated cores")
-		list    = flag.Bool("list", false, "list workloads and exit")
-		asJSON  = flag.Bool("json", false, "emit the full result record as JSON")
-		record  = flag.String("record", "", "record the workload's op stream to this trace file")
-		replay  = flag.String("replay", "", "replay a recorded trace file instead of running a workload")
-		sigBits = flag.Int("sigbits", 0, "signature size in bits for -detect signature (0 = 1024)")
-		server  = flag.String("server", "", "run the cell on an asfd daemon instead of in-process: one base URL, or a comma-separated fleet (e.g. http://h1:8080,http://h2:8080) with rendezvous routing, failover, and a shared retry budget")
+		wl        = flag.String("workload", "vacation", "workload to run (see -list)")
+		detect    = flag.String("detect", "baseline", "detection system: baseline, subblock-2/4/8/16, perfect, waronly, signature")
+		scale     = flag.String("scale", "small", "workload scale: tiny, small, medium")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		cores     = flag.Int("cores", 8, "simulated cores")
+		list      = flag.Bool("list", false, "list workloads and exit")
+		asJSON    = flag.Bool("json", false, "emit the full result record as JSON")
+		record    = flag.String("record", "", "record the workload's op stream to this trace file")
+		replay    = flag.String("replay", "", "replay a recorded trace file instead of running a workload")
+		sigBits   = flag.Int("sigbits", 0, "signature size in bits for -detect signature (0 = 1024)")
+		server    = flag.String("server", "", "run the cell on an asfd daemon instead of in-process: one base URL, or a comma-separated fleet (e.g. http://h1:8080,http://h2:8080) with rendezvous routing, failover, and a shared retry budget")
+		trace     = flag.Bool("trace", false, "with -server: trace the cell end-to-end and print the per-stage breakdown (client spans plus the daemon's, fetched from /v1/traces)")
+		debugAddr = flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty disables)")
 
 		faultInterrupt = flag.Float64("fault-interrupt-rate", 0, "spurious interrupt aborts per in-transaction cycle (0..1)")
 		faultTLB       = flag.Float64("fault-tlb-rate", 0, "spurious TLB-miss aborts per transactional access (0..1)")
@@ -48,6 +56,14 @@ func main() {
 		wdMitigate     = flag.Bool("watchdog-mitigate", false, "let the watchdog boost starving threads (requires -watchdog-window)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "asfsim: debug listener: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, n := range asfsim.Workloads() {
@@ -99,6 +115,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *trace && *server == "" {
+		fmt.Fprintln(os.Stderr, "asfsim: -trace requires -server (local runs have no pipeline to trace)")
+		os.Exit(2)
+	}
 	if *server != "" {
 		if *replay != "" || *record != "" || *sigBits != 0 {
 			fmt.Fprintln(os.Stderr, "asfsim: -server cells do not support -replay, -record or -sigbits")
@@ -117,7 +137,7 @@ func main() {
 			WatchdogWindow:        *wdWindow,
 			WatchdogMitigate:      *wdMitigate,
 			WatchdogStarveWindows: 0,
-		}, *asJSON)
+		}, *asJSON, *trace)
 		return
 	}
 
@@ -210,10 +230,26 @@ func main() {
 // record. The daemon computes (or cache-serves) the exact same
 // deterministic result a local run would, so the numbers are identical;
 // only the per-invocation trace instruments (-record, -sigbits) are
-// unavailable remotely.
-func runRemote(base string, req service.JobRequest, asJSON bool) {
-	c := client.New(base, client.Options{})
-	rec, err := c.RunCell(context.Background(), req)
+// unavailable remotely. With trace, the client mints an X-ASF-Trace ID,
+// records its own routing/RPC spans, and after the record prints the
+// merged per-stage breakdown (the daemon's spans fetched back from
+// /v1/traces/{id}).
+func runRemote(base string, req service.JobRequest, asJSON, trace bool) {
+	copts := client.Options{}
+	if trace {
+		copts.Tracer = obs.NewTracer(1024, nil)
+		copts.Seed = uint64(time.Now().UnixNano())
+	}
+	c := client.New(base, copts)
+
+	var rec *stats.Record
+	var traceID string
+	var err error
+	if trace {
+		rec, traceID, err = c.RunCellTraced(context.Background(), req)
+	} else {
+		rec, err = c.RunCell(context.Background(), req)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asfsim: %v\n", err)
 		os.Exit(1)
@@ -225,6 +261,10 @@ func runRemote(base string, req service.JobRequest, asJSON bool) {
 		if err := enc.Encode(rec); err != nil {
 			fmt.Fprintf(os.Stderr, "asfsim: %v\n", err)
 			os.Exit(1)
+		}
+		if trace {
+			// Keep stdout pure JSON; the trace pointer goes to stderr.
+			fmt.Fprintf(os.Stderr, "asfsim: trace %s (GET %s/v1/traces/%s)\n", traceID, base, traceID)
 		}
 		return
 	}
@@ -274,4 +314,39 @@ func runRemote(base string, req service.JobRequest, asJSON bool) {
 		fmt.Printf("watchdog        livelock windows %-6d starvation alerts %-6d boosts %-6d starvation index %.2f\n",
 			rec.LivelockWindows, rec.StarvationAlerts, rec.WatchdogBoosts, rec.StarvationIndex)
 	}
+	if trace {
+		printTrace(c, traceID)
+	}
+}
+
+// printTrace renders the cell's end-to-end story: the client's own
+// routing/RPC spans, then the daemon's pipeline spans fetched back
+// from /v1/traces/{id}.
+func printTrace(c *client.Client, traceID string) {
+	fmt.Println()
+	fmt.Printf("trace           %s\n", traceID)
+	for _, sp := range c.Tracer().Trace(traceID) {
+		printSpan("client", sp)
+	}
+	tr, err := c.ServerTrace(context.Background(), traceID)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asfsim: fetching server trace: %v\n", err)
+		return
+	}
+	for _, sp := range tr.Spans {
+		printSpan("server", sp)
+	}
+}
+
+func printSpan(side string, sp obs.Span) {
+	line := fmt.Sprintf("  %s %-26s %10.3f ms", side, sp.Name, float64(sp.Duration())/float64(time.Millisecond))
+	keys := make([]string, 0, len(sp.Attrs))
+	for k := range sp.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		line += "  " + k + "=" + sp.Attrs[k]
+	}
+	fmt.Println(line)
 }

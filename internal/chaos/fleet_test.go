@@ -16,6 +16,7 @@ import (
 	"repro/client"
 	"repro/internal/backoff"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/workloads"
 )
@@ -73,6 +74,7 @@ func (n *fleetNode) boot(t *testing.T) {
 		SnapshotInterval: 25 * time.Millisecond,
 		JournalPath:      filepath.Join(n.dir, "journal.wal"),
 		JobTimeout:       30 * time.Second,
+		Tracer:           obs.NewTracer(8192, nil),
 	})
 	if err != nil {
 		t.Fatalf("%s: starting server: %v", n.name, err)
@@ -214,8 +216,10 @@ func TestFleetSoak(t *testing.T) {
 		RetryBudgetRefillPerSec: 64,
 		EjectAfter:              3,
 		ProbeAfter:              300 * time.Millisecond,
+		Tracer:                  obs.NewTracer(16384, nil),
 	}
 	c := client.New(bases[0]+","+bases[1]+","+bases[2], copts)
+	dumpTracesOnFailure(t, c, nodes)
 	start := time.Now()
 
 	if _, err := c.Health(testCtx(t)); err != nil {

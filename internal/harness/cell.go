@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	asfsim "repro"
 	"repro/internal/stats"
@@ -101,11 +102,24 @@ func (s CellSpec) Config() asfsim.Config {
 // return bit-identical runs — which is what makes content-addressed
 // caching of cell results exact rather than approximate.
 func RunCell(s CellSpec, cancel <-chan struct{}) (*stats.Run, error) {
+	return RunCellTimed(s, cancel, nil)
+}
+
+// RunCellTimed is RunCell with an optional run-phase timing hook:
+// phases, when non-nil, receives wall-clock durations for the run's
+// internal phases ("workload.build", "machine.reset"/"machine.build",
+// "execute" — see asfsim.Config.Phases). The hook is observational
+// only (it never enters the content address or perturbs the
+// simulation), which is how the asfd service attributes execute-stage
+// time to machine acquisition vs. simulation in its traces. Nil is the
+// allocation-free RunCell path.
+func RunCellTimed(s CellSpec, cancel <-chan struct{}, phases func(phase string, d time.Duration)) (*stats.Run, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	cfg := s.Config()
 	cfg.Cancel = cancel
+	cfg.Phases = phases
 	r, err := asfsim.Run(s.Workload, s.Scale, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s/%v/seed %d: %w", s.Workload, s.Detection, cfg.Seed, err)

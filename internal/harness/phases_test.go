@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	asfsim "repro"
+	"repro/internal/workloads"
+)
+
+// TestRunCellTimedPhases proves the timing hook is observational: it
+// reports the documented phases and the run is bit-identical to the
+// unhooked path.
+func TestRunCellTimedPhases(t *testing.T) {
+	spec := CellSpec{
+		Workload:  "kmeans",
+		Detection: asfsim.DetectSubBlock4,
+		Scale:     workloads.ScaleTiny,
+	}
+	plain, err := RunCell(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	phases := make(map[string]time.Duration)
+	timed, err := RunCellTimed(spec, nil, func(name string, d time.Duration) {
+		if d < 0 {
+			t.Errorf("phase %s has negative duration %v", name, d)
+		}
+		phases[name] = d
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, timed) {
+		t.Fatal("timed run diverged from plain run — the hook must be observational")
+	}
+
+	if _, ok := phases["workload.build"]; !ok {
+		t.Errorf("phases %v missing workload.build", phases)
+	}
+	if _, ok := phases["execute"]; !ok {
+		t.Errorf("phases %v missing execute", phases)
+	}
+	_, reset := phases["machine.reset"]
+	_, build := phases["machine.build"]
+	if reset == build { // exactly one acquisition phase per run
+		t.Errorf("phases %v: want exactly one of machine.reset/machine.build", phases)
+	}
+}

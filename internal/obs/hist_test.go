@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistSummary(t *testing.T) {
+	var h Hist
+	if s := h.Summary(); s.Count != 0 || s.MeanMs != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	// 90 fast observations (~1ms) and 10 slow ones (~100ms): p50 must
+	// land in the 1ms region, p95/p99 and max in the 100ms region.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	s := h.Summary()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.MaxMs != 100 {
+		t.Fatalf("maxMs = %v, want 100", s.MaxMs)
+	}
+	wantMean := (90*1.0 + 10*100.0) / 100
+	if s.MeanMs < wantMean*0.99 || s.MeanMs > wantMean*1.01 {
+		t.Fatalf("meanMs = %v, want ~%v", s.MeanMs, wantMean)
+	}
+	// Log buckets: answers are upper bounds, conservative within 2x.
+	if s.P50Ms < 1 || s.P50Ms > 2.1 {
+		t.Fatalf("p50Ms = %v, want in [1, 2.1]", s.P50Ms)
+	}
+	if s.P95Ms < 100 || s.P95Ms > 135 {
+		t.Fatalf("p95Ms = %v, want in [100, 135]", s.P95Ms)
+	}
+	if s.P99Ms < s.P95Ms {
+		t.Fatalf("p99Ms %v < p95Ms %v", s.P99Ms, s.P95Ms)
+	}
+}
+
+func TestHistNegativeAndZero(t *testing.T) {
+	var h Hist
+	h.Observe(-time.Second)
+	h.Observe(0)
+	s := h.Summary()
+	if s.Count != 2 || s.MaxMs != 0 || s.P50Ms != 0 {
+		t.Fatalf("summary after clamped observations = %+v", s)
+	}
+}
+
+func TestHistConcurrent(t *testing.T) {
+	var h Hist
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+				if i%100 == 0 {
+					h.Summary()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Summary(); s.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", s.Count)
+	}
+}
+
+func TestHistNil(t *testing.T) {
+	var h *Hist
+	h.Observe(time.Second)
+	if s := h.Summary(); s.Count != 0 {
+		t.Fatalf("nil hist summary = %+v", s)
+	}
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// HistoryPoint is one sample row: a timestamp plus one value per named
+// gauge, aligned with the history's Names.
+type HistoryPoint struct {
+	UnixMs int64     `json:"unixMs"`
+	Values []float64 `json:"values"`
+}
+
+// HistorySnapshot is the wire form of a history: the gauge names and
+// the retained points, oldest first.
+type HistorySnapshot struct {
+	Names  []string       `json:"names"`
+	Points []HistoryPoint `json:"points"`
+}
+
+// History is a fixed-capacity ring buffer of periodic gauge samples —
+// the "what was the queue depth two minutes ago?" answer that
+// point-in-time /metrics cannot give. Memory is bounded: when the ring
+// fills, the oldest sample is overwritten.
+//
+// A nil *History records and reports nothing.
+type History struct {
+	names []string
+	clock func() time.Time
+
+	mu   sync.Mutex
+	ring []HistoryPoint
+	head int // next write position
+	n    int // live samples (<= len(ring))
+}
+
+// NewHistory builds a history for the given gauge names holding up to
+// capacity samples. clock injects the time source (nil = time.Now).
+// Zero or negative capacity, or no names, returns nil (disabled).
+func NewHistory(names []string, capacity int, clock func() time.Time) *History {
+	if capacity <= 0 || len(names) == 0 {
+		return nil
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &History{
+		names: append([]string(nil), names...),
+		clock: clock,
+		ring:  make([]HistoryPoint, capacity),
+	}
+}
+
+// Names returns the gauge names (nil when disabled).
+func (h *History) Names() []string {
+	if h == nil {
+		return nil
+	}
+	return append([]string(nil), h.names...)
+}
+
+// Record stores one sample stamped with the history's clock. values
+// must align with Names; extra values are dropped, missing ones read
+// as zero.
+func (h *History) Record(values ...float64) {
+	if h == nil {
+		return
+	}
+	row := make([]float64, len(h.names))
+	copy(row, values)
+	p := HistoryPoint{UnixMs: h.clock().UnixMilli(), Values: row}
+	h.mu.Lock()
+	h.ring[h.head] = p
+	h.head = (h.head + 1) % len(h.ring)
+	if h.n < len(h.ring) {
+		h.n++
+	}
+	h.mu.Unlock()
+}
+
+// Len returns the number of retained samples.
+func (h *History) Len() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Snapshot returns the retained samples, oldest first.
+func (h *History) Snapshot() HistorySnapshot {
+	if h == nil {
+		return HistorySnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := HistorySnapshot{
+		Names:  append([]string(nil), h.names...),
+		Points: make([]HistoryPoint, 0, h.n),
+	}
+	start := h.head - h.n
+	if start < 0 {
+		start += len(h.ring)
+	}
+	for i := 0; i < h.n; i++ {
+		out.Points = append(out.Points, h.ring[(start+i)%len(h.ring)])
+	}
+	return out
+}

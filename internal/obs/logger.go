@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is a log severity.
+type Level int8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int8(l))
+}
+
+// ParseLevel resolves a level name as accepted by asfd's -log-level
+// flag.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q", s)
+}
+
+// Logger is a leveled, trace-ID-aware structured logger. The default
+// format is one JSON object per line ({"ts","level","msg","trace",
+// ...kv}); Text mode renders the same records human-first for
+// interactive use. Lines are written atomically under a mutex shared by
+// every derived logger, so interleaved goroutines never tear each
+// other's output.
+//
+// A nil *Logger discards everything.
+type Logger struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	min   Level
+	text  bool
+	clock func() time.Time
+	trace string
+}
+
+// NewLogger builds a logger writing records at or above min to w.
+// text selects the plain-text format (false = JSON lines). clock
+// injects the timestamp source (nil = time.Now).
+func NewLogger(w io.Writer, min Level, text bool, clock func() time.Time) *Logger {
+	if w == nil {
+		return nil
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Logger{mu: &sync.Mutex{}, w: w, min: min, text: text, clock: clock}
+}
+
+// WithTrace returns a logger that stamps every record with the trace
+// ID, sharing the parent's writer and mutex.
+func (l *Logger) WithTrace(id string) *Logger {
+	if l == nil {
+		return nil
+	}
+	cp := *l
+	cp.trace = id
+	return &cp
+}
+
+// Debug logs at debug level. kv are alternating key, value pairs.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if l == nil || level < l.min {
+		return
+	}
+	ts := l.clock().UTC().Format(time.RFC3339Nano)
+	var line []byte
+	if l.text {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s %-5s %s", ts, strings.ToUpper(level.String()), msg)
+		if l.trace != "" {
+			fmt.Fprintf(&b, " trace=%s", l.trace)
+		}
+		for i := 0; i+1 < len(kv); i += 2 {
+			fmt.Fprintf(&b, " %v=%v", kv[i], kv[i+1])
+		}
+		b.WriteByte('\n')
+		line = []byte(b.String())
+	} else {
+		rec := map[string]any{
+			"ts":    ts,
+			"level": level.String(),
+			"msg":   msg,
+		}
+		if l.trace != "" {
+			rec["trace"] = l.trace
+		}
+		for i := 0; i+1 < len(kv); i += 2 {
+			key := fmt.Sprint(kv[i])
+			rec[key] = jsonable(kv[i+1])
+		}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			// A value that cannot marshal must not lose the record; fall
+			// back to its string form.
+			keys := make([]string, 0, len(rec))
+			for k := range rec {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				rec[k] = fmt.Sprint(rec[k])
+			}
+			b, _ = json.Marshal(rec)
+		}
+		line = append(b, '\n')
+	}
+	l.mu.Lock()
+	l.w.Write(line)
+	l.mu.Unlock()
+}
+
+// jsonable keeps common value kinds as-is and stringifies the rest, so
+// log records never fail to encode.
+func jsonable(v any) any {
+	switch v := v.(type) {
+	case nil, bool, string,
+		int, int8, int16, int32, int64,
+		uint, uint8, uint16, uint32, uint64,
+		float32, float64:
+		return v
+	case time.Duration:
+		return v.String()
+	case error:
+		return v.Error()
+	case fmt.Stringer:
+		return v.String()
+	default:
+		if _, err := json.Marshal(v); err != nil {
+			return fmt.Sprint(v)
+		}
+		return v
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistoryRingAndSnapshot(t *testing.T) {
+	clk := newFakeClock()
+	h := NewHistory([]string{"queueDepth", "inFlight"}, 4, clk.Now)
+	for i := 0; i < 6; i++ {
+		h.Record(float64(i), float64(i*10))
+		clk.Advance(time.Second)
+	}
+	if h.Len() != 4 {
+		t.Fatalf("len = %d, want 4", h.Len())
+	}
+	snap := h.Snapshot()
+	if len(snap.Names) != 2 || snap.Names[0] != "queueDepth" {
+		t.Fatalf("names = %v", snap.Names)
+	}
+	if len(snap.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(snap.Points))
+	}
+	// Oldest retained sample is i=2; order must be chronological.
+	for i, p := range snap.Points {
+		if want := float64(i + 2); p.Values[0] != want {
+			t.Fatalf("point %d queueDepth = %v, want %v", i, p.Values[0], want)
+		}
+		if i > 0 && p.UnixMs <= snap.Points[i-1].UnixMs {
+			t.Fatalf("points not chronological at %d", i)
+		}
+	}
+}
+
+func TestHistoryShortAndNil(t *testing.T) {
+	h := NewHistory([]string{"a", "b", "c"}, 8, nil)
+	h.Record(1) // missing values read as zero
+	p := h.Snapshot().Points[0]
+	if p.Values[0] != 1 || p.Values[1] != 0 || p.Values[2] != 0 {
+		t.Fatalf("short record = %v", p.Values)
+	}
+	var nh *History
+	nh.Record(1, 2)
+	if nh.Len() != 0 || nh.Names() != nil || len(nh.Snapshot().Points) != 0 {
+		t.Fatal("nil history is not inert")
+	}
+	if NewHistory(nil, 8, nil) != nil || NewHistory([]string{"a"}, 0, nil) != nil {
+		t.Fatal("degenerate configs should return the disabled (nil) history")
+	}
+}
+
+func TestLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	clk := newFakeClock()
+	l := NewLogger(&buf, LevelInfo, false, clk.Now)
+	l.Debug("hidden")
+	l.WithTrace("abc123").Info("job accepted", "id", "job-000001", "queueDepth", 3, "err", errors.New("boom"), "wait", 250*time.Millisecond)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1 (debug filtered): %q", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line is not JSON: %v", err)
+	}
+	for k, want := range map[string]any{
+		"level": "info",
+		"msg":   "job accepted",
+		"trace": "abc123",
+		"id":    "job-000001",
+		"err":   "boom",
+		"wait":  "250ms",
+	} {
+		if rec[k] != want {
+			t.Fatalf("rec[%q] = %v, want %v", k, rec[k], want)
+		}
+	}
+	if rec["queueDepth"] != float64(3) {
+		t.Fatalf("queueDepth = %v", rec["queueDepth"])
+	}
+	if _, err := time.Parse(time.RFC3339Nano, rec["ts"].(string)); err != nil {
+		t.Fatalf("ts %v is not RFC3339Nano", rec["ts"])
+	}
+}
+
+func TestLoggerText(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug, true, newFakeClock().Now)
+	l.WithTrace("t9").Warn("disk slow", "ms", 120)
+	line := strings.TrimSpace(buf.String())
+	for _, want := range []string{"WARN", "disk slow", "trace=t9", "ms=120"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("text line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestLoggerNilAndLevels(t *testing.T) {
+	var l *Logger
+	l.Info("nothing happens")
+	l.WithTrace("x").Error("still nothing")
+	if NewLogger(nil, LevelInfo, false, nil) != nil {
+		t.Fatal("nil writer should return the disabled (nil) logger")
+	}
+	for s, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, "ERROR": LevelError,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted garbage")
+	}
+}

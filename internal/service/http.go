@@ -204,6 +204,10 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 //	GET  /v1/jobs/{id}        poll one job; includes the result when done
 //	POST /v1/jobs/{id}/cancel abort a queued or running job
 //	GET  /v1/matrix           run a small sweep synchronously
+//	GET  /v1/traces           per-trace summaries, slowest first (?min_ms= filters)
+//	GET  /v1/traces/{id}      every retained span for one trace ID
+//	GET  /v1/metrics/history  load-gauge time series (ring of sampled points)
+//	GET  /v1/version          build identity + cache key schema version
 //	GET  /metrics             live counters, JSON
 //	GET  /healthz             liveness + draining/degraded flags
 func (s *Server) Handler() http.Handler {
@@ -213,6 +217,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /v1/matrix", s.handleMatrix)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
+	mux.HandleFunc("GET /v1/metrics/history", s.handleHistory)
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -228,9 +236,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // submitOpts assembles per-submission serving metadata from the request
 // headers: X-ASF-Deadline (RFC3339Nano) propagates the client's
-// deadline; X-ASF-Priority overrides the body's priority field.
+// deadline; X-ASF-Priority overrides the body's priority field;
+// X-ASF-Trace joins the submission to a client-generated trace.
 func submitOpts(r *http.Request, bodyPriority string) (SubmitOpts, error) {
 	var opts SubmitOpts
+	opts.Trace = r.Header.Get("X-ASF-Trace")
 	pri := r.Header.Get("X-ASF-Priority")
 	if pri == "" {
 		pri = bodyPriority
@@ -344,6 +354,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	id := r.PathValue("id")
 	view, ok := s.Lookup(id)
 	if !ok {
@@ -351,6 +362,10 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, view)
+	d := time.Since(start)
+	s.stages.respond.Observe(d)
+	s.span(r.Header.Get("X-ASF-Trace"), "respond", start, d,
+		"job", id, "state", string(view.State))
 }
 
 // MatrixResponse is the synchronous sweep result.
@@ -445,7 +460,9 @@ func splitList(s string) []string {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	degraded, _ := s.Degraded()
-	snap := s.metrics.snapshot(s.QueueDepth(), s.Running(), s.adm.Limit(), s.cache, s.journalRecords(), degraded)
+	traceSpans, traceDropped := s.tracer.Counters()
+	snap := s.metrics.snapshot(s.QueueDepth(), s.Running(), s.adm.Limit(), s.cache, s.journalRecords(), degraded,
+		s.stages.summaries(), traceSpans, traceDropped, s.history.Len())
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(snap.renderJSON())
 	w.Write([]byte("\n"))

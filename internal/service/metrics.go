@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -157,11 +158,27 @@ type MetricsSnapshot struct {
 	// LatencyMsByWorkload summarizes executed-run wall latency per
 	// workload (n, mean, max, p50, p95 — milliseconds).
 	LatencyMsByWorkload map[string]stats.HistSummary `json:"latencyMsByWorkload"`
+
+	// StageLatencyMs summarizes wall latency per server pipeline stage
+	// (admission, queue, cache, singleflight, journal, execute, respond,
+	// snapshot) — the histogram view of the same stage vocabulary the
+	// tracer records as spans. The key set is fixed; untouched stages
+	// report count 0.
+	StageLatencyMs map[string]obs.HistSummary `json:"stageLatencyMs"`
+
+	// TraceSpans / TraceSpansDropped count spans recorded into the trace
+	// ring and spans overwritten by ring wraparound (both 0 when tracing
+	// is off); HistoryPoints is the number of gauge samples currently
+	// retained for /v1/metrics/history.
+	TraceSpans        uint64 `json:"traceSpans"`
+	TraceSpansDropped uint64 `json:"traceSpansDropped"`
+	HistoryPoints     int    `json:"historyPoints"`
 }
 
 // snapshot assembles the document; queue/cache/journal gauges are
 // passed in by the server, which owns those structures.
-func (m *Metrics) snapshot(queueDepth, running, admissionLimit int, cache *Cache, journalRecords uint64, degraded bool) MetricsSnapshot {
+func (m *Metrics) snapshot(queueDepth, running, admissionLimit int, cache *Cache, journalRecords uint64, degraded bool,
+	stages map[string]obs.HistSummary, traceSpans, traceDropped uint64, historyPoints int) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := MetricsSnapshot{
@@ -190,6 +207,10 @@ func (m *Metrics) snapshot(queueDepth, running, admissionLimit int, cache *Cache
 		SnapshotQuarantines: m.snapshotQuarantines,
 		Degraded:            degraded,
 		LatencyMsByWorkload: make(map[string]stats.HistSummary, len(m.latencyMs)),
+		StageLatencyMs:      stages,
+		TraceSpans:          traceSpans,
+		TraceSpansDropped:   traceDropped,
+		HistoryPoints:       historyPoints,
 	}
 	// Deterministic assembly order (map ranges are random); the JSON
 	// encoder sorts map keys anyway, but keeping the iteration sorted

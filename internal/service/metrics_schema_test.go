@@ -44,6 +44,18 @@ var metricsGoldenFields = []string{
 	"snapshotQuarantines",
 	"degraded",
 	"latencyMsByWorkload",
+	"stageLatencyMs",
+	"traceSpans",
+	"traceSpansDropped",
+	"historyPoints",
+}
+
+// stageLatencyGoldenKeys is the fixed per-stage histogram key set inside
+// "stageLatencyMs" — the server's pipeline stage vocabulary, which the
+// tracer shares as span names.
+var stageLatencyGoldenKeys = []string{
+	"admission", "queue", "cache", "singleflight",
+	"journal", "execute", "respond", "snapshot",
 }
 
 func sortedCopy(s []string) []string {
@@ -91,5 +103,19 @@ func TestMetricsSchemaGolden(t *testing.T) {
 	}
 	if got, want := sortedCopy(rendered), sortedCopy(metricsGoldenFields); !reflect.DeepEqual(got, want) {
 		t.Fatalf("rendered /metrics keys drifted from the documented schema:\n got %v\nwant %v", got, want)
+	}
+
+	// The per-stage histogram map must render the full fixed stage set
+	// even on an idle daemon (untouched stages report count 0).
+	var stages map[string]json.RawMessage
+	if err := json.Unmarshal(doc["stageLatencyMs"], &stages); err != nil {
+		t.Fatalf("stageLatencyMs is not a JSON object: %v", err)
+	}
+	var stageKeys []string
+	for k := range stages {
+		stageKeys = append(stageKeys, k)
+	}
+	if got, want := sortedCopy(stageKeys), sortedCopy(stageLatencyGoldenKeys); !reflect.DeepEqual(got, want) {
+		t.Fatalf("stageLatencyMs keys drifted from the stage vocabulary:\n got %v\nwant %v", got, want)
 	}
 }

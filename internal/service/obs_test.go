@@ -1,0 +1,275 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// getTraced GETs path with an X-ASF-Trace header and decodes the JSON
+// body into out (when non-nil), returning the status code.
+func getTraced(t *testing.T, ts *httptest.Server, path, trace string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace != "" {
+		req.Header.Set("X-ASF-Trace", trace)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("GET %s: decoding %q: %v", path, body, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestTracedJobLifecycle drives one traced job through the full
+// pipeline on a journaling daemon and asserts the trace covers every
+// acceptance-criteria stage: admission, queue, cache, journal, execute
+// (plus its sub-phases), and respond.
+func TestTracedJobLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Workers:     2,
+		JournalPath: filepath.Join(t.TempDir(), "journal.wal"),
+		Tracer:      obs.NewTracer(1024, nil),
+	})
+
+	const trace = "trace-lifecycle-0001"
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs",
+		strings.NewReader(`{"workload":"kmeans","detection":"subblock-4","scale":"tiny"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-ASF-Trace", trace)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || len(sr.Jobs) != 1 {
+		t.Fatalf("submit: status %d, jobs %v", resp.StatusCode, sr.Jobs)
+	}
+	id := sr.Jobs[0].ID
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var view JobView
+		getTraced(t, ts, "/v1/jobs/"+id, trace, &view)
+		if view.State.terminal() {
+			if view.State != JobDone {
+				t.Fatalf("job ended %s: %s", view.State, view.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish", id)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var tr TraceResponse
+	if code := getTraced(t, ts, "/v1/traces/"+trace, "", &tr); code != http.StatusOK {
+		t.Fatalf("GET /v1/traces/%s: status %d", trace, code)
+	}
+	if tr.Trace != trace {
+		t.Fatalf("trace = %q, want %q", tr.Trace, trace)
+	}
+	seen := map[string]bool{}
+	for _, sp := range tr.Spans {
+		seen[sp.Name] = true
+		if sp.End.Before(sp.Start) {
+			t.Errorf("span %s ends before it starts", sp.Name)
+		}
+	}
+	for _, stage := range []string{"admission", "queue", "cache", "journal", "execute", "respond"} {
+		if !seen[stage] {
+			t.Errorf("trace missing %q stage; got %v", stage, seen)
+		}
+	}
+	// Execute sub-phases from the harness timing hook.
+	if !seen["execute.workload.build"] || !seen["execute.execute"] {
+		t.Errorf("trace missing execute sub-phases; got %v", seen)
+	}
+	if !seen["execute.machine.reset"] && !seen["execute.machine.build"] {
+		t.Errorf("trace missing machine acquisition sub-phase; got %v", seen)
+	}
+
+	// The summary listing must include this trace; min_ms high enough
+	// filters it out.
+	var list TraceListResponse
+	if code := getTraced(t, ts, "/v1/traces", "", &list); code != http.StatusOK {
+		t.Fatalf("GET /v1/traces: status %d", code)
+	}
+	found := false
+	for _, sum := range list.Traces {
+		if sum.Trace == trace {
+			found = true
+		}
+	}
+	if !found || list.Recorded == 0 {
+		t.Fatalf("trace listing missing %s: %+v", trace, list)
+	}
+	var empty TraceListResponse
+	getTraced(t, ts, "/v1/traces?min_ms=3600000", "", &empty)
+	if len(empty.Traces) != 0 {
+		t.Fatalf("min_ms filter kept %d traces", len(empty.Traces))
+	}
+
+	// /metrics reflects the span traffic and the stage histograms.
+	var doc map[string]json.RawMessage
+	getTraced(t, ts, "/metrics", "", &doc)
+	var spans uint64
+	if err := json.Unmarshal(doc["traceSpans"], &spans); err != nil || spans == 0 {
+		t.Fatalf("traceSpans = %s (err %v)", doc["traceSpans"], err)
+	}
+	var stages map[string]obs.HistSummary
+	if err := json.Unmarshal(doc["stageLatencyMs"], &stages); err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{"admission", "queue", "cache", "journal", "execute"} {
+		if stages[stage].Count == 0 {
+			t.Errorf("stage %s histogram is empty", stage)
+		}
+	}
+
+	// A second identical submission is a cache hit: its trace has
+	// admission + cache but no execute.
+	const trace2 = "trace-lifecycle-0002"
+	req2, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs",
+		strings.NewReader(`{"workload":"kmeans","detection":"subblock-4","scale":"tiny"}`))
+	req2.Header.Set("Content-Type", "application/json")
+	req2.Header.Set("X-ASF-Trace", trace2)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	var tr2 TraceResponse
+	getTraced(t, ts, "/v1/traces/"+trace2, "", &tr2)
+	hit := map[string]bool{}
+	for _, sp := range tr2.Spans {
+		hit[sp.Name] = true
+		if sp.Name == "cache" {
+			if sp.Attrs["hit"] != "true" {
+				t.Errorf("cache-hit span attrs = %v", sp.Attrs)
+			}
+		}
+	}
+	if !hit["admission"] || !hit["cache"] || hit["execute"] {
+		t.Errorf("cache-hit trace spans = %v", hit)
+	}
+	_ = s
+}
+
+// TestVersionHealthAndHistory covers the /v1/version document, the
+// uptimeSeconds field added to /healthz, and the gauge history ring.
+func TestVersionHealthAndHistory(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers:         1,
+		HistoryInterval: 2 * time.Millisecond,
+		HistoryCapacity: 16,
+	})
+
+	var v VersionInfo
+	if code := getTraced(t, ts, "/v1/version", "", &v); code != http.StatusOK {
+		t.Fatalf("GET /v1/version: status %d", code)
+	}
+	if v.Module != "repro" || v.GoVersion == "" || v.KeySchemaVersion != KeySchemaVersion() {
+		t.Fatalf("version = %+v", v)
+	}
+
+	var h map[string]json.RawMessage
+	getTraced(t, ts, "/healthz", "", &h)
+	for _, k := range []string{"status", "draining", "degraded", "queueDepth", "inFlight", "admissionLimit", "uptimeSeconds"} {
+		if _, ok := h[k]; !ok {
+			t.Errorf("/healthz missing %q: %v", k, h)
+		}
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var hist HistoryResponse
+		if code := getTraced(t, ts, "/v1/metrics/history", "", &hist); code != http.StatusOK {
+			t.Fatalf("GET /v1/metrics/history: status %d", code)
+		}
+		if len(hist.Points) > 0 {
+			if len(hist.Names) != len(historyGauges) {
+				t.Fatalf("history names = %v", hist.Names)
+			}
+			if got := len(hist.Points[0].Values); got != len(historyGauges) {
+				t.Fatalf("point has %d values, want %d", got, len(historyGauges))
+			}
+			if hist.IntervalMs != 2 {
+				t.Fatalf("intervalMs = %d", hist.IntervalMs)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("history sampler produced no points")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestObservabilityDisabled pins the off-by-default behavior: no
+// tracer, no history — the endpoints 404 and /metrics reports zero
+// span traffic, while the always-on stage histograms still render.
+func TestObservabilityDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	if code := getTraced(t, ts, "/v1/traces", "", &struct{}{}); code != http.StatusNotFound {
+		t.Fatalf("GET /v1/traces without a tracer: status %d, want 404", code)
+	}
+	if code := getTraced(t, ts, "/v1/traces/xyz", "", &struct{}{}); code != http.StatusNotFound {
+		t.Fatalf("GET /v1/traces/xyz without a tracer: status %d, want 404", code)
+	}
+	if code := getTraced(t, ts, "/v1/metrics/history", "", &struct{}{}); code != http.StatusNotFound {
+		t.Fatalf("GET /v1/metrics/history without a sampler: status %d, want 404", code)
+	}
+
+	// Submitting with a trace header must be harmless when tracing is
+	// off (spans drop, the job still runs).
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs",
+		strings.NewReader(`{"workload":"intruder","detection":"baseline","scale":"tiny"}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-ASF-Trace", "ignored-trace")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("traced submit on untraced daemon: status %d", resp.StatusCode)
+	}
+
+	var doc map[string]json.RawMessage
+	getTraced(t, ts, "/metrics", "", &doc)
+	var spans uint64
+	if err := json.Unmarshal(doc["traceSpans"], &spans); err != nil || spans != 0 {
+		t.Fatalf("traceSpans = %s on untraced daemon", doc["traceSpans"])
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	asfsim "repro"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -101,6 +102,28 @@ type Config struct {
 	// for the chaos harness (seeded panic injection) and tests; leave
 	// nil in production.
 	BeforeRun func(spec harness.CellSpec)
+
+	// Tracer, when non-nil, retains request spans in a fixed-capacity
+	// lock-free ring, queryable at GET /v1/traces. Requests join a trace
+	// by sending X-ASF-Trace; the server then records one span per
+	// pipeline stage (admission, queue, cache, singleflight, journal,
+	// execute and its sub-phases, respond). Nil (the default) disables
+	// tracing with zero overhead: every span call no-ops on the nil
+	// receiver, and the simulation hot path stays allocation-free.
+	Tracer *obs.Tracer
+
+	// Logger, when non-nil, receives the daemon's structured lifecycle
+	// events (degrade, breaker trips, job failures). Nil keeps the
+	// server silent — cmd/asfd owns process-level logging.
+	Logger *obs.Logger
+
+	// HistoryInterval, when positive, samples the daemon's load gauges
+	// (queue depth, running jobs, admission limit, cache size, heap,
+	// goroutines) every interval into a ring of HistoryCapacity points
+	// (default 900 — 15 minutes at 1s), served at
+	// GET /v1/metrics/history. Zero disables the sampler.
+	HistoryInterval time.Duration
+	HistoryCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +153,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FS == nil {
 		c.FS = OSFS{}
+	}
+	if c.HistoryCapacity <= 0 {
+		c.HistoryCapacity = 900
 	}
 	return c
 }
@@ -179,9 +205,15 @@ type Job struct {
 	ErrKind  string // "panic" for recovered worker panics, "error" otherwise
 	Result   json.RawMessage
 
+	// TraceID is the request trace this job belongs to (empty when the
+	// submission carried no X-ASF-Trace header or tracing is off).
+	// Serving metadata only — never part of the content address.
+	TraceID string
+
 	// submittedAt feeds the admission controller's submit-to-done
-	// latency signal.
+	// latency signal; enqueuedAt bounds the queue-wait span.
 	submittedAt time.Time
+	enqueuedAt  time.Time
 
 	// Done is closed when the job reaches a terminal state.
 	Done     chan struct{}
@@ -244,6 +276,10 @@ type Health struct {
 	QueueDepth     int    `json:"queueDepth"`
 	InFlight       int    `json:"inFlight"`
 	AdmissionLimit int    `json:"admissionLimit"`
+
+	// UptimeSeconds is whole seconds since the server was constructed.
+	// Appended in PR 8; every pre-existing field above is unchanged.
+	UptimeSeconds int64 `json:"uptimeSeconds"`
 }
 
 // Server is the simulation-as-a-service engine: a bounded worker pool
@@ -258,8 +294,23 @@ type Server struct {
 	breaker *breaker
 	adm     *admission // nil = admission control disabled
 
+	// Observability plane: all four are optional and nil-safe — a
+	// disabled tracer/logger/history is a nil pointer, and the stage
+	// histograms are lock-free and always on.
+	tracer  *obs.Tracer
+	logger  *obs.Logger
+	history *obs.History
+	stages  stageHists
+	start   time.Time
+
 	queue chan *Job
 	wg    sync.WaitGroup
+
+	// historyStop ends the gauge sampler; historyDone is closed when it
+	// has exited.
+	historyStop chan struct{}
+	historyOnce sync.Once
+	historyDone chan struct{}
 
 	// kill is closed when a shutdown deadline expires (or Kill crashes
 	// the daemon in-process); it cancels every in-flight simulation
@@ -299,11 +350,19 @@ func New(cfg Config) (*Server, error) {
 		metrics:      NewMetrics(),
 		breaker:      newBreaker(cfg.BreakerThreshold),
 		adm:          newAdmission(cfg.AdmissionTarget, cfg.AdmissionMinLimit, cfg.AdmissionMaxLimit),
+		tracer:       cfg.Tracer,
+		logger:       cfg.Logger,
+		start:        time.Now(),
 		kill:         make(chan struct{}),
 		flushStop:    make(chan struct{}),
 		flushDone:    make(chan struct{}),
+		historyStop:  make(chan struct{}),
+		historyDone:  make(chan struct{}),
 		jobs:         make(map[string]*Job),
 		runningByKey: make(map[string]*Job),
+	}
+	if cfg.HistoryInterval > 0 {
+		s.history = obs.NewHistory(historyGauges, cfg.HistoryCapacity, nil)
 	}
 
 	if cfg.SnapshotPath != "" {
@@ -337,6 +396,11 @@ func New(cfg Config) (*Server, error) {
 		go s.flushLoop(cfg.SnapshotInterval)
 	} else {
 		close(s.flushDone)
+	}
+	if s.history != nil {
+		go s.historyLoop(cfg.HistoryInterval)
+	} else {
+		close(s.historyDone)
 	}
 	return s, nil
 }
@@ -415,6 +479,7 @@ func (s *Server) replayJournal() ([]*Job, error) {
 				// never snapshotted). Re-run: the simulator is
 				// deterministic, so the recomputation is bit-identical.
 				job.State = JobQueued
+				job.enqueuedAt = time.Now()
 				reenqueue = append(reenqueue, job)
 			}
 		case rj.Op == opFailed || rj.Op == opCanceled:
@@ -429,6 +494,7 @@ func (s *Server) replayJournal() ([]*Job, error) {
 			terminal++
 		default: // submitted or started: never finished
 			job.State = JobQueued
+			job.enqueuedAt = time.Now()
 			reenqueue = append(reenqueue, job)
 		}
 		s.registerLocked(job)
@@ -488,6 +554,7 @@ func (s *Server) degrade(what string, err error) {
 	if j != nil {
 		j.Close()
 	}
+	s.logger.Error("daemon degraded to memory-only mode", "cause", what, "err", err)
 }
 
 // Degraded reports whether the daemon has fallen back to memory-only
@@ -510,6 +577,7 @@ func (s *Server) Health() Health {
 		QueueDepth:     len(s.queue),
 		InFlight:       s.running,
 		AdmissionLimit: s.adm.Limit(),
+		UptimeSeconds:  int64(time.Since(s.start) / time.Second),
 	}
 	switch {
 	case s.draining:
@@ -521,17 +589,33 @@ func (s *Server) Health() Health {
 }
 
 // journalAppend appends one lifecycle record; a write failure degrades
-// the daemon (memory-only) instead of surfacing to the job.
-func (s *Server) journalAppend(rec journalRecord) {
+// the daemon (memory-only) instead of surfacing to the job. It reports
+// whether a live journal actually took the record, so callers emit
+// journal-stage spans only when journaling is on.
+func (s *Server) journalAppend(rec journalRecord) bool {
 	s.mu.Lock()
 	j := s.journal
 	s.mu.Unlock()
 	if j == nil {
-		return
+		return false
 	}
 	if err := j.Append(rec); err != nil {
 		s.degrade("journal append", err)
 	}
+	return true
+}
+
+// journalTimed is journalAppend plus stage accounting: the append's
+// wall time feeds the journal histogram and, when the job is traced, a
+// "journal" span.
+func (s *Server) journalTimed(trace string, rec journalRecord) {
+	start := time.Now()
+	if !s.journalAppend(rec) {
+		return
+	}
+	d := time.Since(start)
+	s.stages.journal.Observe(d)
+	s.span(trace, "journal", start, d, "op", string(rec.Op), "job", rec.ID)
 }
 
 // journalRecords returns the live journal's append count (0 when
@@ -559,6 +643,11 @@ type SubmitOpts struct {
 	// it before simulation starts; one that passes mid-run cancels the
 	// simulation through Config.Cancel's hook path.
 	Deadline time.Time
+
+	// Trace, when set and the server has a tracer, joins the job to a
+	// request trace: every pipeline stage it passes through records a
+	// span under this ID. Propagated via the X-ASF-Trace header.
+	Trace string
 }
 
 // Submit validates and enqueues one cell with default serving options.
@@ -572,6 +661,7 @@ func (s *Server) Submit(spec harness.CellSpec) (*Job, error) {
 // SubmitJob is Submit with explicit serving options (priority class and
 // propagated deadline).
 func (s *Server) SubmitJob(spec harness.CellSpec, opts SubmitOpts) (*Job, error) {
+	admStart := time.Now()
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -582,6 +672,7 @@ func (s *Server) SubmitJob(spec harness.CellSpec, opts SubmitOpts) (*Job, error)
 
 	if !s.breaker.allow(key) {
 		s.metrics.incBreakerRejected()
+		s.admitted(opts.Trace, admStart, "rejected-poisoned", "")
 		return nil, fmt.Errorf("%w (key %s)", ErrKeyPoisoned, key)
 	}
 
@@ -589,6 +680,7 @@ func (s *Server) SubmitJob(spec harness.CellSpec, opts SubmitOpts) (*Job, error)
 	defer s.mu.Unlock()
 	if s.draining {
 		s.metrics.incRejected()
+		s.admitted(opts.Trace, admStart, "rejected-draining", "")
 		return nil, ErrDraining
 	}
 	job := &Job{
@@ -597,11 +689,21 @@ func (s *Server) SubmitJob(spec harness.CellSpec, opts SubmitOpts) (*Job, error)
 		Spec:        spec.Normalize(),
 		Priority:    opts.Priority,
 		Deadline:    opts.Deadline,
+		TraceID:     opts.Trace,
 		Done:        make(chan struct{}),
 		submittedAt: time.Now(),
 	}
 
-	if e, ok := s.cache.Get(key); ok {
+	cacheStart := time.Now()
+	e, hit := s.cache.Get(key)
+	cacheDur := time.Since(cacheStart)
+	s.stages.cache.Observe(cacheDur)
+	if hit {
+		s.span(opts.Trace, "cache", cacheStart, cacheDur, "hit", "true", "key", key)
+	} else {
+		s.span(opts.Trace, "cache", cacheStart, cacheDur, "hit", "false", "key", key)
+	}
+	if hit {
 		s.nextID++
 		job.State = JobDone
 		job.CacheHit = true
@@ -613,7 +715,8 @@ func (s *Server) SubmitJob(spec harness.CellSpec, opts SubmitOpts) (*Job, error)
 		// One combined record: the job was accepted AND completed. Replay
 		// serves it straight from the snapshot.
 		cell := encodeCell(job.Spec)
-		s.appendLocked(journalRecord{Op: opDone, ID: job.ID, Key: key, Cell: &cell})
+		s.appendLockedTimed(job.TraceID, journalRecord{Op: opDone, ID: job.ID, Key: key, Cell: &cell})
+		s.admitted(opts.Trace, admStart, "cache-hit", job.ID)
 		return job, nil
 	}
 
@@ -624,6 +727,7 @@ func (s *Server) SubmitJob(spec harness.CellSpec, opts SubmitOpts) (*Job, error)
 	if !job.Deadline.IsZero() && !time.Now().Before(job.Deadline) {
 		s.metrics.incShedExpired()
 		s.metrics.incRejected()
+		s.admitted(opts.Trace, admStart, "rejected-expired", "")
 		return nil, fmt.Errorf("%w (deadline %s)", ErrDeadlineExpired, job.Deadline.Format(time.RFC3339Nano))
 	}
 
@@ -633,6 +737,7 @@ func (s *Server) SubmitJob(spec harness.CellSpec, opts SubmitOpts) (*Job, error)
 	if !s.adm.admit(job.Priority, len(s.queue)+s.running) {
 		s.metrics.incShedOverload()
 		s.metrics.incRejected()
+		s.admitted(opts.Trace, admStart, "rejected-overload", "")
 		return nil, fmt.Errorf("%w (limit %d, priority %s)", ErrOverloaded, s.adm.Limit(), job.Priority)
 	}
 
@@ -640,14 +745,16 @@ func (s *Server) SubmitJob(spec harness.CellSpec, opts SubmitOpts) (*Job, error)
 	// capacity: recovery may have sized the channel larger.
 	if len(s.queue) >= s.cfg.QueueDepth {
 		s.metrics.incRejected()
+		s.admitted(opts.Trace, admStart, "rejected-queue-full", "")
 		return nil, ErrQueueFull
 	}
 	s.nextID++
 	job.State = JobQueued
+	job.enqueuedAt = time.Now()
 	// Write-ahead: the acceptance is durable before it is acknowledged
 	// (and before the worker can race ahead to its started record).
 	cell := encodeCell(job.Spec)
-	s.appendLocked(journalRecord{Op: opSubmitted, ID: job.ID, Key: key, Cell: &cell})
+	s.appendLockedTimed(job.TraceID, journalRecord{Op: opSubmitted, ID: job.ID, Key: key, Cell: &cell})
 	select {
 	case s.queue <- job:
 	default:
@@ -655,21 +762,36 @@ func (s *Server) SubmitJob(spec harness.CellSpec, opts SubmitOpts) (*Job, error)
 		// overflow. The stray submitted record replays as a re-enqueue,
 		// which is idempotent.
 		s.metrics.incRejected()
+		s.admitted(opts.Trace, admStart, "rejected-queue-full", "")
 		return nil, ErrQueueFull
 	}
 	s.registerLocked(job)
 	s.metrics.incSubmitted()
+	s.admitted(opts.Trace, admStart, "queued", job.ID)
 	return job, nil
+}
+
+// admitted closes out the admission stage: wall time into the
+// histogram always, and an "admission" span when the request is traced.
+func (s *Server) admitted(trace string, start time.Time, outcome, jobID string) {
+	d := time.Since(start)
+	s.stages.admission.Observe(d)
+	if jobID != "" {
+		s.span(trace, "admission", start, d, "outcome", outcome, "job", jobID)
+	} else {
+		s.span(trace, "admission", start, d, "outcome", outcome)
+	}
 }
 
 // appendLocked journals a record while holding s.mu — the fsync rides
 // inside the submission critical section so acceptance order and
 // journal order agree. Failures degrade (journal detaches); the inline
-// detach avoids re-locking.
-func (s *Server) appendLocked(rec journalRecord) {
+// detach avoids re-locking. Reports whether a live journal took the
+// record (span gating, as journalAppend).
+func (s *Server) appendLocked(rec journalRecord) bool {
 	j := s.journal
 	if j == nil {
-		return
+		return false
 	}
 	if err := j.Append(rec); err != nil {
 		if !s.degraded {
@@ -679,6 +801,18 @@ func (s *Server) appendLocked(rec journalRecord) {
 		s.journal = nil
 		go j.Close()
 	}
+	return true
+}
+
+// appendLockedTimed is appendLocked plus journal-stage accounting.
+func (s *Server) appendLockedTimed(trace string, rec journalRecord) {
+	start := time.Now()
+	if !s.appendLocked(rec) {
+		return
+	}
+	d := time.Since(start)
+	s.stages.journal.Observe(d)
+	s.span(trace, "journal", start, d, "op", string(rec.Op), "job", rec.ID)
 }
 
 // registerLocked records the job and enforces the retention bound.
@@ -750,7 +884,7 @@ func (s *Server) Cancel(id string) bool {
 		job.State = JobCanceled
 		job.Err = "canceled before start"
 		job.closeDone()
-		s.appendLocked(journalRecord{Op: opCanceled, ID: job.ID, Key: job.Key, Error: job.Err})
+		s.appendLockedTimed(job.TraceID, journalRecord{Op: opCanceled, ID: job.ID, Key: job.Key, Error: job.Err})
 		s.metrics.incCanceled()
 		s.mu.Unlock()
 		return true
@@ -809,7 +943,7 @@ func (s *Server) worker() {
 // whether from the simulator, a workload, or the injected chaos hook —
 // fails only this job, as a structured PanicError, and the worker (and
 // daemon) live on.
-func (s *Server) runGuarded(job *Job, cancel <-chan struct{}) (r *stats.Run, err error) {
+func (s *Server) runGuarded(job *Job, cancel <-chan struct{}, phases func(string, time.Duration)) (r *stats.Run, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.metrics.incPanics()
@@ -819,7 +953,7 @@ func (s *Server) runGuarded(job *Job, cancel <-chan struct{}) (r *stats.Run, err
 	if hook := s.cfg.BeforeRun; hook != nil {
 		hook(job.Spec)
 	}
-	return harness.RunCell(job.Spec, cancel)
+	return harness.RunCellTimed(job.Spec, cancel, phases)
 }
 
 func (s *Server) runJob(job *Job) {
@@ -829,13 +963,19 @@ func (s *Server) runJob(job *Job) {
 		s.mu.Unlock()
 		return
 	}
+	// Queue stage closes at dequeue, whatever happens next (run, shed).
+	if !job.enqueuedAt.IsZero() {
+		qd := time.Since(job.enqueuedAt)
+		s.stages.queue.Observe(qd)
+		s.span(job.TraceID, "queue", job.enqueuedAt, qd, "job", job.ID)
+	}
 	// Deadline shed at dequeue: the client's deadline passed while the
 	// job sat in the queue, so the simulation never starts.
 	if !job.Deadline.IsZero() && !time.Now().Before(job.Deadline) {
 		job.State = JobCanceled
 		job.Err = "deadline expired before simulation start"
 		job.closeDone()
-		s.appendLocked(journalRecord{Op: opCanceled, ID: job.ID, Key: job.Key, Error: job.Err})
+		s.appendLockedTimed(job.TraceID, journalRecord{Op: opCanceled, ID: job.ID, Key: job.Key, Error: job.Err})
 		s.mu.Unlock()
 		s.metrics.incShedExpired()
 		s.metrics.incCanceled()
@@ -853,7 +993,7 @@ func (s *Server) runJob(job *Job) {
 	job.cancelRun = doCancel
 	s.mu.Unlock()
 
-	s.journalAppend(journalRecord{Op: opStarted, ID: job.ID, Key: job.Key})
+	s.journalTimed(job.TraceID, journalRecord{Op: opStarted, ID: job.ID, Key: job.Key})
 
 	// peek, not Get: the user-facing hit/miss counters belong to the
 	// Submit path; this internal re-check (a racing duplicate may have
@@ -862,10 +1002,12 @@ func (s *Server) runJob(job *Job) {
 	// executing right now, wait for it and serve its bytes instead of
 	// re-simulating — so a client resubmission (lost response, failover)
 	// can never burn a second execution's worth of simulated cycles.
+	var sfStart time.Time // zero until the job actually waits behind a leader
 claim:
 	for {
 		if e, ok := s.cache.peek(job.Key); ok {
-			s.journalAppend(journalRecord{Op: opDone, ID: job.ID, Key: job.Key})
+			s.singleflightDone(job, sfStart)
+			s.journalTimed(job.TraceID, journalRecord{Op: opDone, ID: job.ID, Key: job.Key})
 			s.finish(job, JobDone, true, e.Result, "", "")
 			s.metrics.incCompleted()
 			s.adm.observe(time.Since(job.submittedAt))
@@ -879,6 +1021,9 @@ claim:
 			break claim
 		}
 		s.mu.Unlock()
+		if sfStart.IsZero() {
+			sfStart = time.Now()
+		}
 		select {
 		case <-lead.Done:
 			// Leader finished: loop to re-peek. A successful leader put
@@ -894,6 +1039,7 @@ claim:
 			break claim
 		}
 	}
+	s.singleflightDone(job, sfStart)
 
 	var timer *time.Timer
 	if s.cfg.JobTimeout > 0 {
@@ -912,9 +1058,25 @@ claim:
 		}
 	}()
 
+	// Execute-phase sub-spans ("execute.workload.build",
+	// "execute.machine.reset"/"execute.machine.build",
+	// "execute.execute") ride the harness timing hook — only wired when
+	// this job is traced, so the untraced path keeps the simulator's
+	// allocation-free pooled fast path.
+	var phases func(string, time.Duration)
+	if s.tracer != nil && job.TraceID != "" {
+		trace := job.TraceID
+		phases = func(name string, d time.Duration) {
+			end := time.Now()
+			s.tracer.Record(trace, "execute."+name, end.Add(-d), end)
+		}
+	}
+
 	start := time.Now()
-	r, err := s.runGuarded(job, cancel)
+	r, err := s.runGuarded(job, cancel, phases)
 	wall := time.Since(start)
+	s.stages.execute.Observe(wall)
+	s.span(job.TraceID, "execute", start, wall, "job", job.ID, "workload", job.Spec.Workload)
 	close(watcherDone)
 	if timer != nil {
 		timer.Stop()
@@ -946,12 +1108,12 @@ claim:
 		}
 		s.breaker.success(job.Key)
 		s.metrics.noteRun(job.Spec.Workload, r.Cycles, wall.Milliseconds())
-		s.journalAppend(journalRecord{Op: opDone, ID: job.ID, Key: job.Key})
+		s.journalTimed(job.TraceID, journalRecord{Op: opDone, ID: job.ID, Key: job.Key})
 		s.finish(job, JobDone, false, data, "", "")
 		s.metrics.incCompleted()
 		s.adm.observe(time.Since(job.submittedAt))
 	case errors.Is(err, asfsim.ErrCanceled):
-		s.journalAppend(journalRecord{Op: opCanceled, ID: job.ID, Key: job.Key, Error: err.Error()})
+		s.journalTimed(job.TraceID, journalRecord{Op: opCanceled, ID: job.ID, Key: job.Key, Error: err.Error()})
 		s.finish(job, JobCanceled, false, nil, err.Error(), "")
 		s.metrics.incCanceled()
 	case errors.As(err, &pe):
@@ -966,10 +1128,23 @@ claim:
 func (s *Server) failJob(job *Job, msg, kind string) {
 	if s.breaker.failure(job.Key) {
 		s.metrics.incBreakerTripped()
+		s.logger.Warn("failure breaker tripped", "key", job.Key, "job", job.ID)
 	}
-	s.journalAppend(journalRecord{Op: opFailed, ID: job.ID, Key: job.Key, Error: msg, Kind: kind})
+	s.logger.WithTrace(job.TraceID).Warn("job failed", "job", job.ID, "kind", kind, "err", msg)
+	s.journalTimed(job.TraceID, journalRecord{Op: opFailed, ID: job.ID, Key: job.Key, Error: msg, Kind: kind})
 	s.finish(job, JobFailed, false, nil, msg, kind)
 	s.metrics.incFailed()
+}
+
+// singleflightDone closes out a dequeue-side wait behind an identical
+// executing cell (no-op when the job never waited).
+func (s *Server) singleflightDone(job *Job, sfStart time.Time) {
+	if sfStart.IsZero() {
+		return
+	}
+	d := time.Since(sfStart)
+	s.stages.singleflight.Observe(d)
+	s.span(job.TraceID, "singleflight", sfStart, d, "job", job.ID, "key", job.Key)
 }
 
 func (s *Server) finish(job *Job, st JobState, hit bool, result json.RawMessage, errMsg, errKind string) {
@@ -1038,6 +1213,15 @@ func (s *Server) Persist() error {
 		return nil
 	}
 
+	// Flushes belong to no request; they trace under the "server"
+	// pseudo-trace so slow disks still show up in /v1/traces.
+	flushStart := time.Now()
+	defer func() {
+		d := time.Since(flushStart)
+		s.stages.snapshot.Observe(d)
+		s.span(serverTrace, "snapshot", flushStart, d)
+	}()
+
 	if s.cfg.SnapshotPath != "" {
 		if err := s.cache.SaveFileFS(s.cfg.FS, s.cfg.SnapshotPath); err != nil {
 			s.degrade("snapshot write", err)
@@ -1092,6 +1276,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 
 	s.stopFlush()
+	s.stopHistory()
 
 	done := make(chan struct{})
 	go func() {
@@ -1141,6 +1326,7 @@ func (s *Server) Kill() {
 		j.Close()
 	}
 	s.stopFlush()
+	s.stopHistory()
 	s.killOnce.Do(func() { close(s.kill) })
 	s.wg.Wait()
 }

@@ -19,15 +19,25 @@ type MachinePool struct {
 // Get returns a machine configured per cfg: a recycled one when possible,
 // a fresh one otherwise.
 func (p *MachinePool) Get(cfg Config) (*Machine, error) {
+	m, _, err := p.GetTracked(cfg)
+	return m, err
+}
+
+// GetTracked is Get plus how the machine was acquired: reused is true
+// when a pooled machine was reset (the cheap path), false when one had
+// to be built from scratch. The observability layer uses it to
+// attribute acquisition time to "machine.reset" vs "machine.build".
+func (p *MachinePool) GetTracked(cfg Config) (m *Machine, reused bool, err error) {
 	if v := p.pool.Get(); v != nil {
 		m := v.(*Machine)
 		if err := m.Reset(cfg); err == nil {
-			return m, nil
+			return m, true, nil
 		}
 		// Structurally incompatible (or dirty): drop it; the GC reclaims
 		// the arenas and the caller gets a clean build.
 	}
-	return NewMachine(cfg)
+	m, err = NewMachine(cfg)
+	return m, false, err
 }
 
 // Put offers a machine back for reuse. Machines whose run did not finish
