@@ -150,6 +150,20 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("asfd: HTTP %d: %s", e.Status, e.Msg)
 }
 
+// Is makes errors.Is(err, ErrKeyPoisoned) match the daemon's 422
+// breaker rejection, so callers can branch on the terminal verdict
+// without inspecting status codes.
+func (e *APIError) Is(target error) bool {
+	return target == ErrKeyPoisoned && e.Status == http.StatusUnprocessableEntity
+}
+
+// ErrKeyPoisoned reports the daemon's circuit-breaker verdict (HTTP
+// 422): this cell's content address has failed repeatedly and
+// resubmitting it will keep failing deterministically. The client
+// treats it as terminal — no retry, no failover, no budget spend —
+// because every daemon in the fleet would compute the same result.
+var ErrKeyPoisoned = errors.New("client: cell's content address tripped the daemon's failure breaker")
+
 // ErrUnknownJob reports that the daemon does not know the polled job ID
 // — typically because it crashed and its restarted incarnation
 // compacted the job away. RunCell reacts by resubmitting the cell,
@@ -270,19 +284,29 @@ func (c *Client) candidates(tgt target) []*endpoint {
 }
 
 // pick chooses the attempt's endpoint: the first candidate that is
-// available and has not already failed this request. Skipping the
-// preferred candidate counts as a failover. With everything failed or
-// ejected the request still goes somewhere — the first candidate not
-// failed this request, else the preferred one — because a guess beats
-// a guaranteed local error.
+// available, has not already failed this request, and did not last
+// identify as a warm standby (a follower answers every submission with
+// 503, so routing there wastes an attempt). Followers are demoted, not
+// excluded — with every primary failed or ejected the request still
+// goes somewhere, because a follower may have been promoted since it
+// last answered, and a guess beats a guaranteed local error. Skipping
+// the preferred candidate counts as a failover.
 func (c *Client) pick(candidates []*endpoint, failed map[*endpoint]bool) *endpoint {
 	now := c.opts.now()
 	chosen := candidates[0]
 	found := false
 	for _, ep := range candidates {
-		if !failed[ep] && ep.available(now) {
+		if !failed[ep] && ep.available(now) && !ep.isFollower() {
 			chosen, found = ep, true
 			break
+		}
+	}
+	if !found {
+		for _, ep := range candidates {
+			if !failed[ep] && ep.available(now) {
+				chosen, found = ep, true
+				break
+			}
 		}
 	}
 	if !found {
@@ -295,6 +319,9 @@ func (c *Client) pick(candidates []*endpoint, failed map[*endpoint]bool) *endpoi
 	}
 	if chosen != candidates[0] {
 		c.stats.add(func(s *Stats) { s.Failovers++ })
+		if candidates[0].isFollower() && !failed[candidates[0]] {
+			c.stats.add(func(s *Stats) { s.FollowerSkips++ })
+		}
 	}
 	return chosen
 }
@@ -528,6 +555,9 @@ func (c *Client) once(ctx context.Context, method string, ep *endpoint, path str
 		return 0, nil, err
 	}
 	defer resp.Body.Close()
+	// Every asfd response advertises its replication role; remember it
+	// so routing steers submissions away from warm standbys.
+	ep.noteRole(resp.Header.Get("X-ASF-Role"))
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return 0, nil, err

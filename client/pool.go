@@ -27,6 +27,30 @@ type endpoint struct {
 	ewmaMs       float64
 	fails        int
 	ejectedUntil time.Time
+	role         string // last X-ASF-Role seen ("primary"/"follower", "" = unknown)
+}
+
+// noteRole records the role the endpoint advertised on its last
+// response. Every asfd response carries X-ASF-Role, so a warm standby
+// identifies itself on the very first contact — including the 503 it
+// answers submissions with — and a promotion flips the recorded role on
+// the next response.
+func (e *endpoint) noteRole(role string) {
+	if role == "" {
+		return
+	}
+	e.mu.Lock()
+	e.role = role
+	e.mu.Unlock()
+}
+
+// isFollower reports whether the endpoint last identified as a warm
+// standby. Unknown roles count as primaries: a never-contacted endpoint
+// must stay routable or a fresh pool could deadlock.
+func (e *endpoint) isFollower() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.role == "follower"
 }
 
 // available reports whether the endpoint may be routed to at all —
@@ -185,6 +209,12 @@ type Stats struct {
 	// serving daemon forgot or lost the original job (crash, restart,
 	// failover) — idempotent by content addressing.
 	Resubmissions uint64 `json:"resubmissions"`
+
+	// FollowerSkips counts attempts steered away from an endpoint that
+	// last identified as a warm standby (X-ASF-Role: follower) — routing
+	// on advertised role, before any request is wasted on a guaranteed
+	// 503.
+	FollowerSkips uint64 `json:"followerSkips"`
 }
 
 // statsCounters is the mutable, mutex-guarded accumulator behind Stats.

@@ -1,0 +1,223 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// TestPoisonedKeyTerminal pins the 422 contract: a breaker rejection is
+// the daemon's verdict that this cell fails deterministically, so the
+// client must not spend retry budget on it, must not fail over (every
+// daemon would compute the same failure), and must surface it as
+// ErrKeyPoisoned after exactly one attempt.
+func TestPoisonedKeyTerminal(t *testing.T) {
+	var hitsA, hitsB atomic.Int64
+	poisoned := func(hits *atomic.Int64) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			hits.Add(1)
+			w.Header().Set("X-ASF-Role", "primary")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusUnprocessableEntity)
+			fmt.Fprint(w, `{"error":"service: content address tripped the failure circuit breaker (key k)"}`)
+		}
+	}
+	tsA := httptest.NewServer(poisoned(&hitsA))
+	defer tsA.Close()
+	tsB := httptest.NewServer(poisoned(&hitsB))
+	defer tsB.Close()
+
+	c := New(tsA.URL+","+tsB.URL, fastOpts())
+	req := service.JobRequest{Workload: "kmeans", Detection: "subblock-4", Scale: "tiny"}
+	_, err := c.Submit(testCtx(t), req)
+	if err == nil {
+		t.Fatal("poisoned submission succeeded")
+	}
+	if !errors.Is(err, ErrKeyPoisoned) {
+		t.Fatalf("422 did not surface as ErrKeyPoisoned: %v", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("lost the APIError detail: %v", err)
+	}
+
+	// Exactly one attempt, against exactly one endpoint.
+	if total := hitsA.Load() + hitsB.Load(); total != 1 {
+		t.Fatalf("poisoned cell cost %d requests, want 1", total)
+	}
+	st := c.Stats()
+	if st.RetriesSpent != 0 || st.RetryBudgetExhausted != 0 {
+		t.Fatalf("poisoned cell spent retry budget: %+v", st)
+	}
+	if st.Failovers != 0 || st.EndpointEjections != 0 {
+		t.Fatalf("poisoned cell churned the pool: %+v", st)
+	}
+
+	// RunCell treats it the same: terminal on the first submission.
+	hitsA.Store(0)
+	hitsB.Store(0)
+	if _, err := c.RunCell(testCtx(t), req); !errors.Is(err, ErrKeyPoisoned) {
+		t.Fatalf("RunCell did not surface ErrKeyPoisoned: %v", err)
+	}
+	if total := hitsA.Load() + hitsB.Load(); total != 1 {
+		t.Fatalf("RunCell on a poisoned cell cost %d requests, want 1", total)
+	}
+}
+
+// TestClientLearnsRole: the client records the role every response
+// advertises, without any dedicated discovery request.
+func TestClientLearnsRole(t *testing.T) {
+	s, err := service.New(service.Config{Workers: 1, Following: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Kill()
+
+	c := New(ts.URL, fastOpts())
+	if c.endpoints[0].isFollower() {
+		t.Fatal("role known before any contact")
+	}
+	if _, err := c.Health(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.endpoints[0].isFollower() {
+		t.Fatal("follower role not learned from X-ASF-Role")
+	}
+
+	// Promotion flips the advertised role on the next response.
+	if _, err := s.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Health(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if c.endpoints[0].isFollower() {
+		t.Fatal("promoted role not re-learned")
+	}
+}
+
+// TestFollowerSteering: submissions whose rendezvous-preferred endpoint
+// is a known warm standby are steered to a primary up front — no wasted
+// 503 round trip — and counted as follower skips. Once the standby is
+// promoted, it becomes routable again.
+func TestFollowerSteering(t *testing.T) {
+	primary, err := service.New(service.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsPrimary := httptest.NewServer(primary.Handler())
+	defer tsPrimary.Close()
+	defer primary.Kill()
+
+	var followerHits atomic.Int64
+	followerSrv, err := service.New(service.Config{Workers: 1, Following: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := followerSrv.Handler()
+	tsFollower := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		followerHits.Add(1)
+		inner.ServeHTTP(w, r)
+	}))
+	defer tsFollower.Close()
+	defer followerSrv.Kill()
+
+	c := New(tsPrimary.URL+","+tsFollower.URL, fastOpts())
+	// Teach the client the standby's role up front (in production one
+	// 503 or health probe does this; see TestClientLearnsRole).
+	for _, ep := range c.endpoints {
+		if ep.base == tsFollower.URL {
+			ep.noteRole("follower")
+		}
+	}
+
+	ctx := testCtx(t)
+	// Across many distinct cells, rendezvous hashing prefers the
+	// follower for roughly half — every one must be steered to the
+	// primary without touching the standby.
+	for seed := uint64(1); seed <= 8; seed++ {
+		req := service.JobRequest{Workload: "kmeans", Detection: "subblock-4", Scale: "tiny", Seed: seed}
+		if _, err := c.RunCell(ctx, req); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	if followerHits.Load() != 0 {
+		t.Fatalf("steering leaked %d requests to the standby", followerHits.Load())
+	}
+	if c.Stats().FollowerSkips == 0 {
+		t.Fatal("no follower skips counted across 8 cells (rendezvous should prefer the standby for some)")
+	}
+
+	// Promote the standby; once the client re-learns the role, traffic
+	// may land there again.
+	if _, err := followerSrv.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range c.endpoints {
+		if ep.base == tsFollower.URL {
+			ep.noteRole("primary")
+		}
+	}
+	before := followerHits.Load()
+	for seed := uint64(1); seed <= 8; seed++ {
+		req := service.JobRequest{Workload: "kmeans", Detection: "subblock-4", Scale: "tiny", Seed: seed}
+		if _, err := c.RunCell(ctx, req); err != nil {
+			t.Fatalf("post-promotion seed %d: %v", seed, err)
+		}
+	}
+	if followerHits.Load() == before {
+		t.Fatal("promoted endpoint never received traffic")
+	}
+}
+
+// TestFailoverToPromotedStandby is the client half of the promotion
+// story: with the primary dead, a client that only knows two base URLs
+// completes its work against the promoted standby.
+func TestFailoverToPromotedStandby(t *testing.T) {
+	primary, err := service.New(service.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsPrimary := httptest.NewServer(primary.Handler())
+
+	standby, err := service.New(service.Config{Workers: 2, Following: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsStandby := httptest.NewServer(standby.Handler())
+	defer tsStandby.Close()
+	defer standby.Kill()
+
+	c := New(tsPrimary.URL+","+tsStandby.URL, fastOpts())
+	ctx := testCtx(t)
+	req := service.JobRequest{Workload: "kmeans", Detection: "subblock-4", Scale: "tiny", Seed: 42}
+	want, err := c.RunCell(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The primary dies; the standby takes over.
+	tsPrimary.Close()
+	primary.Kill()
+	if _, err := standby.Promote(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := c.RunCell(ctx, req)
+	if err != nil {
+		t.Fatalf("fleet with promoted standby failed: %v", err)
+	}
+	// Determinism end to end: the promoted node recomputes (its cache
+	// was empty — no replication stream in this test) yet the record is
+	// identical.
+	if got.Cycles != want.Cycles || got.Workload != want.Workload {
+		t.Fatalf("promoted recomputation diverged: %+v vs %+v", got, want)
+	}
+}

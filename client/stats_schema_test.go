@@ -20,6 +20,7 @@ func TestStatsSchemaGolden(t *testing.T) {
 		"retriesSpent",
 		"retryBudgetExhausted",
 		"resubmissions",
+		"followerSkips",
 	}
 
 	raw, err := json.Marshal(Stats{})

@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/replica"
 	"repro/internal/service"
 )
 
@@ -71,6 +72,11 @@ func main() {
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	logText := flag.Bool("log-text", false, "log human-readable text lines instead of JSON")
 	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty disables)")
+	replicateFrom := flag.String("replicate-from", "", "primary base URL to follow as a warm standby (boots without workers; promote via POST /v1/replication/promote)")
+	replicationLagMax := flag.Int("replication-lag-max", 0, "/healthz reports \"lagging\" when the follower is more than this many records behind (0 disables)")
+	replLogCapacity := flag.Int("repl-log-capacity", 0, "in-memory replication log window, frames (0 = default 8192); followers behind the window re-sync from a snapshot")
+	promoteOnStart := flag.Bool("promote-on-start", false, "boot as a standby (replaying the local journal and snapshot) and immediately promote to serving primary")
+	verifySnapshot := flag.Bool("verify-snapshot", false, "re-hash every cache snapshot entry's content digest on load, quarantining mismatches instead of serving them")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -80,6 +86,10 @@ func main() {
 	}
 	logger := obs.NewLogger(os.Stderr, level, *logText, nil)
 	tracer := obs.NewTracer(*traceCapacity, nil)
+
+	// A daemon started with -replicate-from or -promote-on-start boots as
+	// a warm standby: no worker pool, submissions refused until promoted.
+	following := *replicateFrom != "" || *promoteOnStart
 
 	srv, err := service.New(service.Config{
 		Workers:           *workers,
@@ -98,15 +108,46 @@ func main() {
 		Logger:            logger,
 		HistoryInterval:   *historyInterval,
 		HistoryCapacity:   *historyCapacity,
+		Following:         following,
+		VerifySnapshot:    *verifySnapshot,
+		ReplicationLagMax: *replicationLagMax,
+		ReplLogCapacity:   *replLogCapacity,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asfd: %v\n", err)
 		os.Exit(1)
 	}
-	if rec := srv.Recovery(); rec.Replayed > 0 || rec.Torn > 0 {
+	if rec := srv.Recovery(); rec.Replayed > 0 || rec.Torn > 0 || rec.Quarantined > 0 || rec.SnapshotQuarantined > 0 {
 		logger.Info("journal replayed",
 			"jobs", rec.Replayed, "reenqueued", rec.Reenqueued,
-			"fromCache", rec.FromCache, "terminal", rec.Terminal, "torn", rec.Torn)
+			"fromCache", rec.FromCache, "terminal", rec.Terminal, "torn", rec.Torn,
+			"quarantined", rec.Quarantined, "snapshotQuarantined", rec.SnapshotQuarantined)
+	}
+
+	var follower *replica.Follower
+	switch {
+	case *promoteOnStart:
+		// Take over from a dead primary using whatever the local journal
+		// and snapshot preserved: settled keys serve from the cache,
+		// expired pending jobs are shed, the rest re-enqueue.
+		st, perr := srv.Promote()
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "asfd: promote on start: %v\n", perr)
+			os.Exit(1)
+		}
+		logger.Info("promoted on start",
+			"fromCache", st.FromCache, "reenqueued", st.Reenqueued, "shed", st.Shed)
+	case *replicateFrom != "":
+		follower, err = replica.Start(replica.Config{
+			PrimaryURL: *replicateFrom,
+			Server:     srv,
+			Logger:     logger,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asfd: %v\n", err)
+			os.Exit(1)
+		}
+		logger.Info("following primary", "primary", *replicateFrom)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -150,6 +191,9 @@ func main() {
 	// service (which writes the cache snapshot last).
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if follower != nil {
+		follower.Stop()
+	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		logger.Warn("http shutdown", "err", err)
 	}

@@ -40,6 +40,13 @@ type Config struct {
 	// RenameFailRate applies to the atomic-replace rename that commits a
 	// snapshot or journal rotation.
 	RenameFailRate float64
+
+	// FlipRate is the lying-disk fault: the write succeeds from the
+	// caller's point of view — full length, no error, sync fine — but
+	// one byte of the buffer is silently flipped on its way down. No
+	// error path fires, so only content self-checks (the journal's
+	// per-record CRC, the snapshot's content digests) can catch it.
+	FlipRate float64
 }
 
 // Counts are the injections actually delivered.
@@ -49,6 +56,7 @@ type Counts struct {
 	PartialWrites uint64
 	SyncFails     uint64
 	RenameFails   uint64
+	Flips         uint64
 }
 
 // Schedule is a seeded fault plan. It is safe for concurrent use; the
@@ -200,6 +208,23 @@ func (f *faultyFile) Write(p []byte) (int, error) {
 		n, _ := f.inner.Write(p[:half])
 		f.s.Logf("inject partial write %s (%d of %d bytes)", f.name, n, len(p))
 		return n, fmt.Errorf("chaos: injected partial write for %s", f.name)
+	}
+	if len(p) > 2 && f.s.roll(f.s.cfg.FlipRate, &f.s.counts.Flips) {
+		// The lying disk: flip one byte mid-buffer and report complete
+		// success. The low-bit flip of a non-newline byte can never mint
+		// a '\n', so the corruption stays inside one journal line.
+		bad := append([]byte(nil), p...)
+		i := len(bad) / 2
+		if bad[i] == '\n' {
+			i--
+		}
+		bad[i] ^= 0x01
+		f.s.Logf("inject silent byte flip %s (offset %d)", f.name, i)
+		n, err := f.inner.Write(bad)
+		if n > len(p) {
+			n = len(p)
+		}
+		return n, err
 	}
 	return f.inner.Write(p)
 }

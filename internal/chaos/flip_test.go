@@ -1,0 +1,105 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/service"
+	"repro/internal/workloads"
+)
+
+// TestJournalLyingDisk is the silent-corruption half of the journal
+// contract: a disk that flips bits without ever returning an error.
+// Nothing in the write path can notice — append, sync and close all
+// succeed — so the per-record CRC framing is the only defense. On the
+// next boot every flipped record must fail its checksum, be quarantined
+// for post-mortem (never replayed, never served), and be counted, while
+// the records the disk wrote faithfully replay normally and the daemon
+// comes up fully functional.
+func TestJournalLyingDisk(t *testing.T) {
+	logf := chaosLog(t)
+	sched := NewSchedule(0x11AD15C, Config{FlipRate: 0.5}, logf)
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "journal.wal")
+
+	// No snapshot path: every write the schedule sees is a journal
+	// append, so each flip corrupts exactly one framed record.
+	s, err := service.New(service.Config{
+		Workers:     2,
+		QueueDepth:  64,
+		JournalPath: jpath,
+		JobTimeout:  30 * time.Second,
+		FS:          sched.WrapFS(service.OSFS{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run cells with the lying disk armed until a few records have been
+	// flipped. Every submission and completion appends a record; none of
+	// them reports an error, because the disk lies.
+	sched.ArmFS(true)
+	name := workloads.Names()[0]
+	for seed := uint64(1); sched.Counts().Flips < 3 && seed <= 64; seed++ {
+		job, err := s.Submit(harness.CellSpec{Workload: name, Scale: workloads.ScaleTiny, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		<-job.Done
+	}
+	flips := sched.Counts().Flips
+	if flips < 3 {
+		t.Fatalf("lying disk delivered only %d flips across 64 cells", flips)
+	}
+	if deg, reason := s.Degraded(); deg {
+		t.Fatalf("silent corruption tripped the error path (%q) — the disk is supposed to lie, not fail", reason)
+	}
+
+	// Disarm and run one more cell so a faithfully-written record follows
+	// the last flipped one: every corrupt line is mid-file, distinguishable
+	// from a torn tail.
+	sched.ArmFS(false)
+	job, err := s.Submit(harness.CellSpec{Workload: name, Scale: workloads.ScaleTiny, Seed: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.Done
+	s.Kill()
+
+	// Reboot on the same journal with an honest filesystem. Replay must
+	// quarantine exactly the flipped records.
+	s2, err := service.New(service.Config{Workers: 2, QueueDepth: 64, JournalPath: jpath, JobTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Kill()
+	rec := s2.Recovery()
+	if uint64(rec.Quarantined) != flips {
+		t.Errorf("replay quarantined %d records, want %d (one per flip)", rec.Quarantined, flips)
+	}
+	if got := s2.Metrics().JournalQuarantinedRecords(); got != uint64(rec.Quarantined) {
+		t.Errorf("metrics JournalQuarantinedRecords = %d, recovery says %d", got, rec.Quarantined)
+	}
+	q, err := os.ReadFile(jpath + ".quarantine")
+	if err != nil {
+		t.Fatalf("quarantine file: %v", err)
+	}
+	if len(q) == 0 {
+		t.Error("quarantine file is empty")
+	}
+
+	// The survivor of the clean tail is still functional history: the
+	// same cell resubmitted completes (from cache or by recomputation),
+	// proving corruption cost the daemon only the lied-about records.
+	job2, err := s2.Submit(harness.CellSpec{Workload: name, Scale: workloads.ScaleTiny, Seed: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job2.Done
+	if view, ok := s2.Lookup(job2.ID); !ok || view.State != service.JobDone {
+		t.Fatalf("post-recovery resubmission did not complete: %+v", view)
+	}
+}

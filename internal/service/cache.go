@@ -2,6 +2,8 @@ package service
 
 import (
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -26,6 +28,18 @@ type CacheEntry struct {
 	Workload  string          `json:"workload"`
 	SimCycles int64           `json:"simCycles"`
 	Result    json.RawMessage `json:"result"`
+	// Digest is the hex SHA-256 of the result bytes, computed when the
+	// entry is stored. It rides in snapshots and replication frames so a
+	// reloading or replicating node can prove the bytes it is about to
+	// serve are the bytes that were computed.
+	Digest string `json:"digest,omitempty"`
+}
+
+// ResultDigest is the content digest recorded on cache entries: the hex
+// SHA-256 of the canonical result bytes.
+func ResultDigest(result []byte) string {
+	sum := sha256.Sum256(result)
+	return hex.EncodeToString(sum[:])
 }
 
 // Cache is a bounded LRU of cell results, safe for concurrent use, with
@@ -87,6 +101,9 @@ func (c *Cache) peek(key string) (*CacheEntry, bool) {
 // makes that contract observable (tests compare served bytes across
 // submissions).
 func (c *Cache) Put(e *CacheEntry) {
+	if e.Digest == "" {
+		e.Digest = ResultDigest(e.Result)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[e.Key]; ok {
@@ -111,6 +128,19 @@ func (c *Cache) Keys() []string {
 	out := make([]string, 0, c.ll.Len())
 	for el := c.ll.Front(); el != nil; el = el.Next() {
 		out = append(out, el.Value.(*CacheEntry).Key)
+	}
+	return out
+}
+
+// Entries returns a copy of every cached entry, least recently used
+// first (the same order snapshots use, so a reload or a replication
+// sync rebuilds the same LRU order).
+func (c *Cache) Entries() []CacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CacheEntry, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		out = append(out, *el.Value.(*CacheEntry))
 	}
 	return out
 }
@@ -206,13 +236,58 @@ func (c *Cache) LoadFile(path string) error { return c.LoadFileFS(OSFS{}, path) 
 // is reported as (a wrap of) ErrCorruptSnapshot so the caller can
 // quarantine the file.
 func (c *Cache) LoadFileFS(fsys FS, path string) error {
+	_, err := c.LoadFileVerifiedFS(fsys, path, false)
+	return err
+}
+
+// LoadFileVerifiedFS is LoadFileFS with optional per-entry integrity
+// verification (-verify-snapshot): each entry's result bytes are
+// re-hashed against its recorded digest, and mismatching entries —
+// results silently corrupted at rest — are quarantined to
+// <path>.quarantine as JSON lines and never enter the cache. Entries
+// from pre-digest snapshots (no recorded digest) are accepted and
+// stamped on Put. Returns the number of entries quarantined.
+func (c *Cache) LoadFileVerifiedFS(fsys FS, path string, verify bool) (quarantined int, err error) {
 	f, err := fsys.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil
+			return 0, nil
 		}
-		return err
+		return 0, err
 	}
 	defer f.Close()
-	return c.ReadSnapshot(f)
+
+	var snap snapshotFile
+	if err := json.NewDecoder(f).Decode(&snap); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+	}
+	if snap.SchemaVersion != keySchemaVersion {
+		return 0, nil
+	}
+	var quarantine File
+	defer func() {
+		if quarantine != nil {
+			quarantine.Close()
+		}
+	}()
+	for i := range snap.Entries {
+		e := snap.Entries[i]
+		if verify && e.Digest != "" && ResultDigest(e.Result) != e.Digest {
+			if quarantine == nil {
+				q, qerr := fsys.Append(path + ".quarantine")
+				if qerr != nil {
+					return quarantined, fmt.Errorf("service: opening snapshot quarantine: %w", qerr)
+				}
+				quarantine = q
+			}
+			line, _ := json.Marshal(&e)
+			if _, werr := quarantine.Write(append(line, '\n')); werr != nil {
+				return quarantined, fmt.Errorf("service: writing snapshot quarantine: %w", werr)
+			}
+			quarantined++
+			continue
+		}
+		c.Put(&e)
+	}
+	return quarantined, nil
 }

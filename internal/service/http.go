@@ -208,8 +208,15 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 //	GET  /v1/traces/{id}      every retained span for one trace ID
 //	GET  /v1/metrics/history  load-gauge time series (ring of sampled points)
 //	GET  /v1/version          build identity + cache key schema version
+//	GET  /v1/replication/stream    follower long-poll: CRC-framed record batches
+//	GET  /v1/replication/snapshot  follower bootstrap: full digest-stamped checkpoint
+//	POST /v1/replication/promote   warm standby -> serving primary
 //	GET  /metrics             live counters, JSON
 //	GET  /healthz             liveness + draining/degraded flags
+//
+// Every response carries X-ASF-Role ("primary" or "follower") so the
+// client pool can steer submissions away from warm standbys without an
+// extra round trip.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -221,9 +228,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	mux.HandleFunc("GET /v1/metrics/history", s.handleHistory)
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
+	mux.HandleFunc("GET /v1/replication/stream", s.handleReplStream)
+	mux.HandleFunc("GET /v1/replication/snapshot", s.handleReplSnapshot)
+	mux.HandleFunc("POST /v1/replication/promote", s.handlePromote)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		role := "primary"
+		if s.Following() {
+			role = "follower"
+		}
+		w.Header().Set("X-ASF-Role", role)
+		mux.ServeHTTP(w, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -314,7 +331,7 @@ func submitErrorStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrFollowing):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrKeyPoisoned):
 		return http.StatusUnprocessableEntity
@@ -461,8 +478,12 @@ func splitList(s string) []string {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	degraded, _ := s.Degraded()
 	traceSpans, traceDropped := s.tracer.Counters()
+	role := "primary"
+	if s.Following() {
+		role = "follower"
+	}
 	snap := s.metrics.snapshot(s.QueueDepth(), s.Running(), s.adm.Limit(), s.cache, s.journalRecords(), degraded,
-		s.stages.summaries(), traceSpans, traceDropped, s.history.Len())
+		s.stages.summaries(), traceSpans, traceDropped, s.history.Len(), role, s.ReplicationLag())
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(snap.renderJSON())
 	w.Write([]byte("\n"))

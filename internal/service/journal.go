@@ -2,17 +2,21 @@ package service
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
+	"strconv"
 	"sync"
 )
 
 // journalSchemaVersion guards the journal's record encoding the same way
 // keySchemaVersion guards the cache: a journal written under a different
 // schema is ignored wholesale on replay (its specs may no longer name
-// the same computations), never misinterpreted.
-const journalSchemaVersion = 1
+// the same computations), never misinterpreted. Version 2 added
+// per-record CRC32 framing and the propagated deadline.
+const journalSchemaVersion = 2
 
 // journalOp is one job lifecycle transition.
 type journalOp string
@@ -31,24 +35,75 @@ func (op journalOp) terminal() bool {
 
 // journalRecord is one line of the append-only job journal: a lifecycle
 // transition keyed by job ID and content address. Submitted records
-// carry the full canonical cell so a recovering daemon can re-enqueue
-// the job without any other state; terminal records carry the outcome.
+// carry the full canonical cell (and the propagated deadline, when one
+// was set) so a recovering daemon can re-enqueue the job without any
+// other state; terminal records carry the outcome.
 type journalRecord struct {
-	Schema int            `json:"schema"`
-	Op     journalOp      `json:"op"`
-	ID     string         `json:"id"`
-	Key    string         `json:"key,omitempty"`
-	Cell   *canonicalCell `json:"cell,omitempty"`
-	Error  string         `json:"error,omitempty"`
-	Kind   string         `json:"kind,omitempty"` // failure kind ("panic"/"error") on failed records
+	Schema   int            `json:"schema"`
+	Op       journalOp      `json:"op"`
+	ID       string         `json:"id"`
+	Key      string         `json:"key,omitempty"`
+	Cell     *canonicalCell `json:"cell,omitempty"`
+	Deadline string         `json:"deadline,omitempty"` // RFC3339Nano; set on submitted records when the job carried one
+	Error    string         `json:"error,omitempty"`
+	Kind     string         `json:"kind,omitempty"` // failure kind ("panic"/"error") on failed records
+}
+
+// frameRecord encodes one journal line: an 8-hex-digit CRC32 (IEEE) of
+// the JSON payload, a space, the payload, a newline. The CRC lets replay
+// tell a flipped bit mid-file from a crash-truncated tail, and lets a
+// replication follower verify a record before applying it.
+func frameRecord(rec journalRecord) ([]byte, error) {
+	rec.Schema = journalSchemaVersion
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("service: encoding journal record: %w", err)
+	}
+	line := make([]byte, 0, len(payload)+10)
+	line = fmt.Appendf(line, "%08x ", crc32.ChecksumIEEE(payload))
+	line = append(line, payload...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// parseFrame decodes one journal line produced by frameRecord. ok is
+// false when the frame is malformed or the CRC does not match the
+// payload — the caller decides whether that means a torn tail or a
+// mid-file corruption to quarantine. stale is true when the line is a
+// well-formed record written under a different journal schema (including
+// pre-framing schema-1 journals, which were bare JSON lines): such
+// journals are ignored wholesale, never treated as corruption.
+func parseFrame(line []byte) (rec journalRecord, ok, stale bool) {
+	if len(line) > 9 && line[8] == ' ' {
+		if crc, err := strconv.ParseUint(string(line[:8]), 16, 32); err == nil {
+			payload := line[9:]
+			if crc32.ChecksumIEEE(payload) != uint32(crc) {
+				return rec, false, false
+			}
+			if json.Unmarshal(payload, &rec) != nil {
+				return rec, false, false
+			}
+			if rec.Schema != journalSchemaVersion {
+				return rec, false, true
+			}
+			return rec, true, false
+		}
+	}
+	// Not framed. A bare JSON record is an old-schema journal (framing
+	// arrived with schema 2); anything else is corruption.
+	var old journalRecord
+	if json.Unmarshal(line, &old) == nil && old.Schema != 0 && old.Schema != journalSchemaVersion {
+		return rec, false, true
+	}
+	return rec, false, false
 }
 
 // Journal is the daemon's write-ahead log of job lifecycle records: an
-// append-only file of JSON lines, fsync'd after every append, rotated
-// atomically (temp file + rename) when its completed records have been
-// compacted into the cache snapshot. Appends are serialized by the
-// journal's own mutex; the fsync happens inside the critical section so
-// the on-disk record order matches the append order.
+// append-only file of CRC-framed JSON lines, fsync'd after every append,
+// rotated atomically (temp file + rename) when its completed records
+// have been compacted into the cache snapshot. Appends are serialized by
+// the journal's own mutex; the fsync happens inside the critical section
+// so the on-disk record order matches the append order.
 type Journal struct {
 	mu   sync.Mutex
 	fs   FS
@@ -69,16 +124,14 @@ func OpenJournal(fsys FS, path string) (*Journal, error) {
 	return &Journal{fs: fsys, path: path, f: f}, nil
 }
 
-// Append durably writes one record: marshal, write one line, fsync. An
-// error means the record may not be on stable storage — the server
-// reacts by degrading to memory-only mode rather than crashing.
+// Append durably writes one record: marshal, CRC-frame, write one line,
+// fsync. An error means the record may not be on stable storage — the
+// server reacts by degrading to memory-only mode rather than crashing.
 func (j *Journal) Append(rec journalRecord) error {
-	rec.Schema = journalSchemaVersion
-	line, err := json.Marshal(rec)
+	line, err := frameRecord(rec)
 	if err != nil {
-		return fmt.Errorf("service: encoding journal record: %w", err)
+		return err
 	}
-	line = append(line, '\n')
 
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -123,14 +176,12 @@ func (j *Journal) Rotate(live []journalRecord) error {
 	}
 	w := bufio.NewWriter(f)
 	for _, rec := range live {
-		rec.Schema = journalSchemaVersion
-		line, err := json.Marshal(rec)
+		line, err := frameRecord(rec)
 		if err != nil {
 			f.Close()
 			j.fs.Remove(tmp)
 			return fmt.Errorf("service: journal rotate: %w", err)
 		}
-		line = append(line, '\n')
 		if _, err := w.Write(line); err != nil {
 			f.Close()
 			j.fs.Remove(tmp)
@@ -184,51 +235,82 @@ func (j *Journal) Close() error {
 // its latest lifecycle op plus the spec-bearing fields from whichever
 // records carried them.
 type replayedJob struct {
-	ID    string
-	Key   string
-	Cell  *canonicalCell
-	Op    journalOp
-	Error string
-	Kind  string
+	ID       string
+	Key      string
+	Cell     *canonicalCell
+	Deadline string
+	Op       journalOp
+	Error    string
+	Kind     string
 }
 
 // ReplayJournal reads the journal at path and folds its records into
 // per-job states, in first-submission order. A missing file is an empty
-// journal (first boot). A torn final line — the signature of a crash
-// mid-append — is tolerated and counted; a torn line anywhere else, or
-// a record under a different schema version, discards the journal
-// wholesale (it cannot be trusted record-by-record).
-func ReplayJournal(fsys FS, path string) (jobs []*replayedJob, torn int, err error) {
+// journal (first boot). Each record's CRC is verified: a bad final line —
+// the signature of a crash mid-append — is tolerated and counted as
+// torn; bad records anywhere else (a flipped bit, a torn middle) are
+// quarantined record-by-record into <path>.quarantine and counted, and
+// the surviving records are still replayed. A journal written under a
+// different schema version is ignored wholesale, like the snapshot.
+func ReplayJournal(fsys FS, path string) (jobs []*replayedJob, torn, quarantined int, err error) {
 	f, err := fsys.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, 0, nil
+			return nil, 0, 0, nil
 		}
-		return nil, 0, fmt.Errorf("service: opening journal for replay: %w", err)
+		return nil, 0, 0, fmt.Errorf("service: opening journal for replay: %w", err)
 	}
 	defer f.Close()
+
+	var quarantine File
+	defer func() {
+		if quarantine != nil {
+			quarantine.Close()
+		}
+	}()
+	// pendingBad holds undecodable lines whose classification depends on
+	// what follows: a good record after them proves mid-file corruption
+	// (quarantine); end-of-file leaves the last one as a torn tail.
+	var pendingBad [][]byte
+	flushBad := func() error {
+		if len(pendingBad) == 0 {
+			return nil
+		}
+		if quarantine == nil {
+			q, qerr := fsys.Append(path + ".quarantine")
+			if qerr != nil {
+				return fmt.Errorf("service: opening journal quarantine: %w", qerr)
+			}
+			quarantine = q
+		}
+		for _, raw := range pendingBad {
+			if _, werr := quarantine.Write(append(raw, '\n')); werr != nil {
+				return fmt.Errorf("service: writing journal quarantine: %w", werr)
+			}
+		}
+		quarantined += len(pendingBad)
+		pendingBad = pendingBad[:0]
+		return nil
+	}
 
 	byID := make(map[string]*replayedJob)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	bad := 0
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
-		var rec journalRecord
-		if jerr := json.Unmarshal(line, &rec); jerr != nil {
-			bad++
+		rec, ok, stale := parseFrame(line)
+		if stale {
+			return nil, 0, 0, nil // stale schema: ignore wholesale, like the snapshot
+		}
+		if !ok {
+			pendingBad = append(pendingBad, bytes.Clone(line))
 			continue
 		}
-		if bad > 0 {
-			// A decodable record AFTER an undecodable one means the tear
-			// was not a crash-truncated tail: the file is corrupt.
-			return nil, 0, fmt.Errorf("service: journal %s is corrupt mid-file", path)
-		}
-		if rec.Schema != journalSchemaVersion {
-			return nil, 0, nil // stale schema: ignore wholesale, like the snapshot
+		if err := flushBad(); err != nil {
+			return nil, 0, quarantined, err
 		}
 		j, ok := byID[rec.ID]
 		if !ok {
@@ -243,6 +325,9 @@ func ReplayJournal(fsys FS, path string) (jobs []*replayedJob, torn int, err err
 		if rec.Cell != nil {
 			j.Cell = rec.Cell
 		}
+		if rec.Deadline != "" {
+			j.Deadline = rec.Deadline
+		}
 		if rec.Error != "" {
 			j.Error = rec.Error
 		}
@@ -251,7 +336,16 @@ func ReplayJournal(fsys FS, path string) (jobs []*replayedJob, torn int, err err
 		}
 	}
 	if serr := sc.Err(); serr != nil {
-		return nil, 0, fmt.Errorf("service: reading journal: %w", serr)
+		return nil, 0, quarantined, fmt.Errorf("service: reading journal: %w", serr)
 	}
-	return jobs, bad, nil
+	// Whatever is still pending at EOF: the last bad line is the classic
+	// crash-torn tail; any bad lines before it are mid-file corruption.
+	if n := len(pendingBad); n > 0 {
+		torn = 1
+		pendingBad = pendingBad[:n-1]
+		if err := flushBad(); err != nil {
+			return nil, torn, quarantined, err
+		}
+	}
+	return jobs, torn, quarantined, nil
 }

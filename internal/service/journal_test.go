@@ -1,7 +1,10 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -18,6 +21,17 @@ func testCell(t *testing.T, seed uint64) (harness.CellSpec, canonicalCell) {
 		Seed:     seed,
 	}.Normalize()
 	return spec, encodeCell(spec)
+}
+
+// frameLine is the test-side framing helper: one CRC-framed journal
+// line, as the writer produces it.
+func frameLine(t *testing.T, rec journalRecord) []byte {
+	t.Helper()
+	line, err := frameRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return line
 }
 
 func TestJournalAppendReplay(t *testing.T) {
@@ -47,12 +61,12 @@ func TestJournalAppendReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	jobs, torn, err := ReplayJournal(OSFS{}, path)
+	jobs, torn, quarantined, err := ReplayJournal(OSFS{}, path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if torn != 0 {
-		t.Fatalf("torn = %d, want 0", torn)
+	if torn != 0 || quarantined != 0 {
+		t.Fatalf("torn = %d, quarantined = %d, want 0/0", torn, quarantined)
 	}
 	if len(jobs) != 2 {
 		t.Fatalf("replayed %d jobs, want 2", len(jobs))
@@ -77,50 +91,156 @@ func TestJournalAppendReplay(t *testing.T) {
 }
 
 func TestJournalMissingFileIsEmpty(t *testing.T) {
-	jobs, torn, err := ReplayJournal(OSFS{}, filepath.Join(t.TempDir(), "nope.wal"))
-	if err != nil || torn != 0 || len(jobs) != 0 {
-		t.Fatalf("missing journal: jobs=%d torn=%d err=%v", len(jobs), torn, err)
+	jobs, torn, quarantined, err := ReplayJournal(OSFS{}, filepath.Join(t.TempDir(), "nope.wal"))
+	if err != nil || torn != 0 || quarantined != 0 || len(jobs) != 0 {
+		t.Fatalf("missing journal: jobs=%d torn=%d quarantined=%d err=%v", len(jobs), torn, quarantined, err)
+	}
+}
+
+func TestJournalDeadlineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	_, cell := testCell(t, 1)
+	line := frameLine(t, journalRecord{
+		Op: opSubmitted, ID: "job-000000", Key: "k1", Cell: &cell,
+		Deadline: "2026-08-08T12:00:00.000000001Z",
+	})
+	if err := os.WriteFile(path, line, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jobs, _, _, err := ReplayJournal(OSFS{}, path)
+	if err != nil || len(jobs) != 1 {
+		t.Fatalf("jobs=%d err=%v", len(jobs), err)
+	}
+	if jobs[0].Deadline != "2026-08-08T12:00:00.000000001Z" {
+		t.Fatalf("deadline did not survive replay: %q", jobs[0].Deadline)
 	}
 }
 
 func TestJournalTornTailTolerated(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "journal.wal")
 	_, cell := testCell(t, 1)
-	line, _ := json.Marshal(journalRecord{Schema: journalSchemaVersion, Op: opSubmitted, ID: "job-000000", Key: "k1", Cell: &cell})
+	line := frameLine(t, journalRecord{Op: opSubmitted, ID: "job-000000", Key: "k1", Cell: &cell})
 	// A complete record followed by a crash-truncated half line.
-	if err := os.WriteFile(path, append(append(line, '\n'), []byte(`{"schema":1,"op":"done","i`)...), 0o644); err != nil {
+	torn2 := frameLine(t, journalRecord{Op: opDone, ID: "job-000000", Key: "k1"})
+	if err := os.WriteFile(path, append(line, torn2[:len(torn2)/2]...), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	jobs, torn, err := ReplayJournal(OSFS{}, path)
+	jobs, torn, quarantined, err := ReplayJournal(OSFS{}, path)
 	if err != nil {
 		t.Fatalf("torn tail should be tolerated, got %v", err)
 	}
-	if torn != 1 || len(jobs) != 1 || jobs[0].Op != opSubmitted {
-		t.Fatalf("jobs=%d torn=%d", len(jobs), torn)
+	if torn != 1 || quarantined != 0 || len(jobs) != 1 || jobs[0].Op != opSubmitted {
+		t.Fatalf("jobs=%d torn=%d quarantined=%d", len(jobs), torn, quarantined)
+	}
+	// A torn tail is not corruption: nothing is quarantined.
+	if _, err := os.Stat(path + ".quarantine"); !os.IsNotExist(err) {
+		t.Fatalf("torn tail wrote a quarantine file: %v", err)
 	}
 }
 
-func TestJournalCorruptMidFileRejected(t *testing.T) {
+// TestJournalCorruptMidFileQuarantined is the CRC-framing payoff: a
+// record corrupted in the middle of the journal (here a flipped byte
+// that still leaves the line shaped like a frame) is detected by its
+// checksum, quarantined to <path>.quarantine, and replay continues with
+// every healthy record on both sides of it.
+func TestJournalCorruptMidFileQuarantined(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "journal.wal")
-	line, _ := json.Marshal(journalRecord{Schema: journalSchemaVersion, Op: opSubmitted, ID: "job-000000"})
-	content := append([]byte("not json at all\n"), append(line, '\n')...)
+	_, cell1 := testCell(t, 1)
+	_, cell2 := testCell(t, 2)
+	good1 := frameLine(t, journalRecord{Op: opSubmitted, ID: "job-000000", Key: "k1", Cell: &cell1})
+	victim := frameLine(t, journalRecord{Op: opSubmitted, ID: "job-000001", Key: "k2", Cell: &cell2})
+	good2 := frameLine(t, journalRecord{Op: opDone, ID: "job-000000", Key: "k1"})
+
+	// Flip the low bit of a byte in the middle of the victim's payload
+	// (a low-bit flip of printable JSON can never mint a newline, so the
+	// line stays one line).
+	victim = bytes.Clone(victim)
+	victim[len(victim)/2] ^= 0x01
+
+	var content []byte
+	content = append(content, good1...)
+	content = append(content, victim...)
+	content = append(content, good2...)
 	if err := os.WriteFile(path, content, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := ReplayJournal(OSFS{}, path); err == nil {
-		t.Fatal("mid-file corruption should be an error, not silently skipped")
+
+	jobs, torn, quarantined, err := ReplayJournal(OSFS{}, path)
+	if err != nil {
+		t.Fatalf("mid-file corruption should quarantine, not fail replay: %v", err)
+	}
+	if quarantined != 1 || torn != 0 {
+		t.Fatalf("quarantined=%d torn=%d, want 1/0", quarantined, torn)
+	}
+	if len(jobs) != 1 || jobs[0].ID != "job-000000" || jobs[0].Op != opDone {
+		t.Fatalf("healthy records around the corruption not replayed: %+v", jobs)
+	}
+
+	// The corrupt bytes are preserved for post-mortem, not destroyed.
+	q, err := os.ReadFile(path + ".quarantine")
+	if err != nil {
+		t.Fatalf("quarantine file: %v", err)
+	}
+	if !bytes.Contains(q, bytes.TrimSuffix(victim, []byte("\n"))) {
+		t.Fatal("quarantine file does not contain the corrupt record bytes")
+	}
+}
+
+// TestJournalCorruptRunBeforeTornTail: several bad lines at EOF — the
+// last is the crash-torn tail, the earlier ones are real corruption.
+func TestJournalCorruptRunBeforeTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	_, cell := testCell(t, 1)
+	good := frameLine(t, journalRecord{Op: opSubmitted, ID: "job-000000", Key: "k1", Cell: &cell})
+	bad := frameLine(t, journalRecord{Op: opStarted, ID: "job-000000", Key: "k1"})
+	bad = bytes.Clone(bad)
+	bad[12] ^= 0xFF
+	tail := frameLine(t, journalRecord{Op: opDone, ID: "job-000000", Key: "k1"})
+
+	var content []byte
+	content = append(content, good...)
+	content = append(content, bad...)
+	content = append(content, tail[:len(tail)-5]...)
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jobs, torn, quarantined, err := ReplayJournal(OSFS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn != 1 || quarantined != 1 || len(jobs) != 1 {
+		t.Fatalf("jobs=%d torn=%d quarantined=%d, want 1/1/1", len(jobs), torn, quarantined)
 	}
 }
 
 func TestJournalSchemaMismatchIgnoredWholesale(t *testing.T) {
+	// A framed record under a future schema version, CRC intact.
 	path := filepath.Join(t.TempDir(), "journal.wal")
-	line, _ := json.Marshal(journalRecord{Schema: journalSchemaVersion + 1, Op: opSubmitted, ID: "job-000000"})
-	if err := os.WriteFile(path, append(line, '\n'), 0o644); err != nil {
+	payload, _ := json.Marshal(journalRecord{Schema: journalSchemaVersion + 1, Op: opSubmitted, ID: "job-000000"})
+	line := fmt.Appendf(nil, "%08x ", crc32.ChecksumIEEE(payload))
+	line = append(line, payload...)
+	line = append(line, '\n')
+	if err := os.WriteFile(path, line, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	jobs, torn, err := ReplayJournal(OSFS{}, path)
-	if err != nil || torn != 0 || len(jobs) != 0 {
-		t.Fatalf("stale schema: jobs=%d torn=%d err=%v (want all zero)", len(jobs), torn, err)
+	jobs, torn, quarantined, err := ReplayJournal(OSFS{}, path)
+	if err != nil || torn != 0 || quarantined != 0 || len(jobs) != 0 {
+		t.Fatalf("stale schema: jobs=%d torn=%d quarantined=%d err=%v (want all zero)", len(jobs), torn, quarantined, err)
+	}
+
+	// A pre-framing (schema 1) journal of bare JSON lines: also ignored
+	// wholesale, never treated as corruption.
+	old := filepath.Join(t.TempDir(), "old.wal")
+	bare, _ := json.Marshal(journalRecord{Schema: 1, Op: opSubmitted, ID: "job-000000"})
+	if err := os.WriteFile(old, append(bare, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jobs, torn, quarantined, err = ReplayJournal(OSFS{}, old)
+	if err != nil || torn != 0 || quarantined != 0 || len(jobs) != 0 {
+		t.Fatalf("schema-1 journal: jobs=%d torn=%d quarantined=%d err=%v (want all zero)", len(jobs), torn, quarantined, err)
+	}
+	if _, err := os.Stat(old + ".quarantine"); !os.IsNotExist(err) {
+		t.Fatal("a stale-schema journal must not be quarantined as corruption")
 	}
 }
 
@@ -148,9 +268,9 @@ func TestJournalRotate(t *testing.T) {
 	}
 	j.Close()
 
-	jobs, torn, err := ReplayJournal(OSFS{}, path)
-	if err != nil || torn != 0 {
-		t.Fatalf("replay after rotate: torn=%d err=%v", torn, err)
+	jobs, torn, quarantined, err := ReplayJournal(OSFS{}, path)
+	if err != nil || torn != 0 || quarantined != 0 {
+		t.Fatalf("replay after rotate: torn=%d quarantined=%d err=%v", torn, quarantined, err)
 	}
 	if len(jobs) != 1 || jobs[0].ID != "job-000007" || jobs[0].Op != opStarted {
 		t.Fatalf("rotated journal replay wrong: %+v", jobs)

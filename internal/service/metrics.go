@@ -39,6 +39,20 @@ type Metrics struct {
 	snapshotWrites      uint64 // cache snapshots written (periodic flush + shutdown)
 	snapshotQuarantines uint64 // corrupt snapshots renamed aside at startup
 
+	journalQuarantinedRecords uint64 // mid-file corrupt journal records quarantined during replay
+	snapshotEntryQuarantines  uint64 // snapshot entries quarantined by -verify-snapshot digest re-hashing
+
+	replFramesSent       uint64 // replication frames served to followers
+	replFramesApplied    uint64 // replication frames verified and applied (follower side)
+	replCorruptFrames    uint64 // frames/snapshots refused on CRC mismatch
+	replDigestMismatches uint64 // replicated entries refused on content-digest mismatch
+	replSnapshotsServed  uint64 // replication snapshot checkpoints served
+
+	promotions         uint64 // follower-to-primary promotions
+	promotedFromCache  uint64 // pending jobs settled from the replicated cache at promotion
+	promotedReenqueued uint64 // pending jobs re-enqueued at promotion
+	promotedShed       uint64 // pending jobs shed at promotion (deadline already passed)
+
 	// latencyMs holds one wall-clock latency histogram per workload, in
 	// milliseconds, for executed runs only (cache hits are ~0 and would
 	// drown the signal the histogram exists for).
@@ -66,13 +80,62 @@ func (m *Metrics) incRotations()       { m.mu.Lock(); m.journalRotations++; m.mu
 func (m *Metrics) incSnapshotWrites()  { m.mu.Lock(); m.snapshotWrites++; m.mu.Unlock() }
 func (m *Metrics) incQuarantines()     { m.mu.Lock(); m.snapshotQuarantines++; m.mu.Unlock() }
 
+func (m *Metrics) incReplCorrupt()         { m.mu.Lock(); m.replCorruptFrames++; m.mu.Unlock() }
+func (m *Metrics) incReplDigestMismatch()  { m.mu.Lock(); m.replDigestMismatches++; m.mu.Unlock() }
+func (m *Metrics) incReplSnapshotsServed() { m.mu.Lock(); m.replSnapshotsServed++; m.mu.Unlock() }
+
+func (m *Metrics) addReplSent(n int)    { m.mu.Lock(); m.replFramesSent += uint64(n); m.mu.Unlock() }
+func (m *Metrics) addReplApplied(n int) { m.mu.Lock(); m.replFramesApplied += uint64(n); m.mu.Unlock() }
+
+func (m *Metrics) addSnapshotEntryQuarantines(n int) {
+	m.mu.Lock()
+	m.snapshotEntryQuarantines += uint64(n)
+	m.mu.Unlock()
+}
+
+// notePromotion records one follower-to-primary promotion.
+func (m *Metrics) notePromotion(st PromoteStats) {
+	m.mu.Lock()
+	m.promotions++
+	m.promotedFromCache += uint64(st.FromCache)
+	m.promotedReenqueued += uint64(st.Reenqueued)
+	m.promotedShed += uint64(st.Shed)
+	m.mu.Unlock()
+}
+
+// ReplDigestMismatches returns the count of replicated entries refused
+// on content-digest mismatch (the chaos soak proves corruption was
+// detected, never served).
+func (m *Metrics) ReplDigestMismatches() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.replDigestMismatches
+}
+
+// ReplCorruptFrames returns the count of replication frames or
+// snapshots refused on CRC mismatch.
+func (m *Metrics) ReplCorruptFrames() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.replCorruptFrames
+}
+
+// JournalQuarantinedRecords returns the count of mid-file corrupt
+// journal records quarantined during replay.
+func (m *Metrics) JournalQuarantinedRecords() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.journalQuarantinedRecords
+}
+
 // noteRecovery records the outcome of a journal replay.
-func (m *Metrics) noteRecovery(reenqueued, fromCache, terminal, torn int) {
+func (m *Metrics) noteRecovery(reenqueued, fromCache, terminal, torn, quarantined int) {
 	m.mu.Lock()
 	m.recoveredReenqueued += uint64(reenqueued)
 	m.recoveredFromCache += uint64(fromCache)
 	m.recoveredTerminal += uint64(terminal)
 	m.journalTornRecords += uint64(torn)
+	m.journalQuarantinedRecords += uint64(quarantined)
 	m.mu.Unlock()
 }
 
@@ -151,6 +214,33 @@ type MetricsSnapshot struct {
 	SnapshotWrites      uint64 `json:"snapshotWrites"`
 	SnapshotQuarantines uint64 `json:"snapshotQuarantines"`
 
+	// Integrity quarantines: individual journal records replaced by CRC
+	// framing replay (not whole-file quarantines, which
+	// snapshotQuarantines counts) and snapshot entries dropped by
+	// -verify-snapshot digest re-hashing.
+	JournalQuarantinedRecords uint64 `json:"journalQuarantinedRecords"`
+	SnapshotEntryQuarantines  uint64 `json:"snapshotEntryQuarantines"`
+
+	// Replication plane. Role is "primary" or "follower";
+	// ReplicaLagRecords is the follower's unapplied-record gauge (0 on
+	// a primary). The corrupt/mismatch counters prove verification is
+	// live: a frame refused on CRC or content-digest grounds is counted
+	// here and never applied.
+	Role                 string `json:"role"`
+	ReplicaLagRecords    int64  `json:"replicaLagRecords"`
+	ReplFramesSent       uint64 `json:"replFramesSent"`
+	ReplFramesApplied    uint64 `json:"replFramesApplied"`
+	ReplCorruptFrames    uint64 `json:"replCorruptFrames"`
+	ReplDigestMismatches uint64 `json:"replDigestMismatches"`
+	ReplSnapshotsServed  uint64 `json:"replSnapshotsServed"`
+
+	// Promotion: how replicated pending work was disposed of when this
+	// daemon took over from a dead primary.
+	Promotions         uint64 `json:"promotions"`
+	PromotedFromCache  uint64 `json:"promotedFromCache"`
+	PromotedReenqueued uint64 `json:"promotedReenqueued"`
+	PromotedShed       uint64 `json:"promotedShed"`
+
 	// Degraded mirrors /healthz: true once a journal or snapshot write
 	// has failed and the daemon fell back to memory-only operation.
 	Degraded bool `json:"degraded"`
@@ -178,7 +268,8 @@ type MetricsSnapshot struct {
 // snapshot assembles the document; queue/cache/journal gauges are
 // passed in by the server, which owns those structures.
 func (m *Metrics) snapshot(queueDepth, running, admissionLimit int, cache *Cache, journalRecords uint64, degraded bool,
-	stages map[string]obs.HistSummary, traceSpans, traceDropped uint64, historyPoints int) MetricsSnapshot {
+	stages map[string]obs.HistSummary, traceSpans, traceDropped uint64, historyPoints int,
+	role string, replicaLag int64) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := MetricsSnapshot{
@@ -205,6 +296,23 @@ func (m *Metrics) snapshot(queueDepth, running, admissionLimit int, cache *Cache
 		RecoveredTerminal:   m.recoveredTerminal,
 		SnapshotWrites:      m.snapshotWrites,
 		SnapshotQuarantines: m.snapshotQuarantines,
+
+		JournalQuarantinedRecords: m.journalQuarantinedRecords,
+		SnapshotEntryQuarantines:  m.snapshotEntryQuarantines,
+
+		Role:                 role,
+		ReplicaLagRecords:    replicaLag,
+		ReplFramesSent:       m.replFramesSent,
+		ReplFramesApplied:    m.replFramesApplied,
+		ReplCorruptFrames:    m.replCorruptFrames,
+		ReplDigestMismatches: m.replDigestMismatches,
+		ReplSnapshotsServed:  m.replSnapshotsServed,
+
+		Promotions:         m.promotions,
+		PromotedFromCache:  m.promotedFromCache,
+		PromotedReenqueued: m.promotedReenqueued,
+		PromotedShed:       m.promotedShed,
+
 		Degraded:            degraded,
 		LatencyMsByWorkload: make(map[string]stats.HistSummary, len(m.latencyMs)),
 		StageLatencyMs:      stages,

@@ -37,12 +37,25 @@ var metricsGoldenFields = []string{
 	"journalRecords",
 	"journalRotations",
 	"journalTornRecords",
+	"journalQuarantinedRecords",
 	"recoveredReenqueued",
 	"recoveredFromCache",
 	"recoveredTerminal",
 	"snapshotWrites",
 	"snapshotQuarantines",
+	"snapshotEntryQuarantines",
 	"degraded",
+	"role",
+	"replicaLagRecords",
+	"replFramesSent",
+	"replFramesApplied",
+	"replCorruptFrames",
+	"replDigestMismatches",
+	"replSnapshotsServed",
+	"promotions",
+	"promotedFromCache",
+	"promotedReenqueued",
+	"promotedShed",
 	"latencyMsByWorkload",
 	"stageLatencyMs",
 	"traceSpans",

@@ -117,6 +117,30 @@ type Config struct {
 	// server silent — cmd/asfd owns process-level logging.
 	Logger *obs.Logger
 
+	// Following, when true, boots the daemon as a warm standby: no
+	// worker pool, submissions refused with ErrFollowing (HTTP 503),
+	// state applied only through ApplyReplicatedSnapshot /
+	// ApplyReplicatedBatch until Promote starts the workers and opens
+	// the doors. The journal and snapshot paths still work — a follower
+	// is crash-durable in its own right.
+	Following bool
+
+	// VerifySnapshot, when true, re-hashes every snapshot entry's
+	// content digest at startup and quarantines mismatches (dropped,
+	// written to <path>.quarantine, counted) instead of serving
+	// silently corrupted cached results.
+	VerifySnapshot bool
+
+	// ReplicationLagMax, when positive, turns a follower's /healthz
+	// status to "lagging" once it is more than this many records behind
+	// the primary's replication log head.
+	ReplicationLagMax int
+
+	// ReplLogCapacity bounds the in-memory replication log the daemon
+	// streams to followers (default 8192 records). A follower that
+	// falls further behind re-syncs from a snapshot checkpoint.
+	ReplLogCapacity int
+
 	// HistoryInterval, when positive, samples the daemon's load gauges
 	// (queue depth, running jobs, admission limit, cache size, heap,
 	// goroutines) every interval into a ring of HistoryCapacity points
@@ -257,11 +281,16 @@ func (e *PanicError) Error() string {
 
 // RecoveryStats summarizes a startup journal replay.
 type RecoveryStats struct {
-	Replayed   int // journaled jobs seen
-	Reenqueued int // re-enqueued (never reached done, or done but evicted from cache)
-	FromCache  int // done jobs served from the reloaded snapshot
-	Terminal   int // failed/canceled jobs re-registered terminal
-	Torn       int // torn tail records tolerated (crash mid-append)
+	Replayed    int // journaled jobs seen
+	Reenqueued  int // re-enqueued (never reached done, or done but evicted from cache)
+	FromCache   int // done jobs served from the reloaded snapshot
+	Terminal    int // failed/canceled jobs re-registered terminal
+	Torn        int // torn tail records tolerated (crash mid-append)
+	Quarantined int // mid-file corrupt records quarantined during replay
+
+	// SnapshotQuarantined counts snapshot entries whose content digest
+	// failed re-verification under Config.VerifySnapshot.
+	SnapshotQuarantined int
 }
 
 // Health is the GET /healthz document. Beyond liveness flags it carries
@@ -280,6 +309,13 @@ type Health struct {
 	// UptimeSeconds is whole seconds since the server was constructed.
 	// Appended in PR 8; every pre-existing field above is unchanged.
 	UptimeSeconds int64 `json:"uptimeSeconds"`
+
+	// Role is "primary" or "follower"; ReplicaLagRecords is how many
+	// primary records a follower has not yet applied (0 on a primary).
+	// A follower more than Config.ReplicationLagMax records behind
+	// reports status "lagging".
+	Role              string `json:"role"`
+	ReplicaLagRecords int64  `json:"replicaLagRecords"`
 }
 
 // Server is the simulation-as-a-service engine: a bounded worker pool
@@ -326,6 +362,11 @@ type Server struct {
 
 	recovery RecoveryStats
 
+	// repl is the in-memory replication log streamed to followers;
+	// always present (appends are cheap), so any daemon can be
+	// followed, including a promoted one.
+	repl *replLog
+
 	mu             sync.Mutex
 	journal        *Journal // nil = journaling disabled or detached (degraded/killed)
 	jobs           map[string]*Job
@@ -337,6 +378,13 @@ type Server struct {
 	killed         bool
 	degraded       bool
 	degradedReason string
+
+	// Warm-standby state: following gates submissions and replication
+	// applies; replNextApply is the next primary sequence this follower
+	// expects; replPrimaryNext is the primary log head it last heard.
+	following       bool
+	replNextApply   uint64
+	replPrimaryNext uint64
 }
 
 // New builds a server, reloads the cache snapshot if configured,
@@ -345,21 +393,24 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:          cfg,
-		cache:        NewCache(cfg.CacheEntries),
-		metrics:      NewMetrics(),
-		breaker:      newBreaker(cfg.BreakerThreshold),
-		adm:          newAdmission(cfg.AdmissionTarget, cfg.AdmissionMinLimit, cfg.AdmissionMaxLimit),
-		tracer:       cfg.Tracer,
-		logger:       cfg.Logger,
-		start:        time.Now(),
-		kill:         make(chan struct{}),
-		flushStop:    make(chan struct{}),
-		flushDone:    make(chan struct{}),
-		historyStop:  make(chan struct{}),
-		historyDone:  make(chan struct{}),
-		jobs:         make(map[string]*Job),
-		runningByKey: make(map[string]*Job),
+		cfg:           cfg,
+		cache:         NewCache(cfg.CacheEntries),
+		metrics:       NewMetrics(),
+		breaker:       newBreaker(cfg.BreakerThreshold),
+		adm:           newAdmission(cfg.AdmissionTarget, cfg.AdmissionMinLimit, cfg.AdmissionMaxLimit),
+		tracer:        cfg.Tracer,
+		logger:        cfg.Logger,
+		start:         time.Now(),
+		kill:          make(chan struct{}),
+		flushStop:     make(chan struct{}),
+		flushDone:     make(chan struct{}),
+		historyStop:   make(chan struct{}),
+		historyDone:   make(chan struct{}),
+		jobs:          make(map[string]*Job),
+		runningByKey:  make(map[string]*Job),
+		repl:          newReplLog(cfg.ReplLogCapacity),
+		following:     cfg.Following,
+		replNextApply: 1,
 	}
 	if cfg.HistoryInterval > 0 {
 		s.history = obs.NewHistory(historyGauges, cfg.HistoryCapacity, nil)
@@ -376,21 +427,27 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 
-	// The queue must hold every recovered job up front (workers are not
-	// running yet); Submit enforces the configured bound itself.
-	qcap := cfg.QueueDepth
-	if len(reenqueue) > qcap {
-		qcap = len(reenqueue)
-	}
-	s.queue = make(chan *Job, qcap)
-	for _, job := range reenqueue {
-		s.queue <- job
-	}
+	if !cfg.Following {
+		// The queue must hold every recovered job up front (workers are
+		// not running yet); Submit enforces the configured bound itself.
+		qcap := cfg.QueueDepth
+		if len(reenqueue) > qcap {
+			qcap = len(reenqueue)
+		}
+		s.queue = make(chan *Job, qcap)
+		for _, job := range reenqueue {
+			s.queue <- job
+		}
 
-	for i := 0; i < cfg.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
+		for i := 0; i < cfg.Workers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
 	}
+	// A follower starts no workers and builds no queue: recovered
+	// unfinished jobs stay registered as pending, and Promote disposes
+	// of them (cache-serve, shed, or re-enqueue) when the standby takes
+	// over.
 
 	if cfg.SnapshotInterval > 0 && cfg.SnapshotPath != "" {
 		go s.flushLoop(cfg.SnapshotInterval)
@@ -407,8 +464,16 @@ func New(cfg Config) (*Server, error) {
 
 // loadSnapshot reloads the cache snapshot, quarantining a corrupt file
 // (rename to <path>.corrupt-<timestamp>) instead of failing startup.
+// Under Config.VerifySnapshot each entry's content digest is re-hashed
+// and mismatching entries are quarantined individually.
 func (s *Server) loadSnapshot() error {
-	err := s.cache.LoadFileFS(s.cfg.FS, s.cfg.SnapshotPath)
+	quarantined, err := s.cache.LoadFileVerifiedFS(s.cfg.FS, s.cfg.SnapshotPath, s.cfg.VerifySnapshot)
+	if quarantined > 0 {
+		s.recovery.SnapshotQuarantined = quarantined
+		s.metrics.addSnapshotEntryQuarantines(quarantined)
+		s.logger.Warn("snapshot entries failed digest verification and were quarantined",
+			"entries", quarantined, "path", s.cfg.SnapshotPath+".quarantine")
+	}
 	if err == nil {
 		return nil
 	}
@@ -430,10 +495,12 @@ func (s *Server) replayJournal() ([]*Job, error) {
 	if s.cfg.JournalPath == "" {
 		return nil, nil
 	}
-	replayed, torn, err := ReplayJournal(s.cfg.FS, s.cfg.JournalPath)
+	replayed, torn, quarantined, err := ReplayJournal(s.cfg.FS, s.cfg.JournalPath)
 	if err != nil {
-		// A mid-file corrupt journal cannot be trusted record-by-record;
-		// quarantine it and boot empty, like a corrupt snapshot.
+		// A journal that cannot be read at all (I/O failure, unwritable
+		// quarantine) is set aside wholesale, like a corrupt snapshot;
+		// record-level corruption was already quarantined inside
+		// ReplayJournal and replay continued past it.
 		quarantine := fmt.Sprintf("%s.corrupt-%d", s.cfg.JournalPath, time.Now().Unix())
 		if rerr := s.cfg.FS.Rename(s.cfg.JournalPath, quarantine); rerr != nil {
 			return nil, fmt.Errorf("service: quarantining corrupt journal: %w", rerr)
@@ -465,6 +532,14 @@ func (s *Server) replayJournal() ([]*Job, error) {
 		}
 		if job.Key == "" {
 			job.Key = Key(spec)
+		}
+		if rj.Deadline != "" {
+			// The propagated deadline survives the crash: a recovered (or
+			// promoted) job whose deadline has passed is shed at dequeue,
+			// never executed.
+			if dl, perr := time.Parse(time.RFC3339Nano, rj.Deadline); perr == nil {
+				job.Deadline = dl
+			}
 		}
 		switch {
 		case rj.Op == opDone:
@@ -500,14 +575,13 @@ func (s *Server) replayJournal() ([]*Job, error) {
 		s.registerLocked(job)
 	}
 	s.nextID = maxID
-	s.recovery = RecoveryStats{
-		Replayed:   len(replayed),
-		Reenqueued: len(reenqueue),
-		FromCache:  fromCache,
-		Terminal:   terminal,
-		Torn:       torn,
-	}
-	s.metrics.noteRecovery(len(reenqueue), fromCache, terminal, torn)
+	s.recovery.Replayed = len(replayed)
+	s.recovery.Reenqueued = len(reenqueue)
+	s.recovery.FromCache = fromCache
+	s.recovery.Terminal = terminal
+	s.recovery.Torn = torn
+	s.recovery.Quarantined = quarantined
+	s.metrics.noteRecovery(len(reenqueue), fromCache, terminal, torn, quarantined)
 
 	j, err := OpenJournal(s.cfg.FS, s.cfg.JournalPath)
 	if err != nil {
@@ -519,8 +593,7 @@ func (s *Server) replayJournal() ([]*Job, error) {
 	// already reported; rewrite the journal down to the live set.
 	live := make([]journalRecord, 0, len(reenqueue))
 	for _, job := range reenqueue {
-		cell := encodeCell(job.Spec)
-		live = append(live, journalRecord{Op: opSubmitted, ID: job.ID, Key: job.Key, Cell: &cell})
+		live = append(live, submittedRecord(job))
 	}
 	if rerr := j.Rotate(live); rerr != nil {
 		s.degrade("journal compaction", rerr)
@@ -570,20 +643,29 @@ func (s *Server) Health() Health {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	h := Health{
-		Status:         "ok",
-		Draining:       s.draining,
-		Degraded:       s.degraded,
-		DegradedReason: s.degradedReason,
-		QueueDepth:     len(s.queue),
-		InFlight:       s.running,
-		AdmissionLimit: s.adm.Limit(),
-		UptimeSeconds:  int64(time.Since(s.start) / time.Second),
+		Status:            "ok",
+		Draining:          s.draining,
+		Degraded:          s.degraded,
+		DegradedReason:    s.degradedReason,
+		QueueDepth:        len(s.queue),
+		InFlight:          s.running,
+		AdmissionLimit:    s.adm.Limit(),
+		UptimeSeconds:     int64(time.Since(s.start) / time.Second),
+		Role:              "primary",
+		ReplicaLagRecords: s.replicationLagLocked(),
+	}
+	if s.following {
+		h.Role = "follower"
 	}
 	switch {
 	case s.draining:
 		h.Status = "draining"
 	case s.degraded:
 		h.Status = "degraded"
+	case s.following && s.cfg.ReplicationLagMax > 0 && h.ReplicaLagRecords > int64(s.cfg.ReplicationLagMax):
+		h.Status = "lagging"
+	case s.following:
+		h.Status = "following"
 	}
 	return h
 }
@@ -683,6 +765,14 @@ func (s *Server) SubmitJob(spec harness.CellSpec, opts SubmitOpts) (*Job, error)
 		s.admitted(opts.Trace, admStart, "rejected-draining", "")
 		return nil, ErrDraining
 	}
+	if s.following {
+		// A warm standby executes nothing and must not fork history from
+		// its primary; the 503 sends the client's pool to a serving
+		// endpoint.
+		s.metrics.incRejected()
+		s.admitted(opts.Trace, admStart, "rejected-following", "")
+		return nil, ErrFollowing
+	}
 	job := &Job{
 		ID:          fmt.Sprintf("job-%06d", s.nextID),
 		Key:         key,
@@ -713,9 +803,12 @@ func (s *Server) SubmitJob(spec harness.CellSpec, opts SubmitOpts) (*Job, error)
 		s.metrics.incSubmitted()
 		s.metrics.incCompleted()
 		// One combined record: the job was accepted AND completed. Replay
-		// serves it straight from the snapshot.
+		// serves it straight from the snapshot; followers get the full
+		// entry so the settled key replicates with its digest.
 		cell := encodeCell(job.Spec)
-		s.appendLockedTimed(job.TraceID, journalRecord{Op: opDone, ID: job.ID, Key: key, Cell: &cell})
+		rec := journalRecord{Op: opDone, ID: job.ID, Key: key, Cell: &cell}
+		s.appendLockedTimed(job.TraceID, rec)
+		s.replicate(rec, e)
 		s.admitted(opts.Trace, admStart, "cache-hit", job.ID)
 		return job, nil
 	}
@@ -753,8 +846,9 @@ func (s *Server) SubmitJob(spec harness.CellSpec, opts SubmitOpts) (*Job, error)
 	job.enqueuedAt = time.Now()
 	// Write-ahead: the acceptance is durable before it is acknowledged
 	// (and before the worker can race ahead to its started record).
-	cell := encodeCell(job.Spec)
-	s.appendLockedTimed(job.TraceID, journalRecord{Op: opSubmitted, ID: job.ID, Key: key, Cell: &cell})
+	rec := submittedRecord(job)
+	s.appendLockedTimed(job.TraceID, rec)
+	s.replicate(rec, nil)
 	select {
 	case s.queue <- job:
 	default:
@@ -781,6 +875,19 @@ func (s *Server) admitted(trace string, start time.Time, outcome, jobID string) 
 	} else {
 		s.span(trace, "admission", start, d, "outcome", outcome)
 	}
+}
+
+// submittedRecord builds the write-ahead acceptance record for a queued
+// job: content address, canonical cell, and the propagated deadline (so
+// a recovered or promoted job that has already expired is shed, never
+// executed).
+func submittedRecord(job *Job) journalRecord {
+	cell := encodeCell(job.Spec)
+	rec := journalRecord{Op: opSubmitted, ID: job.ID, Key: job.Key, Cell: &cell}
+	if !job.Deadline.IsZero() {
+		rec.Deadline = job.Deadline.Format(time.RFC3339Nano)
+	}
+	return rec
 }
 
 // appendLocked journals a record while holding s.mu — the fsync rides
@@ -884,7 +991,9 @@ func (s *Server) Cancel(id string) bool {
 		job.State = JobCanceled
 		job.Err = "canceled before start"
 		job.closeDone()
-		s.appendLockedTimed(job.TraceID, journalRecord{Op: opCanceled, ID: job.ID, Key: job.Key, Error: job.Err})
+		rec := journalRecord{Op: opCanceled, ID: job.ID, Key: job.Key, Error: job.Err}
+		s.appendLockedTimed(job.TraceID, rec)
+		s.replicate(rec, nil)
 		s.metrics.incCanceled()
 		s.mu.Unlock()
 		return true
@@ -975,7 +1084,9 @@ func (s *Server) runJob(job *Job) {
 		job.State = JobCanceled
 		job.Err = "deadline expired before simulation start"
 		job.closeDone()
-		s.appendLockedTimed(job.TraceID, journalRecord{Op: opCanceled, ID: job.ID, Key: job.Key, Error: job.Err})
+		rec := journalRecord{Op: opCanceled, ID: job.ID, Key: job.Key, Error: job.Err}
+		s.appendLockedTimed(job.TraceID, rec)
+		s.replicate(rec, nil)
 		s.mu.Unlock()
 		s.metrics.incShedExpired()
 		s.metrics.incCanceled()
@@ -993,7 +1104,9 @@ func (s *Server) runJob(job *Job) {
 	job.cancelRun = doCancel
 	s.mu.Unlock()
 
-	s.journalTimed(job.TraceID, journalRecord{Op: opStarted, ID: job.ID, Key: job.Key})
+	startedRec := journalRecord{Op: opStarted, ID: job.ID, Key: job.Key}
+	s.journalTimed(job.TraceID, startedRec)
+	s.replicate(startedRec, nil)
 
 	// peek, not Get: the user-facing hit/miss counters belong to the
 	// Submit path; this internal re-check (a racing duplicate may have
@@ -1007,7 +1120,9 @@ claim:
 	for {
 		if e, ok := s.cache.peek(job.Key); ok {
 			s.singleflightDone(job, sfStart)
-			s.journalTimed(job.TraceID, journalRecord{Op: opDone, ID: job.ID, Key: job.Key})
+			doneRec := journalRecord{Op: opDone, ID: job.ID, Key: job.Key}
+			s.journalTimed(job.TraceID, doneRec)
+			s.replicate(doneRec, e)
 			s.finish(job, JobDone, true, e.Result, "", "")
 			s.metrics.incCompleted()
 			s.adm.observe(time.Since(job.submittedAt))
@@ -1103,17 +1218,23 @@ claim:
 		// Serve the bytes the cache actually retained: if a racing
 		// duplicate stored first, its (bit-identical by the determinism
 		// contract) bytes are the canonical copy for this key.
+		var storedEntry *CacheEntry
 		if stored, ok := s.cache.peek(job.Key); ok {
 			data = stored.Result
+			storedEntry = stored
 		}
 		s.breaker.success(job.Key)
 		s.metrics.noteRun(job.Spec.Workload, r.Cycles, wall.Milliseconds())
-		s.journalTimed(job.TraceID, journalRecord{Op: opDone, ID: job.ID, Key: job.Key})
+		doneRec := journalRecord{Op: opDone, ID: job.ID, Key: job.Key}
+		s.journalTimed(job.TraceID, doneRec)
+		s.replicate(doneRec, storedEntry)
 		s.finish(job, JobDone, false, data, "", "")
 		s.metrics.incCompleted()
 		s.adm.observe(time.Since(job.submittedAt))
 	case errors.Is(err, asfsim.ErrCanceled):
-		s.journalTimed(job.TraceID, journalRecord{Op: opCanceled, ID: job.ID, Key: job.Key, Error: err.Error()})
+		canceledRec := journalRecord{Op: opCanceled, ID: job.ID, Key: job.Key, Error: err.Error()}
+		s.journalTimed(job.TraceID, canceledRec)
+		s.replicate(canceledRec, nil)
 		s.finish(job, JobCanceled, false, nil, err.Error(), "")
 		s.metrics.incCanceled()
 	case errors.As(err, &pe):
@@ -1131,7 +1252,9 @@ func (s *Server) failJob(job *Job, msg, kind string) {
 		s.logger.Warn("failure breaker tripped", "key", job.Key, "job", job.ID)
 	}
 	s.logger.WithTrace(job.TraceID).Warn("job failed", "job", job.ID, "kind", kind, "err", msg)
-	s.journalTimed(job.TraceID, journalRecord{Op: opFailed, ID: job.ID, Key: job.Key, Error: msg, Kind: kind})
+	failedRec := journalRecord{Op: opFailed, ID: job.ID, Key: job.Key, Error: msg, Kind: kind}
+	s.journalTimed(job.TraceID, failedRec)
+	s.replicate(failedRec, nil)
 	s.finish(job, JobFailed, false, nil, msg, kind)
 	s.metrics.incFailed()
 }
@@ -1165,8 +1288,14 @@ func (s *Server) finish(job *Job, st JobState, hit bool, result json.RawMessage,
 	job.closeDone()
 }
 
-// QueueDepth returns the number of jobs waiting in the queue.
-func (s *Server) QueueDepth() int { return len(s.queue) }
+// QueueDepth returns the number of jobs waiting in the queue (0 on a
+// never-promoted follower, which has no queue). Locked because Promote
+// installs the queue after construction.
+func (s *Server) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
 
 // Running returns the number of jobs currently executing.
 func (s *Server) Running() int {
@@ -1242,8 +1371,7 @@ func (s *Server) Persist() error {
 			if !ok || job.State.terminal() {
 				continue
 			}
-			cell := encodeCell(job.Spec)
-			live = append(live, journalRecord{Op: opSubmitted, ID: job.ID, Key: job.Key, Cell: &cell})
+			live = append(live, submittedRecord(job))
 		}
 	}
 	s.mu.Unlock()
@@ -1272,7 +1400,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.draining = true
 	// Safe to close under the lock: Submit only sends while holding it.
-	close(s.queue)
+	// A never-promoted follower has no queue (and no workers to stop).
+	if s.queue != nil {
+		close(s.queue)
+	}
 	s.mu.Unlock()
 
 	s.stopFlush()
@@ -1319,7 +1450,9 @@ func (s *Server) Kill() {
 	s.killed = true
 	j := s.journal
 	s.journal = nil // sever the WAL first: a dead process writes nothing
-	close(s.queue)
+	if s.queue != nil {
+		close(s.queue)
+	}
 	s.mu.Unlock()
 
 	if j != nil {
