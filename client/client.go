@@ -86,6 +86,16 @@ type Options struct {
 	// or "batch"); empty means the server default (interactive).
 	Priority string
 
+	// Quorum, when >= 2, arms quorum verification for RunCell and
+	// CollectMatrix: each cell is submitted to this many distinct fleet
+	// endpoints and the result bytes must agree by content digest before
+	// any are trusted. Determinism makes honest daemons byte-identical,
+	// so a single lying or corrupted daemon is outvoted, flagged
+	// (quorumDivergences/quorumEjections in Stats), and ejected on
+	// repeat offense. Costs Quorum× the submissions; default 0 (off —
+	// the single-endpoint path is untouched).
+	Quorum int
+
 	// Tracer, when non-nil, turns on request tracing: RunCell generates
 	// one trace ID per cell (deterministic from Seed), sends it as
 	// X-ASF-Trace so the serving daemon joins the trace, and records
@@ -700,6 +710,9 @@ func (c *Client) RunCellTraced(ctx context.Context, req service.JobRequest) (*st
 }
 
 func (c *Client) runCell(ctx context.Context, req service.JobRequest, trace string) (*stats.Record, error) {
+	if c.quorumArmed() {
+		return c.runCellQuorum(ctx, req, trace)
+	}
 	var lastErr error
 	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
 		if attempt > 0 {

@@ -23,11 +23,12 @@ var ErrRetryBudgetExhausted = errors.New("client: retry budget exhausted")
 type endpoint struct {
 	base string
 
-	mu           sync.Mutex
-	ewmaMs       float64
-	fails        int
-	ejectedUntil time.Time
-	role         string // last X-ASF-Role seen ("primary"/"follower", "" = unknown)
+	mu            sync.Mutex
+	ewmaMs        float64
+	fails         int
+	quorumStrikes int // consecutive minority votes under quorum verification
+	ejectedUntil  time.Time
+	role          string // last X-ASF-Role seen ("primary"/"follower", "" = unknown)
 }
 
 // noteRole records the role the endpoint advertised on its last
@@ -96,6 +97,33 @@ func (e *endpoint) noteFailure(now time.Time, ejectAfter int, probeAfter time.Du
 	}
 	e.ejectedUntil = now.Add(probeAfter)
 	return true
+}
+
+// noteQuorumMinority records an integrity strike: this endpoint's vote
+// disagreed with the quorum majority. Strikes live in their own ledger
+// — a lying daemon serves HTTP flawlessly, so noteSuccess must not
+// absolve it — and eject the endpoint at ejectAfter consecutive
+// minority votes (the counter resets so a probed-back endpoint needs a
+// fresh streak to be re-ejected). Returns true on the ejection event.
+func (e *endpoint) noteQuorumMinority(now time.Time, ejectAfter int, probeAfter time.Duration) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.quorumStrikes++
+	if e.quorumStrikes < ejectAfter {
+		return false
+	}
+	e.quorumStrikes = 0
+	e.ejectedUntil = now.Add(probeAfter)
+	return true
+}
+
+// noteQuorumMajority clears the integrity strike streak: the endpoint
+// voted with the majority, so its earlier disagreements were transient
+// (or repaired), not a persistent lie.
+func (e *endpoint) noteQuorumMajority() {
+	e.mu.Lock()
+	e.quorumStrikes = 0
+	e.mu.Unlock()
 }
 
 // rank orders the pool's endpoints for a content key by rendezvous
@@ -215,6 +243,14 @@ type Stats struct {
 	// on advertised role, before any request is wasted on a guaranteed
 	// 503.
 	FollowerSkips uint64 `json:"followerSkips"`
+
+	// QuorumDivergences counts cells whose quorum votes did not all
+	// agree by content digest (one event per cell, however many voters
+	// disagreed); QuorumEjections counts endpoint ejections caused by
+	// minority votes (each also counts in EndpointEjections). Both zero
+	// unless Options.Quorum arms verification.
+	QuorumDivergences uint64 `json:"quorumDivergences"`
+	QuorumEjections   uint64 `json:"quorumEjections"`
 }
 
 // statsCounters is the mutable, mutex-guarded accumulator behind Stats.

@@ -21,6 +21,8 @@ func TestStatsSchemaGolden(t *testing.T) {
 		"retryBudgetExhausted",
 		"resubmissions",
 		"followerSkips",
+		"quorumDivergences",
+		"quorumEjections",
 	}
 
 	raw, err := json.Marshal(Stats{})

@@ -77,6 +77,11 @@ func main() {
 	replLogCapacity := flag.Int("repl-log-capacity", 0, "in-memory replication log window, frames (0 = default 8192); followers behind the window re-sync from a snapshot")
 	promoteOnStart := flag.Bool("promote-on-start", false, "boot as a standby (replaying the local journal and snapshot) and immediately promote to serving primary")
 	verifySnapshot := flag.Bool("verify-snapshot", false, "re-hash every cache snapshot entry's content digest on load, quarantining mismatches instead of serving them")
+	scrubInterval := flag.Duration("scrub-interval", 0, "background integrity scrub pass interval (0 disables the scrubber and the serve-path digest guard)")
+	scrubRate := flag.Int("scrub-rate", 0, "scrubber pacing, entries per second (0 = unpaced beyond idle-priority backoff); needs -scrub-interval")
+	auditSampleRate := flag.Float64("audit-sample-rate", 0, "fraction of scanned entries fully re-executed per scrub pass, 0..1 (rotates deterministically across passes)")
+	auditSeed := flag.Uint64("audit-seed", 0, "seed for the deterministic scrub walk order and re-execution sample (0 = default 1; pin for reproducible audits)")
+	maxBodyBytes := flag.Int64("max-body-bytes", 0, "request body size cap in bytes; oversized submissions get 413 (0 = default 8 MiB, negative disables)")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -112,6 +117,11 @@ func main() {
 		VerifySnapshot:    *verifySnapshot,
 		ReplicationLagMax: *replicationLagMax,
 		ReplLogCapacity:   *replLogCapacity,
+		ScrubInterval:     *scrubInterval,
+		ScrubRate:         *scrubRate,
+		AuditSampleRate:   *auditSampleRate,
+		AuditSeed:         *auditSeed,
+		MaxBodyBytes:      *maxBodyBytes,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asfd: %v\n", err)
@@ -164,6 +174,11 @@ func main() {
 		"version", service.Version().GoVersion, "keySchema", service.KeySchemaVersion())
 	if *admissionTarget > 0 {
 		logger.Info("adaptive admission armed", "target", *admissionTarget, "limit", srv.AdmissionLimit())
+	}
+	if *scrubInterval > 0 {
+		logger.Info("integrity scrubber armed",
+			"interval", *scrubInterval, "rate", *scrubRate,
+			"sampleRate", *auditSampleRate, "seed", *auditSeed)
 	}
 	if *debugAddr != "" {
 		// The pprof handlers stay off the service listener so profiling

@@ -1,0 +1,110 @@
+// Package audit supplies the deterministic building blocks of asfd's
+// integrity scrubber: the seeded walk order for each scrub pass, the
+// per-entry sampling decision for expensive re-execution, and the
+// quarantine record written when an entry's bytes no longer match its
+// content digest.
+//
+// Everything here is a pure function of its inputs. Determinism is the
+// point: a scrub pass under a pinned seed visits the same entries in
+// the same order and re-executes the same sample on every run, so a
+// red chaos soak replays exactly, and two scrubs of the same state do
+// exactly the same work.
+package audit
+
+import (
+	"encoding/json"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Order returns keys in the walk order for one scrub pass: sorted for a
+// stable base, then permuted by a generator forked from (seed, pass).
+// Including the pass number rotates the permutation between passes, so
+// repeated scrubs do not always age the same tail of the cache last.
+// The input slice is not modified.
+func Order(seed, pass uint64, keys []string) []string {
+	out := make([]string, len(keys))
+	copy(out, keys)
+	sort.Strings(out)
+	r := rng.New(seed).Fork(pass)
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Sampled reports whether key is in the expensive re-execution sample
+// for this pass, at the given rate in [0, 1]. The decision hashes
+// (seed, pass, key), so the sample is stable for a pass but rotates
+// across passes — over 1/rate passes every entry expects one
+// re-execution, rather than the same fixed subset burning cycles
+// forever while the rest are never re-checked.
+func Sampled(seed, pass uint64, key string, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	h := fnv.New64a()
+	var b [16]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(seed >> (8 * i))
+		b[8+i] = byte(pass >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(key))
+	// FNV alone avalanches poorly into the high bits for short inputs
+	// (the trailing key bytes only stir the low ~40 bits), so finalize
+	// with a full-width mix before the same 53-bit-to-[0,1) mapping
+	// rng.Float64 uses.
+	return float64(mix64(h.Sum64())>>11)/(1<<53) < rate
+}
+
+// mix64 is a 64-bit finalizer (the murmur3 fmix64 constants): a
+// bijective scramble that spreads every input bit across the whole
+// word, so any bit range of the output is usable as a uniform sample.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// QuarantineRecord is one JSON line in a <path>.audit-quarantine file:
+// the identity of an entry the scrubber removed from service, why, and
+// the digest evidence. The file is append-only and never read back by
+// the daemon — it exists for the operator (and the chaos soak's
+// failure artifacts).
+type QuarantineRecord struct {
+	Key      string `json:"key"`
+	Workload string `json:"workload,omitempty"`
+
+	// Reason is "digest-mismatch" (stored bytes no longer hash to the
+	// recorded digest), "reexec-mismatch" (bytes hash fine but a full
+	// re-execution produced different bytes), or "journal-crc" (a
+	// journal record failed its frame CRC at rest).
+	Reason string `json:"reason"`
+
+	// Want is the digest recorded when the entry was stored; Got is the
+	// digest of the bytes found at scrub time (or of the re-executed
+	// result for reexec-mismatch).
+	Want string `json:"wantDigest,omitempty"`
+	Got  string `json:"gotDigest,omitempty"`
+
+	// Pass is the scrub pass that caught it (0 = caught on the serve
+	// path between passes).
+	Pass uint64 `json:"pass"`
+
+	// Source is where the corruption was found: "cache", "journal", or
+	// "serve" (the submit-path guard that re-hashes before serving).
+	Source string `json:"source"`
+}
+
+// Line renders the record as one newline-terminated JSON line.
+func (r QuarantineRecord) Line() []byte {
+	b, _ := json.Marshal(r)
+	return append(b, '\n')
+}

@@ -43,6 +43,12 @@ type fleetNode struct {
 	dir  string
 	addr string // pinned after the first boot so restarts reuse it
 
+	// tweak, when set, adjusts the boot Config (the audit soaks arm the
+	// scrubber and pin its seed); wrap, when set, wraps the HTTP handler
+	// (the quorum soak turns one node into a lying daemon).
+	tweak func(cfg *service.Config)
+	wrap  func(h http.Handler) http.Handler
+
 	srv *service.Server
 	hs  *http.Server
 
@@ -67,7 +73,7 @@ func (n *fleetNode) boot(t *testing.T) {
 		t.Fatalf("%s: rebinding %s: %v", n.name, addr, err)
 	}
 	n.addr = ln.Addr().String()
-	n.srv, err = service.New(service.Config{
+	cfg := service.Config{
 		Workers:          2,
 		QueueDepth:       128,
 		SnapshotPath:     filepath.Join(n.dir, "cache.json"),
@@ -75,7 +81,11 @@ func (n *fleetNode) boot(t *testing.T) {
 		JournalPath:      filepath.Join(n.dir, "journal.wal"),
 		JobTimeout:       30 * time.Second,
 		Tracer:           obs.NewTracer(8192, nil),
-	})
+	}
+	if n.tweak != nil {
+		n.tweak(&cfg)
+	}
+	n.srv, err = service.New(cfg)
 	if err != nil {
 		t.Fatalf("%s: starting server: %v", n.name, err)
 	}
@@ -83,7 +93,11 @@ func (n *fleetNode) boot(t *testing.T) {
 	for _, k := range n.srv.Cache().Keys() {
 		n.startKeys[k] = true
 	}
-	n.hs = &http.Server{Handler: n.srv.Handler()}
+	var h http.Handler = n.srv.Handler()
+	if n.wrap != nil {
+		h = n.wrap(h)
+	}
+	n.hs = &http.Server{Handler: h}
 	go n.hs.Serve(ln)
 }
 

@@ -139,6 +139,24 @@ func (f *Follower) run(ctx context.Context) {
 			return
 		}
 
+		// Self-healing: a follower cannot re-execute a cell, so when the
+		// local scrubber has quarantined entries the repair path is a
+		// fresh digest-verified snapshot from the primary.
+		if n := srv.AuditRepairPending(); n > 0 {
+			log.Info("audit repair pending, re-syncing from snapshot", "keys", n)
+			if serr := f.syncSnapshot(ctx); serr != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				f.note(serr)
+				log.Warn("audit repair snapshot re-sync failed", "err", serr)
+				if !f.sleep(ctx) {
+					return
+				}
+				continue
+			}
+		}
+
 		batch, err := f.fetchBatch(ctx, srv.ReplNextApply())
 		if err != nil {
 			if ctx.Err() != nil {

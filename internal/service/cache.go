@@ -33,6 +33,12 @@ type CacheEntry struct {
 	// reloading or replicating node can prove the bytes it is about to
 	// serve are the bytes that were computed.
 	Digest string `json:"digest,omitempty"`
+
+	// Cell is the canonical spec the result was computed from. It lets
+	// the audit scrubber fully re-execute a sampled entry (and repair a
+	// quarantined one) without consulting the journal. Entries loaded
+	// from pre-audit snapshots have no Cell and get digest-only scrubs.
+	Cell *canonicalCell `json:"cell,omitempty"`
 }
 
 // ResultDigest is the content digest recorded on cache entries: the hex
@@ -117,6 +123,57 @@ func (c *Cache) Put(e *CacheEntry) {
 		delete(c.byKey, oldest.Value.(*CacheEntry).Key)
 		c.evictions++
 	}
+}
+
+// Remove drops the entry for key, reporting whether it was present.
+func (c *Cache) Remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.removeLocked(key)
+}
+
+func (c *Cache) removeLocked(key string) bool {
+	el, ok := c.byKey[key]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.byKey, key)
+	return true
+}
+
+// VerifyEntry outcomes.
+const (
+	// VerifyMissing: the key is not cached (evicted or never stored) —
+	// nothing to check, nothing to report.
+	VerifyMissing = iota
+	// VerifyOK: the stored bytes still hash to the recorded digest.
+	VerifyOK
+	// VerifyCorrupt: digest mismatch; the entry was removed under the
+	// same lock acquisition and a copy is returned for quarantine.
+	VerifyCorrupt
+)
+
+// VerifyEntry re-hashes the entry's result bytes against its recorded
+// digest, removing it atomically on mismatch. Lookup, hash, and removal
+// happen under one lock acquisition, so a concurrent eviction can never
+// be mistaken for corruption (it reports VerifyMissing) and a corrupt
+// entry can never be quarantined twice (the second caller sees
+// VerifyMissing too). An entry stored without a digest is stamped by
+// Put, so VerifyOK is the only other healthy outcome.
+func (c *Cache) VerifyEntry(key string) (CacheEntry, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return CacheEntry{}, VerifyMissing
+	}
+	e := el.Value.(*CacheEntry)
+	if e.Digest == "" || ResultDigest(e.Result) == e.Digest {
+		return *e, VerifyOK
+	}
+	c.removeLocked(key)
+	return *e, VerifyCorrupt
 }
 
 // Keys returns the content addresses of every cached entry, most

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// The integrity subsystem's decoders sit on the blast radius of at-rest
+// corruption: journal lines, replication frames, and client-supplied
+// cell specs all arrive as untrusted bytes. The contract under fuzzing
+// is uniform — decoders ERROR on garbage, they never panic — plus the
+// canonical round-trip invariants the audit scrubber leans on.
+
+// FuzzJournalDecode throws arbitrary bytes at the journal frame parser,
+// both as a single line and as a multi-line journal body (the shape the
+// scrubber and replay walk). parseFrame must never panic, must never
+// report a frame as both ok and stale, and any line it accepts must
+// re-frame to the same CRC.
+func FuzzJournalDecode(f *testing.F) {
+	if line, err := frameRecord(journalRecord{Op: opDone, ID: "job-7", Key: "abc"}); err == nil {
+		f.Add(bytes.TrimSuffix(line, []byte("\n")))
+	}
+	f.Add([]byte(`00000000 {"schema":2,"op":"done","id":"job-1"}`))
+	f.Add([]byte(`{"schema":1,"op":"submitted","id":"job-0"}`))
+	f.Add([]byte("deadbeef "))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, ok, stale := parseFrame(data)
+		if ok && stale {
+			t.Fatalf("frame reported both ok and stale: %q", data)
+		}
+		if ok {
+			// An accepted frame re-encodes to an identical, verifiable line.
+			line, err := frameRecord(rec)
+			if err != nil {
+				t.Fatalf("accepted frame does not re-encode: %v", err)
+			}
+			if _, ok2, _ := parseFrame(bytes.TrimSuffix(line, []byte("\n"))); !ok2 {
+				t.Fatalf("re-framed record does not verify: %q", line)
+			}
+		}
+		// The multi-line walk the scrubber and replay share.
+		for _, line := range bytes.Split(data, []byte("\n")) {
+			if len(line) == 0 {
+				continue
+			}
+			parseFrame(line)
+		}
+	})
+}
+
+// FuzzReplicationFrame decodes arbitrary JSON as each replication wire
+// document and exercises the CRC verification path. Garbage must fail
+// decode or fail verify — never panic, and never verify as authentic.
+func FuzzReplicationFrame(f *testing.F) {
+	frame := ReplFrame{Seq: 1, Record: journalRecord{Schema: journalSchemaVersion, Op: opDone, ID: "job-1"}}
+	frame.CRC = frame.computeCRC()
+	if b, err := json.Marshal(frame); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte(`{"frames":[],"firstSeq":1,"nextSeq":1}`))
+	f.Add([]byte(`{"seq":18446744073709551615,"crc":0}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fr ReplFrame
+		if err := json.Unmarshal(data, &fr); err == nil {
+			if fr.verify() && fr.CRC != fr.computeCRC() {
+				t.Fatal("verify accepted a frame whose CRC does not match")
+			}
+		}
+		var batch ReplBatch
+		if err := json.Unmarshal(data, &batch); err == nil {
+			for _, bf := range batch.Frames {
+				bf.verify()
+			}
+		}
+		var snap ReplSnapshot
+		if err := json.Unmarshal(data, &snap); err == nil {
+			snap.verify()
+		}
+	})
+}
+
+// FuzzCellSpecParse decodes arbitrary JSON as a JobRequest and runs the
+// full spec parse/validate path, then the canonical-cell round trip the
+// audit scrubber depends on: any spec the server accepts must survive
+// encodeCell → spec() with its content address intact, or repair would
+// re-execute the wrong cell.
+func FuzzCellSpecParse(f *testing.F) {
+	f.Add([]byte(`{"workload":"kmeans","detection":"subblock-4","scale":"tiny","seed":1,"cores":8}`))
+	f.Add([]byte(`{"workload":"genome","detection":"baseline","scale":"small","retryPolicy":"backoff-capped"}`))
+	f.Add([]byte(`{"workload":"_","scale":"galactic","cores":-1}`))
+	f.Add([]byte(`{"faultInterruptRate":1e308,"maxCycles":-9223372036854775808}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var jr JobRequest
+		dec := json.NewDecoder(bytes.NewReader(data))
+		if dec.Decode(&jr) != nil {
+			return
+		}
+		spec, err := jr.Spec()
+		if err != nil {
+			return
+		}
+		norm := spec.Normalize()
+		key := Key(norm)
+		cell := encodeCell(norm)
+		back, err := cell.spec()
+		if err != nil {
+			t.Fatalf("accepted spec does not round-trip through canonicalCell: %v", err)
+		}
+		if got := Key(back.Normalize()); got != key {
+			t.Fatalf("canonical round trip moved the content address: %s -> %s", key, got)
+		}
+	})
+}

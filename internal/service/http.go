@@ -207,6 +207,7 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 //	GET  /v1/traces           per-trace summaries, slowest first (?min_ms= filters)
 //	GET  /v1/traces/{id}      every retained span for one trace ID
 //	GET  /v1/metrics/history  load-gauge time series (ring of sampled points)
+//	GET  /v1/audit            integrity scrubber report (passes, mismatches, repairs)
 //	GET  /v1/version          build identity + cache key schema version
 //	GET  /v1/replication/stream    follower long-poll: CRC-framed record batches
 //	GET  /v1/replication/snapshot  follower bootstrap: full digest-stamped checkpoint
@@ -227,6 +228,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	mux.HandleFunc("GET /v1/metrics/history", s.handleHistory)
+	mux.HandleFunc("GET /v1/audit", s.handleAudit)
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /v1/replication/stream", s.handleReplStream)
 	mux.HandleFunc("GET /v1/replication/snapshot", s.handleReplSnapshot)
@@ -239,6 +241,13 @@ func (s *Server) Handler() http.Handler {
 			role = "follower"
 		}
 		w.Header().Set("X-ASF-Role", role)
+		// Bound every request body before any handler reads it: a client
+		// (or a confused proxy) streaming an arbitrarily large payload
+		// must cost at most MaxBodyBytes of memory, and the decode error
+		// surfaces as a structured 413 rather than an OOM.
+		if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
 		mux.ServeHTTP(w, r)
 	})
 }
@@ -282,6 +291,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds the %d byte limit", mbe.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
 		return
 	}

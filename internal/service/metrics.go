@@ -48,6 +48,13 @@ type Metrics struct {
 	replDigestMismatches uint64 // replicated entries refused on content-digest mismatch
 	replSnapshotsServed  uint64 // replication snapshot checkpoints served
 
+	auditPasses         uint64 // completed scrub passes
+	auditEntriesScanned uint64 // cache entries digest-checked by scrub passes
+	auditReexecutions   uint64 // entries fully re-executed by the expensive sampled pass
+	auditMismatches     uint64 // integrity mismatches found (scrub, journal sweep, or serve path)
+	auditRepairs        uint64 // quarantined entries/records regenerated or re-synced clean
+	scrubCorruptions    uint64 // corruptions attributed to at-rest/in-flight damage by the audit subsystem
+
 	promotions         uint64 // follower-to-primary promotions
 	promotedFromCache  uint64 // pending jobs settled from the replicated cache at promotion
 	promotedReenqueued uint64 // pending jobs re-enqueued at promotion
@@ -91,6 +98,86 @@ func (m *Metrics) addSnapshotEntryQuarantines(n int) {
 	m.mu.Lock()
 	m.snapshotEntryQuarantines += uint64(n)
 	m.mu.Unlock()
+}
+
+func (m *Metrics) incAuditReexec()   { m.mu.Lock(); m.auditReexecutions++; m.mu.Unlock() }
+func (m *Metrics) incAuditMismatch() { m.mu.Lock(); m.auditMismatches++; m.mu.Unlock() }
+func (m *Metrics) incAuditRepair()   { m.mu.Lock(); m.auditRepairs++; m.mu.Unlock() }
+func (m *Metrics) incScrubCorruption() {
+	m.mu.Lock()
+	m.scrubCorruptions++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) addAuditMismatches(n int) {
+	m.mu.Lock()
+	m.auditMismatches += uint64(n)
+	m.mu.Unlock()
+}
+func (m *Metrics) addAuditRepairs(n int) { m.mu.Lock(); m.auditRepairs += uint64(n); m.mu.Unlock() }
+func (m *Metrics) addScrubCorruptions(n int) {
+	m.mu.Lock()
+	m.scrubCorruptions += uint64(n)
+	m.mu.Unlock()
+}
+
+// noteAuditPass records one completed scrub pass and how many entries
+// it digest-checked.
+func (m *Metrics) noteAuditPass(scanned int) {
+	m.mu.Lock()
+	m.auditPasses++
+	m.auditEntriesScanned += uint64(scanned)
+	m.mu.Unlock()
+}
+
+// AuditPasses returns the number of completed scrub passes.
+func (m *Metrics) AuditPasses() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.auditPasses
+}
+
+// AuditMismatches returns the count of integrity mismatches found by
+// the audit subsystem (scrub passes, journal sweeps, and the serve-path
+// guard combined).
+func (m *Metrics) AuditMismatches() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.auditMismatches
+}
+
+// ScrubCorruptions returns the count of corruptions the audit subsystem
+// attributed to at-rest or in-flight damage — the number the chaos soak
+// balances against its injected fault count.
+func (m *Metrics) ScrubCorruptions() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.scrubCorruptions
+}
+
+// AuditRepairs returns the count of quarantined entries or journal
+// records regenerated (primary re-execution) or re-synced (follower).
+func (m *Metrics) AuditRepairs() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.auditRepairs
+}
+
+// AuditReexecutions returns the count of entries fully re-executed by
+// the expensive sampled pass.
+func (m *Metrics) AuditReexecutions() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.auditReexecutions
+}
+
+// auditCounters returns the audit counter block in one lock
+// acquisition for /v1/audit.
+func (m *Metrics) auditCounters() (passes, scanned, reexec, mismatches, corruptions, repairs uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.auditPasses, m.auditEntriesScanned, m.auditReexecutions,
+		m.auditMismatches, m.scrubCorruptions, m.auditRepairs
 }
 
 // notePromotion records one follower-to-primary promotion.
@@ -234,6 +321,19 @@ type MetricsSnapshot struct {
 	ReplDigestMismatches uint64 `json:"replDigestMismatches"`
 	ReplSnapshotsServed  uint64 `json:"replSnapshotsServed"`
 
+	// Integrity audit: the background scrubber's lifetime totals.
+	// AuditMismatches counts every integrity mismatch the subsystem
+	// found (scrub pass, journal sweep, serve-path guard);
+	// ScrubCorruptions counts those attributed to at-rest/in-flight
+	// damage — the figure chaos soaks balance against injected faults.
+	// All zero while the scrubber is disarmed (-scrub-interval=0).
+	AuditPasses         uint64 `json:"auditPasses"`
+	AuditEntriesScanned uint64 `json:"auditEntriesScanned"`
+	AuditReexecutions   uint64 `json:"auditReexecutions"`
+	AuditMismatches     uint64 `json:"auditMismatches"`
+	AuditRepairs        uint64 `json:"auditRepairs"`
+	ScrubCorruptions    uint64 `json:"scrubCorruptions"`
+
 	// Promotion: how replicated pending work was disposed of when this
 	// daemon took over from a dead primary.
 	Promotions         uint64 `json:"promotions"`
@@ -307,6 +407,13 @@ func (m *Metrics) snapshot(queueDepth, running, admissionLimit int, cache *Cache
 		ReplCorruptFrames:    m.replCorruptFrames,
 		ReplDigestMismatches: m.replDigestMismatches,
 		ReplSnapshotsServed:  m.replSnapshotsServed,
+
+		AuditPasses:         m.auditPasses,
+		AuditEntriesScanned: m.auditEntriesScanned,
+		AuditReexecutions:   m.auditReexecutions,
+		AuditMismatches:     m.auditMismatches,
+		AuditRepairs:        m.auditRepairs,
+		ScrubCorruptions:    m.scrubCorruptions,
 
 		Promotions:         m.promotions,
 		PromotedFromCache:  m.promotedFromCache,

@@ -52,6 +52,12 @@ var metricsGoldenFields = []string{
 	"replCorruptFrames",
 	"replDigestMismatches",
 	"replSnapshotsServed",
+	"auditPasses",
+	"auditEntriesScanned",
+	"auditReexecutions",
+	"auditMismatches",
+	"auditRepairs",
+	"scrubCorruptions",
 	"promotions",
 	"promotedFromCache",
 	"promotedReenqueued",

@@ -184,6 +184,23 @@ func (l *replLog) fetch(from uint64, max int) (frames []ReplFrame, first, next u
 	return frames, first, next, notify
 }
 
+// verifyAll re-checks the CRC of every frame currently in the window
+// and returns the number that no longer verify — the scrubber's sweep
+// over the in-memory replication plane. Frames cannot be repaired in
+// place (followers refuse them on fetch anyway); a nonzero count is a
+// detection signal, reported per pass.
+func (l *replLog) verifyAll() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	bad := 0
+	for i := range l.frames {
+		if !l.frames[i].verify() {
+			bad++
+		}
+	}
+	return bad
+}
+
 // nextSeq returns the next sequence number the log will assign.
 func (l *replLog) nextSeq() uint64 {
 	l.mu.Lock()
@@ -298,6 +315,9 @@ func (s *Server) ApplyReplicatedSnapshot(snap *ReplSnapshot) (int, error) {
 		s.cache.Put(&e)
 		applied++
 	}
+	// Quarantined keys the scrubber marked repair-pending may just have
+	// been restored by this verified snapshot.
+	s.auditSettleRepairs()
 	return applied, nil
 }
 
@@ -399,6 +419,7 @@ func (s *Server) ApplyReplicatedBatch(batch ReplBatch) (int, error) {
 		d := time.Since(start)
 		s.span(serverTrace, "replicate.apply", start, d,
 			"frames", strconv.Itoa(applied), "lag", strconv.FormatInt(lag, 10))
+		s.auditSettleRepairs()
 	}
 	return applied, nil
 }
@@ -522,7 +543,7 @@ func (s *Server) Promote() (PromoteStats, error) {
 
 	now := time.Now()
 	for _, job := range pending {
-		if e, ok := s.cache.peek(job.Key); ok {
+		if e, ok := s.peekVerified(job.Key); ok {
 			job.State = JobDone
 			job.CacheHit = true
 			job.Result = e.Result

@@ -148,6 +148,38 @@ type Config struct {
 	// GET /v1/metrics/history. Zero disables the sampler.
 	HistoryInterval time.Duration
 	HistoryCapacity int
+
+	// ScrubInterval, when positive, arms the integrity scrubber: an
+	// idle-priority background loop that walks the result cache and
+	// journal in deterministic seeded order, re-hashing every entry
+	// against its stored content digest and quarantining + repairing
+	// mismatches (see internal/audit). Arming the scrubber also turns on
+	// the serve-path digest guard, so a corrupted entry caught between
+	// passes is recomputed instead of served. Zero (the default)
+	// disables all of it — byte-for-byte the pre-audit behavior.
+	ScrubInterval time.Duration
+
+	// ScrubRate caps the scrub walk at this many entries per second
+	// (0 = unpaced). The scrubber additionally yields while the worker
+	// pool has real work — scrubbing is idle-priority by construction.
+	ScrubRate int
+
+	// AuditSampleRate is the fraction of scanned entries (0..1) that
+	// each scrub pass fully re-executes through the simulator and
+	// compares byte-for-byte — the expensive pass that catches
+	// logic/state corruption the digest cannot. The sample rotates
+	// deterministically across passes. 0 disables re-execution.
+	AuditSampleRate float64
+
+	// AuditSeed seeds the scrubber's walk order and re-execution
+	// sampling (default 1). Pinning it makes a scrub pass exactly
+	// reproducible, which the chaos soaks rely on.
+	AuditSeed uint64
+
+	// MaxBodyBytes caps every POST request body (default 8 MiB;
+	// negative disables the cap). Oversized bodies are refused with 413
+	// and the structured error envelope.
+	MaxBodyBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -180,6 +212,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HistoryCapacity <= 0 {
 		c.HistoryCapacity = 900
+	}
+	if c.AuditSeed == 0 {
+		c.AuditSeed = 1
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
 	}
 	return c
 }
@@ -316,6 +354,14 @@ type Health struct {
 	// reports status "lagging".
 	Role              string `json:"role"`
 	ReplicaLagRecords int64  `json:"replicaLagRecords"`
+
+	// Integrity scrubber status: whether the background scrubber is
+	// armed, how many passes have completed, and how many quarantined
+	// entries still await repair (nonzero only on a follower waiting to
+	// re-fetch clean bytes from its primary).
+	ScrubEnabled       bool   `json:"scrubEnabled"`
+	ScrubPasses        uint64 `json:"scrubPasses"`
+	AuditRepairPending int    `json:"auditRepairPending"`
 }
 
 // Server is the simulation-as-a-service engine: a bounded worker pool
@@ -359,6 +405,13 @@ type Server struct {
 	flushStop chan struct{}
 	flushOnce sync.Once
 	flushDone chan struct{}
+
+	// scrubStop ends the integrity scrub loop; scrubDone is closed when
+	// it has exited. audit holds the scrubber's pass bookkeeping.
+	scrubStop chan struct{}
+	scrubOnce sync.Once
+	scrubDone chan struct{}
+	audit     auditState
 
 	recovery RecoveryStats
 
@@ -404,6 +457,8 @@ func New(cfg Config) (*Server, error) {
 		kill:          make(chan struct{}),
 		flushStop:     make(chan struct{}),
 		flushDone:     make(chan struct{}),
+		scrubStop:     make(chan struct{}),
+		scrubDone:     make(chan struct{}),
 		historyStop:   make(chan struct{}),
 		historyDone:   make(chan struct{}),
 		jobs:          make(map[string]*Job),
@@ -412,6 +467,7 @@ func New(cfg Config) (*Server, error) {
 		following:     cfg.Following,
 		replNextApply: 1,
 	}
+	s.audit.repairPending = make(map[string]struct{})
 	if cfg.HistoryInterval > 0 {
 		s.history = obs.NewHistory(historyGauges, cfg.HistoryCapacity, nil)
 	}
@@ -458,6 +514,11 @@ func New(cfg Config) (*Server, error) {
 		go s.historyLoop(cfg.HistoryInterval)
 	} else {
 		close(s.historyDone)
+	}
+	if cfg.ScrubInterval > 0 {
+		go s.scrubLoop(cfg.ScrubInterval)
+	} else {
+		close(s.scrubDone)
 	}
 	return s, nil
 }
@@ -653,6 +714,10 @@ func (s *Server) Health() Health {
 		UptimeSeconds:     int64(time.Since(s.start) / time.Second),
 		Role:              "primary",
 		ReplicaLagRecords: s.replicationLagLocked(),
+
+		ScrubEnabled:       s.cfg.ScrubInterval > 0,
+		ScrubPasses:        s.metrics.AuditPasses(),
+		AuditRepairPending: s.AuditRepairPending(),
 	}
 	if s.following {
 		h.Role = "follower"
@@ -786,6 +851,19 @@ func (s *Server) SubmitJob(spec harness.CellSpec, opts SubmitOpts) (*Job, error)
 
 	cacheStart := time.Now()
 	e, hit := s.cache.Get(key)
+	if hit && s.auditArmed() {
+		// Serve-path integrity guard (armed scrubber only): re-hash the
+		// bytes about to be served. An entry corrupted at rest since the
+		// last scrub pass is quarantined and recomputed as a miss — a
+		// client never observes corrupted bytes.
+		ve, outcome := s.cache.VerifyEntry(key)
+		if outcome == VerifyCorrupt {
+			s.auditQuarantineServe(ve)
+		}
+		if outcome != VerifyOK {
+			e, hit = nil, false
+		}
+	}
 	cacheDur := time.Since(cacheStart)
 	s.stages.cache.Observe(cacheDur)
 	if hit {
@@ -1118,7 +1196,7 @@ func (s *Server) runJob(job *Job) {
 	var sfStart time.Time // zero until the job actually waits behind a leader
 claim:
 	for {
-		if e, ok := s.cache.peek(job.Key); ok {
+		if e, ok := s.peekVerified(job.Key); ok {
 			s.singleflightDone(job, sfStart)
 			doneRec := journalRecord{Op: opDone, ID: job.ID, Key: job.Key}
 			s.journalTimed(job.TraceID, doneRec)
@@ -1209,11 +1287,13 @@ claim:
 			s.failJob(job, "encoding result: "+mErr.Error(), "error")
 			return
 		}
+		cell := encodeCell(job.Spec)
 		s.cache.Put(&CacheEntry{
 			Key:       job.Key,
 			Workload:  job.Spec.Workload,
 			SimCycles: r.Cycles,
 			Result:    data,
+			Cell:      &cell,
 		})
 		// Serve the bytes the cache actually retained: if a racing
 		// duplicate stored first, its (bit-identical by the determinism
@@ -1408,6 +1488,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	s.stopFlush()
 	s.stopHistory()
+	s.stopScrub()
 
 	done := make(chan struct{})
 	go func() {
@@ -1458,9 +1539,10 @@ func (s *Server) Kill() {
 	if j != nil {
 		j.Close()
 	}
+	s.killOnce.Do(func() { close(s.kill) })
 	s.stopFlush()
 	s.stopHistory()
-	s.killOnce.Do(func() { close(s.kill) })
+	s.stopScrub()
 	s.wg.Wait()
 }
 
